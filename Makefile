@@ -1,0 +1,54 @@
+# Pythia reproduction — build/test/bench entry points. Everything is
+# stdlib-only Go; no external dependencies or network access required.
+
+GO ?= go
+
+.PHONY: all build vet test test-short cover bench bench-paper fuzz figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per paper table/figure (see bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The same benchmarks at the paper's published input sizes.
+bench-paper:
+	$(GO) test -bench=. -benchmem -paperscale .
+
+# Quick fuzz pass over the binary index-file codec.
+fuzz:
+	$(GO) test ./internal/instrument/ -fuzz FuzzDecodeIndex -fuzztime 10s
+	$(GO) test ./internal/instrument/ -fuzz FuzzBuildIndex -fuzztime 10s
+	$(GO) test ./internal/instrument/ -fuzz FuzzDecodeIFile -fuzztime 10s
+	$(GO) test ./internal/ofp10/ -fuzz FuzzParse -fuzztime 10s
+
+# Regenerate every table/figure (quick scale) and the SVG charts.
+figures:
+	mkdir -p out
+	$(GO) run ./cmd/pythia-bench -svgdir out -json out/results.json | tee out/experiments.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/skewedjob
+	$(GO) run ./examples/nutchsweep
+	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/multijob
+	$(GO) run ./examples/observability
+
+clean:
+	rm -rf out

@@ -1,0 +1,113 @@
+// Command pythia-sim runs one ad-hoc simulated MapReduce job and prints its
+// timing under a chosen scheduler and oversubscription level — the quickest
+// way to explore the parameter space beyond the published figures.
+//
+// Usage:
+//
+//	pythia-sim [-workload sort|nutch|wordcount|intsort] [-input-gb N]
+//	           [-reduces N] [-scheduler ecmp|pythia|hedera] [-oversub N]
+//	           [-hosts N] [-trunks N] [-gbps N] [-seed N] [-compare]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pythia"
+)
+
+func main() {
+	workloadName := flag.String("workload", "sort", "sort, nutch, wordcount or intsort")
+	inputGB := flag.Float64("input-gb", 24, "input size in GB")
+	reduces := flag.Int("reduces", 10, "number of reducers")
+	scheduler := flag.String("scheduler", "pythia", "ecmp, pythia or hedera")
+	oversub := flag.Int("oversub", 10, "oversubscription ratio N (0 = none)")
+	hosts := flag.Int("hosts", 5, "hosts per rack")
+	trunks := flag.Int("trunks", 2, "parallel inter-rack trunks")
+	gbps := flag.Float64("gbps", 1, "link rate in Gbps")
+	seed := flag.Uint64("seed", 1, "random seed")
+	compare := flag.Bool("compare", false, "also run the ECMP baseline and report the speedup")
+	specIn := flag.String("spec", "", "load the job spec from this JSON file instead of generating one")
+	specOut := flag.String("dump-spec", "", "write the generated job spec as JSON to this file and exit")
+	flag.Parse()
+
+	var spec *pythia.JobSpec
+	if *specIn != "" {
+		data, err := os.ReadFile(*specIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reading spec: %v\n", err)
+			os.Exit(1)
+		}
+		spec, err = pythia.LoadJobSpec(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		switch *workloadName {
+		case "sort":
+			spec = pythia.SortJob(*inputGB*pythia.GB, *reduces, *seed)
+		case "nutch":
+			spec = pythia.NutchJob(*inputGB*pythia.GB, *reduces, *seed)
+		case "wordcount":
+			spec = pythia.WordCountJob(*inputGB*pythia.GB, *reduces, *seed)
+		case "intsort":
+			spec = pythia.IntegerSortJob(*inputGB*pythia.GB, *reduces, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workloadName)
+			os.Exit(2)
+		}
+	}
+
+	if *specOut != "" {
+		data, err := pythia.SaveJobSpec(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*specOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing spec: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d maps, %d reducers)\n", *specOut, spec.NumMaps, spec.NumReduces)
+		return
+	}
+
+	kinds := map[string]pythia.SchedulerKind{
+		"ecmp": pythia.SchedulerECMP, "pythia": pythia.SchedulerPythia, "hedera": pythia.SchedulerHedera,
+	}
+	kind, ok := kinds[*scheduler]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *scheduler)
+		os.Exit(2)
+	}
+
+	opts := func(k pythia.SchedulerKind) []pythia.Option {
+		return []pythia.Option{
+			pythia.WithScheduler(k),
+			pythia.WithOversubscription(*oversub),
+			pythia.WithHostsPerRack(*hosts),
+			pythia.WithTrunks(*trunks),
+			pythia.WithLinkRateGbps(*gbps),
+			pythia.WithSeed(*seed),
+		}
+	}
+
+	cl := pythia.New(opts(kind)...)
+	res := cl.RunJob(spec)
+	fmt.Printf("%s %s: %.1fs total (maps %.1fs, shuffle barrier %.1fs, %.1f GB shuffled",
+		kind, spec.Name, res.DurationSec, res.MapPhaseSec, res.ShuffleSec, res.ShuffleBytes/1e9)
+	if kind == pythia.SchedulerPythia {
+		fmt.Printf(", %d rules installed", res.RulesInstalled)
+		rep := cl.Overhead()
+		fmt.Printf(", %.1f%% instrumentation CPU", rep.MeanCPUFraction*100)
+	}
+	fmt.Println(")")
+
+	if *compare && kind != pythia.SchedulerECMP {
+		base := pythia.New(opts(pythia.SchedulerECMP)...).RunJob(spec)
+		speedup := (base.DurationSec - res.DurationSec) / res.DurationSec
+		fmt.Printf("ECMP baseline: %.1fs  →  speedup %.1f%%\n", base.DurationSec, speedup*100)
+	}
+}

@@ -1,0 +1,29 @@
+// Nutchsweep regenerates the shape of the paper's Figure 3 from the public
+// API: Nutch-indexing completion times under ECMP and Pythia across
+// oversubscription ratios. The headline behaviours to look for: Pythia's
+// completion time stays near the no-oversubscription time (the paper's
+// 242 s), while ECMP degrades — up to the paper's 46% relative speedup.
+package main
+
+import (
+	"fmt"
+
+	"pythia"
+)
+
+func main() {
+	// The paper's published Nutch input: 5M pages, 8 GB.
+	spec := pythia.NutchJob(8*pythia.GB, 12, 17)
+	fmt.Printf("nutch indexing: %d maps, %d reducers, %.1f GB intermediate data\n\n",
+		spec.NumMaps, spec.NumReduces, spec.TotalShuffleBytes()/1e9)
+
+	fmt.Printf("%-8s %10s %12s %10s\n", "oversub", "ECMP (s)", "Pythia (s)", "speedup")
+	for _, oversub := range []int{0, 2, 5, 10, 20} {
+		e, p, s := pythia.Compare(spec, pythia.SchedulerECMP, pythia.SchedulerPythia, oversub, 17)
+		label := "none"
+		if oversub > 0 {
+			label = fmt.Sprintf("1:%d", oversub)
+		}
+		fmt.Printf("%-8s %10.1f %12.1f %9.1f%%\n", label, e, p, s*100)
+	}
+}

@@ -1,0 +1,3 @@
+module pythia
+
+go 1.22

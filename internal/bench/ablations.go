@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"pythia/internal/core"
+	"pythia/internal/hadoop"
+	"pythia/internal/instrument"
+	"pythia/internal/sim"
+	"pythia/internal/workload"
+)
+
+// AblationRow is one parameter setting of an ablation sweep, always compared
+// against the ECMP baseline on the identical scenario.
+type AblationRow struct {
+	Param     string
+	PythiaSec float64
+	ECMPSec   float64
+	Speedup   float64
+}
+
+// ablationSeeds are averaged over to smooth single-hash artifacts.
+var ablationSeeds = []uint64{9, 1009, 2009}
+
+// meanOver runs fn once per seed and averages the result.
+func meanOver(fn func(seed uint64) float64) float64 {
+	sum := 0.0
+	for _, s := range ablationSeeds {
+		sum += fn(s)
+	}
+	return sum / float64(len(ablationSeeds))
+}
+
+// sweep runs one ablation: the ECMP baseline once per seed, then each
+// parameter setting once per seed via runPythia(param, seed).
+func sweep(params []string, runECMP func(seed uint64) float64, runPythia func(param string, seed uint64) float64) []AblationRow {
+	base := meanOver(runECMP)
+	rows := make([]AblationRow, 0, len(params))
+	for _, p := range params {
+		p := p
+		t := meanOver(func(seed uint64) float64 { return runPythia(p, seed) })
+		rows = append(rows, AblationRow{
+			Param:     p,
+			PythiaSec: t,
+			ECMPSec:   base,
+			Speedup:   (base - t) / t,
+		})
+	}
+	return rows
+}
+
+// RunAblationKPaths (A1) varies the number of precomputed shortest paths on
+// a four-trunk variant of the testbed: k=1 collapses Pythia to single-path
+// routing (catastrophic: every pair lands on the same trunk); k>=4 exposes
+// the full trunk diversity. DESIGN.md calls out the k-shortest-paths module
+// as a design choice; this quantifies it.
+func RunAblationKPaths(scale Scale) []AblationRow {
+	lvl := Oversub{Label: "1:10", Ratio: 10}
+	ks := map[string]int{"k=1": 1, "k=2": 2, "k=4": 4, "k=8": 8}
+	return sweep([]string{"k=1", "k=2", "k=4", "k=8"},
+		func(seed uint64) float64 {
+			return RunTrial(TrialConfig{
+				Spec:      workload.Sort(scale.SortBytes, 10, seed),
+				Scheduler: ECMP, Oversub: lvl, Trunks: 4, Seed: seed,
+			}).JobSec
+		},
+		func(param string, seed uint64) float64 {
+			return RunTrial(TrialConfig{
+				Spec:      workload.Sort(scale.SortBytes, 10, seed),
+				Scheduler: Pythia, Oversub: lvl, Trunks: 4, Seed: seed,
+				PythiaCfg: core.Config{K: ks[param]}.EnableAggregation(),
+			}).JobSec
+		})
+}
+
+// RunAblationAggregation (A2) toggles host-pair flow aggregation on the
+// Nutch workload (many flows per pair — where aggregation matters most).
+// The paper expects near-parity on completion time — aggregation exists for
+// TCAM conservation and because ports are unknowable, not as a performance
+// booster.
+func RunAblationAggregation(scale Scale) []AblationRow {
+	lvl := Oversub{Label: "1:20", Ratio: 20}
+	return sweep([]string{"aggregation=on", "aggregation=off"},
+		func(seed uint64) float64 {
+			return RunTrial(TrialConfig{
+				Spec:      workload.Nutch(scale.NutchBytes, 12, seed),
+				Scheduler: ECMP, Oversub: lvl, Seed: seed,
+			}).JobSec
+		},
+		func(param string, seed uint64) float64 {
+			agg := param == "aggregation=on"
+			return RunTrial(TrialConfig{
+				Spec:      workload.Nutch(scale.NutchBytes, 12, seed),
+				Scheduler: Pythia, Oversub: lvl, Seed: seed,
+				DisableAggregation: !agg,
+				PythiaCfg:          core.Config{Aggregate: agg},
+			}).JobSec
+		})
+}
+
+// RunAblationPredictionDelay (A3) artificially delays the filesystem
+// notification so predictions arrive closer to (or after) the actual flows.
+// Small delays are harmless — the paper found the fetch gap leaves seconds
+// of margin — but once the delay exceeds the map-finish-to-fetch gap, flows
+// start before their rules exist and fall back to the default pipeline,
+// eroding the benefit toward zero.
+func RunAblationPredictionDelay(scale Scale) []AblationRow {
+	lvl := Oversub{Label: "1:10", Ratio: 10}
+	delays := map[string]sim.Duration{
+		"notify-delay=0.02s": 0.02,
+		"notify-delay=5s":    5,
+		"notify-delay=30s":   30,
+		"notify-delay=120s":  120,
+	}
+	return sweep([]string{"notify-delay=0.02s", "notify-delay=5s", "notify-delay=30s", "notify-delay=120s"},
+		func(seed uint64) float64 {
+			return RunTrial(TrialConfig{
+				Spec:      workload.Sort(scale.SortBytes, 10, seed),
+				Scheduler: ECMP, Oversub: lvl, Seed: seed,
+			}).JobSec
+		},
+		func(param string, seed uint64) float64 {
+			return RunTrial(TrialConfig{
+				Spec:      workload.Sort(scale.SortBytes, 10, seed),
+				Scheduler: Pythia, Oversub: lvl, Seed: seed,
+				Instrument: instrument.Config{FSNotifyDelay: delays[param]},
+			}).JobSec
+		})
+}
+
+// RunAblationInstallLatency (A4) sweeps the per-rule switch programming
+// cost. The paper cites 3–5 ms/flow as the hardware budget; this shows how
+// much headroom the prediction lead leaves before slow control planes start
+// to hurt.
+func RunAblationInstallLatency(scale Scale) []AblationRow {
+	lvl := Oversub{Label: "1:10", Ratio: 10}
+	lats := map[string]sim.Duration{
+		"install=1ms":   0.001,
+		"install=4ms":   0.004,
+		"install=50ms":  0.05,
+		"install=500ms": 0.5,
+	}
+	return sweep([]string{"install=1ms", "install=4ms", "install=50ms", "install=500ms"},
+		func(seed uint64) float64 {
+			return RunTrial(TrialConfig{
+				Spec:      workload.Sort(scale.SortBytes, 10, seed),
+				Scheduler: ECMP, Oversub: lvl, Seed: seed,
+			}).JobSec
+		},
+		func(param string, seed uint64) float64 {
+			return RunTrial(TrialConfig{
+				Spec:      workload.Sort(scale.SortBytes, 10, seed),
+				Scheduler: Pythia, Oversub: lvl, Seed: seed,
+				InstallLatency: lats[param],
+			}).JobSec
+		})
+}
+
+// RunAblationCriticality (A6) toggles the §VI flow-priority criterion on a
+// heavily skewed sort. On the small testbed the first-fit-decreasing order
+// already approximates criticality, so near-parity is the honest expected
+// result; the test asserts no regression.
+func RunAblationCriticality(scale Scale) []AblationRow {
+	lvl := Oversub{Label: "1:10", Ratio: 10}
+	mkSpec := func(seed uint64) *hadoop.JobSpec {
+		return workload.Generate(workload.Config{
+			Name: "skewed-sort", InputBytes: scale.SortBytes,
+			BlockBytes: 256 * workload.MB, NumReduces: 10,
+			SkewExponent: 1.2, Seed: seed,
+		})
+	}
+	return sweep([]string{"criticality=off", "criticality=on"},
+		func(seed uint64) float64 {
+			return RunTrial(TrialConfig{Spec: mkSpec(seed), Scheduler: ECMP, Oversub: lvl, Seed: seed}).JobSec
+		},
+		func(param string, seed uint64) float64 {
+			return RunTrial(TrialConfig{
+				Spec: mkSpec(seed), Scheduler: Pythia, Oversub: lvl, Seed: seed,
+				PythiaCfg: core.Config{UseCriticality: param == "criticality=on"}.EnableAggregation(),
+			}).JobSec
+		})
+}
+
+// TimelinessRow is one Hadoop-parameter setting of the A7 experiment.
+type TimelinessRow struct {
+	Param       string
+	MinLeadSec  float64
+	MeanLeadSec float64
+}
+
+// RunAblationTimeliness (A7) carries out the experiment the paper proposes
+// as future work in §V-C: confirm that prediction timeliness — the gap
+// between map finish and fetch start — is not sensitive to Hadoop's
+// configuration parameters (reducer parallel copies, completion-event poll
+// period). Each row runs the Fig. 5 capture under a different setting and
+// reports the lead statistics.
+func RunAblationTimeliness(scale Scale) []TimelinessRow {
+	lvl := Oversub{Label: "1:5", Ratio: 5}
+	settings := []struct {
+		name string
+		cfg  hadoop.Config
+	}{
+		{"defaults (copies=5, poll=3s)", hadoop.Config{}},
+		{"parallel-copies=2", hadoop.Config{ParallelCopies: 2}},
+		{"parallel-copies=10", hadoop.Config{ParallelCopies: 10}},
+		{"event-poll=1s", hadoop.Config{EventPollInterval: 1}},
+		{"event-poll=6s", hadoop.Config{EventPollInterval: 6}},
+	}
+	var rows []TimelinessRow
+	for _, s := range settings {
+		res := RunTrial(TrialConfig{
+			Spec:              workload.IntegerSort(scale.IntegerSortBytes, 10, 7),
+			Scheduler:         Pythia,
+			Oversub:           lvl,
+			Hadoop:            s.cfg,
+			Seed:              7,
+			CollectPrediction: true,
+		})
+		row := TimelinessRow{Param: s.name}
+		first := true
+		var meanSum float64
+		for _, h := range res.Prediction.Hosts {
+			if first || h.MinLeadSec < row.MinLeadSec {
+				row.MinLeadSec = h.MinLeadSec
+				first = false
+			}
+			meanSum += h.MeanLeadSec
+		}
+		if n := len(res.Prediction.Hosts); n > 0 {
+			row.MeanLeadSec = meanSum / float64(n)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTimelinessTable renders the A7 sweep.
+func FormatTimelinessTable(title string, rows []TimelinessRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-30s %14s %14s\n", "hadoop setting", "min lead (s)", "mean lead (s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-30s %14.2f %14.2f\n", r.Param, r.MinLeadSec, r.MeanLeadSec)
+	}
+	return b.String()
+}
+
+// ScopeRow is one row of the A5 aggregation-scope experiment.
+type ScopeRow struct {
+	Scope     string
+	PythiaSec float64
+	Rules     uint64
+}
+
+// RunAblationScope (A5) compares host-pair against rack-pair aggregation
+// (§IV forwarding-state conservation): completion time should be close on
+// the two-rack testbed while the rule count collapses from O(host pairs) to
+// O(rack pairs).
+func RunAblationScope(scale Scale) []ScopeRow {
+	lvl := Oversub{Label: "1:10", Ratio: 10}
+	var rows []ScopeRow
+	for _, sc := range []core.Scope{core.ScopeHostPair, core.ScopeRackPair} {
+		var secs, rules float64
+		for _, seed := range ablationSeeds {
+			res := RunTrial(TrialConfig{
+				Spec:      workload.Sort(scale.SortBytes, 10, seed),
+				Scheduler: Pythia, Oversub: lvl, Seed: seed,
+				PythiaCfg: core.Config{Scope: sc}.EnableAggregation(),
+			})
+			secs += res.JobSec
+			rules += float64(res.RulesInstalled)
+		}
+		n := float64(len(ablationSeeds))
+		rows = append(rows, ScopeRow{Scope: sc.String(), PythiaSec: secs / n, Rules: uint64(rules / n)})
+	}
+	return rows
+}
+
+// FormatScopeTable renders the A5 sweep.
+func FormatScopeTable(title string, rows []ScopeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s %12s %14s\n", "scope", "Pythia (s)", "rules installed")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12.1f %14d\n", r.Scope, r.PythiaSec, r.Rules)
+	}
+	return b.String()
+}
+
+// FormatAblationTable renders an ablation sweep.
+func FormatAblationTable(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-22s %12s %12s %10s\n", "parameter", "Pythia (s)", "ECMP (s)", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %12.1f %12.1f %9.1f%%\n", r.Param, r.PythiaSec, r.ECMPSec, r.Speedup*100)
+	}
+	return b.String()
+}

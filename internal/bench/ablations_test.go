@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationKPaths(t *testing.T) {
+	rows := RunAblationKPaths(tinyScale())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// k=1 (single path) must not beat k=4 (full diversity); all share the
+	// same ECMP baseline.
+	k1, k4 := rows[0], rows[2]
+	if k1.Param != "k=1" || k4.Param != "k=4" {
+		t.Fatalf("unexpected params: %v %v", k1.Param, k4.Param)
+	}
+	if k4.PythiaSec > k1.PythiaSec+1e-6 {
+		t.Fatalf("k=4 (%.1fs) slower than k=1 (%.1fs)", k4.PythiaSec, k1.PythiaSec)
+	}
+	for _, r := range rows[1:] {
+		if r.ECMPSec != rows[0].ECMPSec {
+			t.Fatal("baseline differs across rows")
+		}
+	}
+}
+
+func TestAblationAggregation(t *testing.T) {
+	rows := RunAblationAggregation(tinyScale())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Param != "aggregation=on" || rows[1].Param != "aggregation=off" {
+		t.Fatalf("params: %+v", rows)
+	}
+	// Both must complete; aggregation-on should not be worse.
+	if rows[0].PythiaSec > rows[1].PythiaSec*1.10 {
+		t.Fatalf("aggregation on (%.1fs) much worse than off (%.1fs)",
+			rows[0].PythiaSec, rows[1].PythiaSec)
+	}
+}
+
+func TestAblationPredictionDelay(t *testing.T) {
+	rows := RunAblationPredictionDelay(tinyScale())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Massive delay (15 s) must not beat prompt prediction.
+	prompt, late := rows[0], rows[3]
+	if late.PythiaSec < prompt.PythiaSec-1e-6 {
+		t.Fatalf("late predictions (%.1fs) beat prompt (%.1fs)", late.PythiaSec, prompt.PythiaSec)
+	}
+}
+
+func TestAblationInstallLatency(t *testing.T) {
+	rows := RunAblationInstallLatency(tinyScale())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fast, slow := rows[0], rows[3]
+	if slow.PythiaSec < fast.PythiaSec-1e-6 {
+		t.Fatalf("500ms installs (%.1fs) beat 1ms (%.1fs)", slow.PythiaSec, fast.PythiaSec)
+	}
+}
+
+func TestFormatAblationTable(t *testing.T) {
+	out := FormatAblationTable("A1", []AblationRow{{Param: "k=2", PythiaSec: 10, ECMPSec: 12, Speedup: 0.2}})
+	if !strings.Contains(out, "k=2") || !strings.Contains(out, "20.0%") {
+		t.Fatalf("table: %s", out)
+	}
+}
+
+func TestAblationTimelinessInsensitive(t *testing.T) {
+	rows := RunAblationTimeliness(tinyScale())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var minLeads, meanLeads []float64
+	for _, r := range rows {
+		if r.MinLeadSec <= 0 {
+			t.Fatalf("%s: prediction not ahead (min lead %v)", r.Param, r.MinLeadSec)
+		}
+		minLeads = append(minLeads, r.MinLeadSec)
+		meanLeads = append(meanLeads, r.MeanLeadSec)
+	}
+	// The §V-C insensitivity claim: varying parallel copies and poll
+	// periods must not change the order of magnitude of the lead.
+	spread := func(xs []float64) float64 {
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return hi / lo
+	}
+	if spread(meanLeads) > 5 {
+		t.Fatalf("mean lead varies %vx across Hadoop settings", spread(meanLeads))
+	}
+	_ = minLeads
+}
+
+func TestFormatTimelinessTable(t *testing.T) {
+	out := FormatTimelinessTable("A7", []TimelinessRow{{Param: "x", MinLeadSec: 1, MeanLeadSec: 2}})
+	if !strings.Contains(out, "min lead") || !strings.Contains(out, "x") {
+		t.Fatalf("table: %s", out)
+	}
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"pythia/internal/workload"
+)
+
+func TestLowerBoundComponents(t *testing.T) {
+	spec := workload.Sort(24*workload.GB, 10, 17)
+	free := ComputeLowerBound(spec, Oversub{"none", 0})
+	tight := ComputeLowerBound(spec, Oversub{"1:20", 20})
+	if free.Sec() <= 0 || tight.Sec() <= 0 {
+		t.Fatal("degenerate bounds")
+	}
+	// Tightening the network must raise (or hold) the bound, via the
+	// network term.
+	if tight.Sec() < free.Sec() {
+		t.Fatalf("bound fell with contention: %v -> %v", free.Sec(), tight.Sec())
+	}
+	if tight.NetworkSec <= free.NetworkSec {
+		t.Fatal("network term did not grow with oversubscription")
+	}
+	// Sec() picks the max.
+	if free.Sec() != free.ComputeSec && free.Sec() != free.NetworkSec {
+		t.Fatal("Sec() is neither component")
+	}
+}
+
+func TestOptimalityGapShape(t *testing.T) {
+	rows := RunOptimalityGap(Scale{SortBytes: 24e9})
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// No scheduler beats the bound.
+		if r.PythiaSec < r.BoundSec || r.ECMPSec < r.BoundSec {
+			t.Fatalf("bound violated at %s: bound=%.1f pythia=%.1f ecmp=%.1f",
+				r.Oversub, r.BoundSec, r.PythiaSec, r.ECMPSec)
+		}
+		if r.ECMPGap < r.PythiaGap-1e-9 {
+			t.Fatalf("ECMP closer to optimal than Pythia at %s", r.Oversub)
+		}
+	}
+	// The headline shape: Pythia's gap shrinks as the network becomes the
+	// bottleneck; ECMP's does not shrink below ~2x the bound.
+	first, last := rows[0], rows[len(rows)-1]
+	if last.PythiaGap >= first.PythiaGap {
+		t.Fatalf("Pythia gap did not shrink with contention: %.2f -> %.2f",
+			first.PythiaGap, last.PythiaGap)
+	}
+	if last.ECMPGap < 0.8 {
+		t.Fatalf("ECMP unexpectedly near-optimal at 1:20: gap %.2f", last.ECMPGap)
+	}
+}
+
+func TestFormatGapTable(t *testing.T) {
+	out := FormatGapTable("E11", []GapRow{{Oversub: "1:10", BoundSec: 100, PythiaSec: 150, ECMPSec: 220, PythiaGap: 0.5, ECMPGap: 1.2}})
+	if !strings.Contains(out, "1:10") || !strings.Contains(out, "50%") {
+		t.Fatalf("table: %s", out)
+	}
+}

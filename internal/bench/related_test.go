@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlowCombComparison(t *testing.T) {
+	// E9 is calibrated at the quick scale (24 GB sort): at toy scales the
+	// FlowComb-like detection delay exceeds the whole shuffle window.
+	rows := RunFlowCombComparison(Scale{SortBytes: 24e9})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ecmp, fc, py := rows[0], rows[1], rows[2]
+	if ecmp.System != "ECMP" || fc.System != "FlowComb-like" || py.System != "Pythia" {
+		t.Fatalf("row order: %+v", rows)
+	}
+	// Both predictive systems must clearly beat ECMP; between themselves
+	// they sit within the timing slack (near-parity) — assert Pythia is
+	// within 10% of the FlowComb-like configuration and vice versa.
+	if fc.JobSec >= ecmp.JobSec || py.JobSec >= ecmp.JobSec {
+		t.Fatalf("predictive systems did not beat ECMP: %+v", rows)
+	}
+	ratio := py.JobSec / fc.JobSec
+	if ratio > 1.15 || ratio < 0.85 {
+		t.Fatalf("Pythia/FlowComb ratio = %.2f, expected near-parity", ratio)
+	}
+}
+
+func TestPartitionerComparison(t *testing.T) {
+	rows := RunPartitionerComparison(Scale{SortBytes: 24e9})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.System] = r.JobSec
+	}
+	// The remedies compose: both together must beat either alone, and
+	// every intervention must beat plain ECMP+hash.
+	base := byName["ECMP + hash partitioner"]
+	both := byName["Pythia + balanced partitioner"]
+	for name, sec := range byName {
+		if name == "ECMP + hash partitioner" {
+			continue
+		}
+		if sec >= base {
+			t.Fatalf("%s (%.1fs) did not beat the baseline (%.1fs)", name, sec, base)
+		}
+	}
+	if both >= byName["Pythia + hash partitioner"] || both >= byName["ECMP + balanced partitioner"] {
+		t.Fatalf("composition did not win: %+v", byName)
+	}
+}
+
+func TestFormatRelatedTable(t *testing.T) {
+	out := FormatRelatedTable("T", []RelatedRow{{System: "x", JobSec: 1.5}})
+	if !strings.Contains(out, "x") || !strings.Contains(out, "1.5") {
+		t.Fatalf("table: %s", out)
+	}
+}

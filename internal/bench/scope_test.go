@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationScope(t *testing.T) {
+	rows := RunAblationScope(tinyScale())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Rules*3 > rows[0].Rules {
+		t.Fatalf("rack-pair rules %d not much fewer than host-pair %d", rows[1].Rules, rows[0].Rules)
+	}
+	if rows[1].PythiaSec > rows[0].PythiaSec*2.5 {
+		t.Fatalf("rack scope time %.1f far worse than host scope %.1f", rows[1].PythiaSec, rows[0].PythiaSec)
+	}
+}
+
+func TestAblationCriticalityParity(t *testing.T) {
+	rows := RunAblationCriticality(tinyScale())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	off, on := rows[0].PythiaSec, rows[1].PythiaSec
+	// §VI feature: must never regress materially; parity is expected on
+	// the small testbed.
+	if on > off*1.10 {
+		t.Fatalf("criticality on (%.1fs) much worse than off (%.1fs)", on, off)
+	}
+}
+
+func TestScaleOutPythiaWinsEverywhere(t *testing.T) {
+	rows := RunScaleOut(tinyScale())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PythiaSec >= r.ECMPSec {
+			t.Fatalf("%s: pythia %.1f >= ecmp %.1f", r.Topology, r.PythiaSec, r.ECMPSec)
+		}
+	}
+}
+
+func TestSpeedupSVG(t *testing.T) {
+	rows := []SpeedupRow{
+		{Oversub: "none", ECMPSec: 100, PythiaSec: 99, Speedup: 0.01},
+		{Oversub: "1:20", ECMPSec: 220, PythiaSec: 150, Speedup: 0.46},
+	}
+	svg := SpeedupSVG("Fig.3", rows)
+	for _, want := range []string{"<svg", "ECMP", "Pythia", "1:20", "polyline"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("speedup svg missing %q", want)
+		}
+	}
+}
+
+func TestFig5SVGFromRealRun(t *testing.T) {
+	res := RunFig5(tinyScale())
+	if len(res.PerHost) == 0 {
+		t.Fatal("no hosts")
+	}
+	svg := Fig5SVG(res.PerHost[0])
+	for _, want := range []string{"<svg", "predicted", "measured", "cumulative bytes"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("fig5 svg missing %q", want)
+		}
+	}
+}

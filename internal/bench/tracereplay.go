@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"pythia/internal/core"
+	"pythia/internal/ecmp"
+	"pythia/internal/hadoop"
+	"pythia/internal/hedera"
+	"pythia/internal/instrument"
+	"pythia/internal/netsim"
+	"pythia/internal/openflow"
+	"pythia/internal/sim"
+	"pythia/internal/stats"
+	"pythia/internal/topology"
+	"pythia/internal/workload"
+)
+
+// TraceResult summarizes one trace replay.
+type TraceResult struct {
+	Jobs        int
+	MakespanSec float64
+	MeanJobSec  float64
+	P95JobSec   float64
+	// ShuffleFraction is Σ per-job shuffle-phase time (map-phase end to
+	// barrier) over Σ job time — the statistic behind the paper's
+	// motivating "33% of the execution time ... spent at the shuffle
+	// phase" Facebook measurement.
+	ShuffleFraction float64
+}
+
+// RunTraceReplay (E13) replays a synthesized Facebook/SWIM-shaped job
+// stream — Poisson arrivals, heavy-tailed inputs, a mixed map-heavy /
+// transform / shuffle-heavy class distribution — under the given scheduler
+// and oversubscription level on the paper testbed.
+func RunTraceReplay(scheduler Scheduler, lvl Oversub, tcfg workload.TraceConfig) TraceResult {
+	eng := sim.NewEngine()
+	g, hosts, trunks := topology.TwoRack(5, 2, topology.Gbps)
+	net := netsim.New(eng, g)
+	applyOversub(net, trunks, TrialConfig{Oversub: lvl}.defaults())
+
+	var resolver hadoop.PathResolver
+	var sink instrument.Sink = nullSink{}
+	switch scheduler {
+	case ECMP:
+		resolver = ecmp.New(g, 2, 1)
+	case Pythia:
+		ofc := openflow.NewController(eng, net, 0)
+		sink = core.New(eng, net, ofc, core.Config{}.EnableAggregation())
+		resolver = ofc
+	case Hedera:
+		resolver = hedera.New(eng, net, 1, hedera.Config{})
+	default:
+		panic(fmt.Sprintf("bench: unknown scheduler %d", scheduler))
+	}
+	cluster := hadoop.NewCluster(eng, net, hosts, resolver, hadoop.Config{})
+	instrument.Attach(eng, cluster, sink, instrument.Config{})
+
+	trace := workload.SyntheticFacebookTrace(tcfg)
+	jobs := make([]*hadoop.Job, 0, len(trace))
+	for _, tj := range trace {
+		tj := tj
+		eng.At(sim.Time(tj.SubmitAtSec), func() {
+			j, err := cluster.Submit(tj.Spec)
+			if err != nil {
+				panic(fmt.Sprintf("bench: trace submit: %v", err))
+			}
+			jobs = append(jobs, j)
+		})
+	}
+	eng.Run()
+
+	res := TraceResult{Jobs: len(jobs)}
+	var durations []float64
+	var totalTime, totalShuffle float64
+	for _, j := range jobs {
+		if !j.Done {
+			panic("bench: trace job did not complete")
+		}
+		d := float64(j.Duration())
+		durations = append(durations, d)
+		totalTime += d
+		if float64(j.Finished) > res.MakespanSec {
+			res.MakespanSec = float64(j.Finished)
+		}
+		shuffle := float64(j.ShuffleEnd.Sub(j.MapPhaseEnd))
+		if shuffle > 0 {
+			totalShuffle += shuffle
+		}
+	}
+	s := stats.Summarize(durations)
+	res.MeanJobSec = s.Mean
+	res.P95JobSec = s.P95
+	if totalTime > 0 {
+		res.ShuffleFraction = totalShuffle / totalTime
+	}
+	return res
+}
+
+// TraceComparison pairs the replay under ECMP and Pythia.
+type TraceComparison struct {
+	ECMP   TraceResult
+	Pythia TraceResult
+	// MeanJobSpeedup is the paper-style relative improvement on mean job
+	// completion time.
+	MeanJobSpeedup float64
+}
+
+// RunTraceComparison (E13) replays the same trace under both schedulers at
+// the given level.
+func RunTraceComparison(lvl Oversub, seed uint64) TraceComparison {
+	tcfg := workload.TraceConfig{Seed: seed}
+	e := RunTraceReplay(ECMP, lvl, tcfg)
+	p := RunTraceReplay(Pythia, lvl, tcfg)
+	return TraceComparison{
+		ECMP:           e,
+		Pythia:         p,
+		MeanJobSpeedup: stats.Speedup(e.MeanJobSec, p.MeanJobSec),
+	}
+}
+
+// RunTrace (E13) averages the comparison over several trace seeds at 1:10.
+func RunTrace() TraceComparison {
+	var agg TraceComparison
+	n := float64(len(ablationSeeds))
+	for _, seed := range ablationSeeds {
+		c := RunTraceComparison(Oversub{Label: "1:10", Ratio: 10}, seed)
+		agg.ECMP.Jobs = c.ECMP.Jobs
+		agg.Pythia.Jobs = c.Pythia.Jobs
+		agg.ECMP.MakespanSec += c.ECMP.MakespanSec / n
+		agg.Pythia.MakespanSec += c.Pythia.MakespanSec / n
+		agg.ECMP.MeanJobSec += c.ECMP.MeanJobSec / n
+		agg.Pythia.MeanJobSec += c.Pythia.MeanJobSec / n
+		agg.ECMP.P95JobSec += c.ECMP.P95JobSec / n
+		agg.Pythia.P95JobSec += c.Pythia.P95JobSec / n
+		agg.ECMP.ShuffleFraction += c.ECMP.ShuffleFraction / n
+		agg.Pythia.ShuffleFraction += c.Pythia.ShuffleFraction / n
+	}
+	agg.MeanJobSpeedup = stats.Speedup(agg.ECMP.MeanJobSec, agg.Pythia.MeanJobSec)
+	return agg
+}
+
+// FormatTraceComparison renders the E13 result.
+func FormatTraceComparison(c TraceComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== E13: Facebook/SWIM-shaped trace replay (%d jobs, 1:10) ===\n", c.ECMP.Jobs)
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s %16s\n", "sched", "makespan(s)", "mean job(s)", "p95 job(s)", "shuffle fraction")
+	for _, row := range []struct {
+		name string
+		r    TraceResult
+	}{{"ECMP", c.ECMP}, {"Pythia", c.Pythia}} {
+		fmt.Fprintf(&b, "%-8s %12.1f %12.1f %12.1f %15.1f%%\n",
+			row.name, row.r.MakespanSec, row.r.MeanJobSec, row.r.P95JobSec, row.r.ShuffleFraction*100)
+	}
+	fmt.Fprintf(&b, "mean-job speedup: %.1f%% (paper motivation: FB traces spend ~33%% of job time in shuffle)\n",
+		c.MeanJobSpeedup*100)
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"pythia/internal/workload"
+)
+
+func TestTraceReplayCompletesAllJobs(t *testing.T) {
+	tcfg := workload.TraceConfig{Jobs: 10, Seed: 4}
+	res := RunTraceReplay(ECMP, Oversub{"1:10", 10}, tcfg)
+	if res.Jobs != 10 {
+		t.Fatalf("jobs = %d", res.Jobs)
+	}
+	if res.MakespanSec <= 0 || res.MeanJobSec <= 0 || res.P95JobSec < res.MeanJobSec {
+		t.Fatalf("metrics: %+v", res)
+	}
+	if res.ShuffleFraction <= 0 || res.ShuffleFraction >= 1 {
+		t.Fatalf("shuffle fraction = %v", res.ShuffleFraction)
+	}
+}
+
+func TestTraceComparisonPythiaWins(t *testing.T) {
+	c := RunTraceComparison(Oversub{"1:10", 10}, 1)
+	if c.Pythia.MeanJobSec >= c.ECMP.MeanJobSec {
+		t.Fatalf("pythia mean %.1f >= ecmp %.1f", c.Pythia.MeanJobSec, c.ECMP.MeanJobSec)
+	}
+	if c.MeanJobSpeedup <= 0 {
+		t.Fatalf("speedup = %v", c.MeanJobSpeedup)
+	}
+}
+
+func TestTraceShuffleFractionNearFacebook(t *testing.T) {
+	// The trace is calibrated so the ECMP shuffle-time share lands in the
+	// neighborhood of the paper's motivating 33% statistic.
+	c := RunTrace()
+	if c.ECMP.ShuffleFraction < 0.20 || c.ECMP.ShuffleFraction > 0.45 {
+		t.Fatalf("ECMP shuffle fraction = %.1f%%, want ~33%%", c.ECMP.ShuffleFraction*100)
+	}
+	// Pythia shrinks exactly that share.
+	if c.Pythia.ShuffleFraction >= c.ECMP.ShuffleFraction {
+		t.Fatal("Pythia did not reduce the shuffle share")
+	}
+}
+
+func TestTraceDeterministicPerSeed(t *testing.T) {
+	a := RunTraceReplay(Pythia, Oversub{"1:10", 10}, workload.TraceConfig{Jobs: 8, Seed: 9})
+	b := RunTraceReplay(Pythia, Oversub{"1:10", 10}, workload.TraceConfig{Jobs: 8, Seed: 9})
+	if a.MakespanSec != b.MakespanSec || a.MeanJobSec != b.MeanJobSec {
+		t.Fatal("trace replay nondeterministic")
+	}
+}
+
+func TestFormatTraceComparison(t *testing.T) {
+	out := FormatTraceComparison(TraceComparison{
+		ECMP:           TraceResult{Jobs: 5, MakespanSec: 100, MeanJobSec: 20, P95JobSec: 50, ShuffleFraction: 0.33},
+		Pythia:         TraceResult{Jobs: 5, MakespanSec: 90, MeanJobSec: 15, P95JobSec: 40, ShuffleFraction: 0.2},
+		MeanJobSpeedup: 0.33,
+	})
+	for _, want := range []string{"E13", "ECMP", "Pythia", "33.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q", want)
+		}
+	}
+}
+
+func TestRunAllAndMarkdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	rep := RunAll(tinyScale())
+	md := rep.Markdown()
+	for _, want := range []string{
+		"# Pythia reproduction", "Fig. 1a", "Fig. 1b", "Fig. 3", "Fig. 4",
+		"Fig. 5", "E7", "E8", "E9", "E10", "E11", "E13",
+		"A1", "A2", "A3", "A4", "A5", "A6",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	if len(md) < 2000 {
+		t.Fatalf("report suspiciously short: %d bytes", len(md))
+	}
+}

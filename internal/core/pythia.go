@@ -1,0 +1,514 @@
+// Package core implements the paper's primary contribution: the Pythia
+// orchestration entity. It is the collector that ingests shuffle-intent
+// predictions from the per-server instrumentation middleware, the flow
+// aggregation module that folds all mapper→reducer transfers between a
+// server pair into one schedulable entity (TCP ports being unknowable at
+// prediction time), and the network scheduling module that allocates
+// aggregated flows to k-shortest paths with a first-fit bin-packing
+// heuristic — assigning each aggregate to the path with the highest
+// available bandwidth — and installs the corresponding OpenFlow rules.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pythia/internal/instrument"
+	"pythia/internal/netsim"
+	"pythia/internal/openflow"
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// Scope selects the flow-aggregation granularity (§IV): host pairs by
+// default; rack pairs for forwarding-state conservation at scale, where
+// one prefix rule per rack pair steers the inter-rack hop and the default
+// pipeline handles final delivery.
+type Scope int
+
+const (
+	// ScopeHostPair aggregates per (mapper server, reducer server).
+	ScopeHostPair Scope = iota
+	// ScopeRackPair aggregates per (source rack, destination rack).
+	ScopeRackPair
+)
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeHostPair:
+		return "host-pair"
+	case ScopeRackPair:
+		return "rack-pair"
+	}
+	return fmt.Sprintf("Scope(%d)", int(s))
+}
+
+// Config tunes the Pythia controller.
+type Config struct {
+	// K is the number of shortest paths precomputed per host pair
+	// (the paper's k-shortest-paths module; hop-count metric).
+	K int
+	// RulePriority is the OpenFlow priority for Pythia rules (must beat
+	// the default pipeline, which is priority-less here).
+	RulePriority int
+	// Aggregate folds same host-pair demand into one allocation entity
+	// (the paper's flow aggregation module). Disabling it is the A2
+	// ablation: every intent triggers its own allocation, so the pair's
+	// path flaps with each decision.
+	Aggregate bool
+	// Scope selects host-pair (default) or rack-pair aggregation.
+	Scope Scope
+	// UseCriticality orders the bin-packing pass by barrier criticality —
+	// aggregates feeding the reducer with the largest outstanding backlog
+	// get first pick of paths — the §VI flow-priority criterion that
+	// distinguishes Pythia from size-only schemes like FlowComb/Hedera.
+	UseCriticality bool
+	// HorizonSec converts outstanding booked bytes into an equivalent
+	// rate when estimating residual path capacity during packing.
+	HorizonSec float64
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.RulePriority == 0 {
+		c.RulePriority = 100
+	}
+	if c.HorizonSec == 0 {
+		c.HorizonSec = 10
+	}
+	return c
+}
+
+// EnableAggregation returns a config with aggregation on (the default
+// production configuration).
+func (c Config) EnableAggregation() Config { c.Aggregate = true; return c }
+
+type pairKey struct {
+	src, dst topology.NodeID
+}
+
+type flowKey struct {
+	job, mapID, reduce int
+}
+
+// aggregate is one scheduled host-pair (or rack-pair) entity. For rack
+// scope, repSrc/repDst are representative concrete endpoints used to
+// enumerate candidate paths; the installed rule matches the whole rack pair
+// and steers only the inter-switch hops.
+type aggregate struct {
+	key            pairKey
+	repSrc, repDst topology.NodeID
+	path           topology.Path
+	cookie         uint64
+	demandBits     float64 // outstanding predicted demand
+	placed         bool
+	// perReducer tracks outstanding demand by (job, reducer), feeding the
+	// criticality criterion.
+	perReducer map[[2]int]float64
+}
+
+// pendingIntent holds per-reducer demands awaiting reducer placement.
+type pendingIntent struct {
+	intent     instrument.Intent
+	unresolved map[int]float64 // reducer ID -> predicted bytes
+}
+
+// booking records one (job, map, reducer) demand reservation and the
+// endpoints it was charged to.
+type booking struct {
+	bits     float64
+	src, dst topology.NodeID
+}
+
+// Pythia is the controller. It implements instrument.Sink.
+type Pythia struct {
+	eng *sim.Engine
+	net *netsim.Network
+	ofc *openflow.Controller
+	g   *topology.Graph
+	cfg Config
+
+	paths      map[pairKey][]topology.Path
+	pathsVer   uint64
+	reducerLoc map[[2]int]topology.NodeID // (job, reduce) -> host
+	pending    []*pendingIntent
+
+	aggregates map[pairKey]*aggregate
+	booked     map[flowKey]booking // predicted demand per (job,map,reduce)
+	// redBacklog is global outstanding predicted demand per (job,
+	// reducer) — the shuffle-barrier backlog that defines criticality.
+	redBacklog map[[2]int]float64
+	nextCookie uint64
+
+	// Metrics.
+	IntentsReceived   int
+	IntentsDeferred   int // had at least one unknown destination
+	AggregatesPlaced  int
+	Reallocations     int
+	RuleInstallErrors int
+	// FlowsRescued counts in-flight flows rerouted off failed links.
+	FlowsRescued int
+	// DuplicateIntents counts re-predictions for an already-booked
+	// (job, map, reducer) — e.g. from speculative map attempts.
+	DuplicateIntents int
+}
+
+// New wires a Pythia controller to the SDN substrate. Register it as the
+// instrumentation sink and keep the cluster's PathResolver pointed at the
+// OpenFlow controller; Pythia steers traffic purely by installing rules.
+func New(eng *sim.Engine, net *netsim.Network, ofc *openflow.Controller, cfg Config) *Pythia {
+	p := &Pythia{
+		eng:        eng,
+		net:        net,
+		ofc:        ofc,
+		g:          net.Graph(),
+		cfg:        cfg.Defaults(),
+		paths:      make(map[pairKey][]topology.Path),
+		reducerLoc: make(map[[2]int]topology.NodeID),
+		aggregates: make(map[pairKey]*aggregate),
+		booked:     make(map[flowKey]booking),
+		redBacklog: make(map[[2]int]float64),
+		nextCookie: 1,
+	}
+	p.pathsVer = p.g.Version()
+	// Outstanding demand drains as the actual flows complete.
+	net.OnFlowComplete(p.onFlowComplete)
+	// Fault tolerance: recompute the routing graph and re-place every
+	// active aggregate on topology change (§IV).
+	ofc.OnTopologyChange(p.onTopologyChange)
+	return p
+}
+
+var _ instrument.Sink = (*Pythia)(nil)
+
+// aggKey maps concrete endpoints to the aggregation key for the configured
+// scope. Rack scope encodes rack numbers as NodeIDs.
+func (p *Pythia) aggKey(src, dst topology.NodeID) pairKey {
+	if p.cfg.Scope == ScopeRackPair {
+		return pairKey{topology.NodeID(p.g.Node(src).Rack), topology.NodeID(p.g.Node(dst).Rack)}
+	}
+	return pairKey{src, dst}
+}
+
+// kPaths returns (and caches) the k-shortest paths for a pair.
+func (p *Pythia) kPaths(src, dst topology.NodeID) []topology.Path {
+	if p.g.Version() != p.pathsVer {
+		p.paths = make(map[pairKey][]topology.Path)
+		p.pathsVer = p.g.Version()
+	}
+	key := pairKey{src, dst}
+	if ps, ok := p.paths[key]; ok {
+		return ps
+	}
+	ps := p.g.KShortestPaths(src, dst, p.cfg.K)
+	p.paths[key] = ps
+	return ps
+}
+
+// ShuffleIntent ingests one prediction message (instrument.Sink).
+func (p *Pythia) ShuffleIntent(in instrument.Intent) {
+	p.IntentsReceived++
+	pi := &pendingIntent{intent: in, unresolved: make(map[int]float64)}
+	for r, bytes := range in.PredictedWireBytes {
+		if bytes <= 0 {
+			continue
+		}
+		pi.unresolved[r] = bytes
+	}
+	p.resolveIntent(pi)
+	if len(pi.unresolved) > 0 {
+		p.IntentsDeferred++
+		p.pending = append(p.pending, pi)
+	}
+	p.allocate()
+}
+
+// ReducerUp records a reducer's server placement and drains any deferred
+// demand now resolvable (instrument.Sink).
+func (p *Pythia) ReducerUp(up instrument.ReducerUp) {
+	p.reducerLoc[[2]int{up.Job, up.Reduce}] = up.Host
+	remaining := p.pending[:0]
+	for _, pi := range p.pending {
+		p.resolveIntent(pi)
+		if len(pi.unresolved) > 0 {
+			remaining = append(remaining, pi)
+		}
+	}
+	for i := len(remaining); i < len(p.pending); i++ {
+		p.pending[i] = nil
+	}
+	p.pending = remaining
+	p.allocate()
+}
+
+// resolveIntent moves resolvable per-reducer demand into pair aggregates.
+func (p *Pythia) resolveIntent(pi *pendingIntent) {
+	in := pi.intent
+	var done []int
+	for r, bytes := range pi.unresolved {
+		dst, ok := p.reducerLoc[[2]int{in.Job, r}]
+		if !ok {
+			continue
+		}
+		done = append(done, r)
+		if dst == in.SrcHost {
+			continue // local fetch; never touches the fabric
+		}
+		if p.cfg.Scope == ScopeRackPair && p.g.Node(dst).Rack == p.g.Node(in.SrcHost).Rack {
+			continue // intra-rack: single ToR hop, nothing to steer
+		}
+		bits := bytes * 8
+		fk := flowKey{in.Job, in.Map, r}
+		if prev, dup := p.booked[fk]; dup {
+			// Duplicate intent for the same (job, map, reducer) — e.g. a
+			// speculative map attempt spilled a second copy on another
+			// server. Only one attempt's output is fetched, so keep a
+			// single booking (replace, don't add).
+			p.DuplicateIntents++
+			p.unbook(fk, prev)
+		}
+		p.booked[fk] = booking{bits: bits, src: in.SrcHost, dst: dst}
+		p.redBacklog[[2]int{in.Job, r}] += bits
+		key := p.aggKey(in.SrcHost, dst)
+		agg := p.aggregates[key]
+		if agg == nil {
+			agg = &aggregate{key: key, repSrc: in.SrcHost, repDst: dst,
+				perReducer: make(map[[2]int]float64)}
+			p.aggregates[key] = agg
+		}
+		agg.demandBits += bits
+		agg.perReducer[[2]int{in.Job, r}] += bits
+		if !p.cfg.Aggregate {
+			// Ablation: every new demand forces a fresh placement
+			// decision for the pair.
+			agg.placed = false
+		}
+	}
+	sort.Ints(done)
+	for _, r := range done {
+		delete(pi.unresolved, r)
+	}
+}
+
+// PendingUnknownDestinations reports intents still awaiting reducer
+// placement.
+func (p *Pythia) PendingUnknownDestinations() int { return len(p.pending) }
+
+// OutstandingDemandBits sums booked-but-undelivered predicted demand.
+func (p *Pythia) OutstandingDemandBits() float64 {
+	total := 0.0
+	for _, a := range p.aggregates {
+		total += a.demandBits
+	}
+	return total
+}
+
+// allocate runs the first-fit bin-packing pass: unplaced aggregates in
+// descending demand order, each assigned to the k-shortest path with the
+// highest available bandwidth given background estimates and already-booked
+// shuffle demand.
+func (p *Pythia) allocate() {
+	var todo []*aggregate
+	for _, a := range p.aggregates {
+		if !a.placed && a.demandBits > 0 {
+			todo = append(todo, a)
+		}
+	}
+	if len(todo) == 0 {
+		return
+	}
+	crit := func(a *aggregate) float64 {
+		max := 0.0
+		for jr := range a.perReducer {
+			if b := p.redBacklog[jr]; b > max {
+				max = b
+			}
+		}
+		return max
+	}
+	sort.Slice(todo, func(i, j int) bool {
+		if p.cfg.UseCriticality {
+			ci, cj := crit(todo[i]), crit(todo[j])
+			if ci != cj {
+				return ci > cj
+			}
+		}
+		if todo[i].demandBits != todo[j].demandBits {
+			return todo[i].demandBits > todo[j].demandBits
+		}
+		if todo[i].key.src != todo[j].key.src {
+			return todo[i].key.src < todo[j].key.src
+		}
+		return todo[i].key.dst < todo[j].key.dst
+	})
+	for _, a := range todo {
+		paths := p.kPaths(a.repSrc, a.repDst)
+		if len(paths) == 0 {
+			continue // unroutable; leave to the default pipeline
+		}
+		best := paths[0]
+		bestScore := p.pathScore(paths[0], a)
+		for _, cand := range paths[1:] {
+			if s := p.pathScore(cand, a); s > bestScore {
+				best, bestScore = cand, s
+			}
+		}
+		p.place(a, best)
+	}
+}
+
+// pathScore estimates the bandwidth an aggregate would receive on a path:
+// the minimum over links of the Hadoop-available capacity (nominal minus
+// estimated background), shared demand-proportionally with the other
+// aggregates booked there. Demand weighting makes heavy pairs spread even
+// when all paths are equally loaded.
+func (p *Pythia) pathScore(path topology.Path, self *aggregate) float64 {
+	selfDemand := self.demandBits
+	if selfDemand <= 0 {
+		selfDemand = 1
+	}
+	score := 0.0
+	for i, l := range path.Links {
+		sample := p.ofc.LinkLoad(l)
+		lk := p.g.Link(l)
+		usedBps := sample.Utilization * lk.CapacityBps
+		backgroundBps := usedBps - sample.ShuffleBps
+		if backgroundBps < 0 {
+			backgroundBps = 0
+		}
+		spare := lk.CapacityBps - backgroundBps
+		if spare < 0 {
+			spare = 0
+		}
+		// Share the spare capacity with aggregates already booked on
+		// this link (self excluded), in proportion to predicted demand.
+		otherDemand := 0.0
+		for _, other := range p.aggregates {
+			if other == self || !other.placed || other.demandBits <= 0 {
+				continue
+			}
+			for _, ol := range other.path.Links {
+				if ol == l {
+					otherDemand += other.demandBits
+					break
+				}
+			}
+		}
+		linkScore := spare * selfDemand / (selfDemand + otherDemand)
+		if i == 0 || linkScore < score {
+			score = linkScore
+		}
+	}
+	return score
+}
+
+// place books the aggregate onto the path and installs its rules. An
+// aggregate already holding rules for a different path is re-installed.
+func (p *Pythia) place(a *aggregate, path topology.Path) {
+	samePath := a.placed && a.path.Equal(path)
+	if a.cookie != 0 && !samePath {
+		p.ofc.RemovePath(a.cookie)
+		a.cookie = 0
+		p.Reallocations++
+	}
+	a.path = path
+	a.placed = true
+	p.AggregatesPlaced++
+	if a.cookie == 0 {
+		cookie := p.nextCookie
+		p.nextCookie++
+		a.cookie = cookie
+		onDone := func(err error) {
+			if err != nil {
+				p.RuleInstallErrors++
+			}
+		}
+		if p.cfg.Scope == ScopeRackPair {
+			match := openflow.RackPair(int(a.key.src), int(a.key.dst))
+			p.ofc.InstallSteering(match, path, p.cfg.RulePriority, cookie, onDone)
+		} else {
+			match := openflow.HostPair(a.key.src, a.key.dst)
+			p.ofc.InstallPath(match, path, p.cfg.RulePriority, cookie, onDone)
+		}
+	}
+}
+
+// onFlowComplete drains delivered demand and releases rules for pairs whose
+// demand has emptied (keeping TCAM occupancy proportional to active work).
+func (p *Pythia) onFlowComplete(f *netsim.Flow) {
+	if f.Kind != netsim.Shuffle {
+		return
+	}
+	key := flowKey{f.Job, f.Map, f.Reduce}
+	b, ok := p.booked[key]
+	if !ok {
+		return
+	}
+	delete(p.booked, key)
+	p.unbook(key, b)
+}
+
+// unbook reverses one booking: drains the reducer backlog and the owning
+// aggregate, releasing the aggregate's rules when its demand empties.
+func (p *Pythia) unbook(key flowKey, b booking) {
+	jr := [2]int{key.job, key.reduce}
+	if p.redBacklog[jr] -= b.bits; p.redBacklog[jr] <= 1 {
+		delete(p.redBacklog, jr)
+	}
+	agg := p.aggregates[p.aggKey(b.src, b.dst)]
+	if agg == nil {
+		return
+	}
+	agg.demandBits -= b.bits
+	if agg.perReducer[jr] -= b.bits; agg.perReducer[jr] <= 1 {
+		delete(agg.perReducer, jr)
+	}
+	if agg.demandBits <= 1 { // float dust
+		agg.demandBits = 0
+		if agg.cookie != 0 {
+			p.ofc.RemovePath(agg.cookie)
+		}
+		delete(p.aggregates, agg.key)
+	}
+}
+
+// onTopologyChange recomputes routing, re-places every live aggregate, and
+// reroutes in-flight shuffle flows stranded on failed links (§IV fault
+// tolerance: the routing graph is rebuilt from topology-update events).
+func (p *Pythia) onTopologyChange() {
+	p.paths = make(map[pairKey][]topology.Path)
+	p.pathsVer = p.g.Version()
+	for _, a := range p.aggregates {
+		if a.demandBits <= 0 {
+			continue
+		}
+		// Invalid paths (through failed links) must move; valid ones are
+		// re-scored too, since spare capacity shifted.
+		a.placed = false
+	}
+	p.allocate()
+	// Rescue stranded in-flight flows: move them onto their pair's new
+	// path (or the best current shortest path if the pair has drained).
+	for _, f := range p.net.ActiveList() {
+		if f.Kind != netsim.Shuffle || len(f.Path.Links) == 0 {
+			continue
+		}
+		if f.Path.Valid(p.g) == nil {
+			continue // still routable
+		}
+		var target topology.Path
+		agg := p.aggregates[p.aggKey(f.Tuple.SrcHost, f.Tuple.DstHost)]
+		if agg != nil && agg.placed && p.cfg.Scope == ScopeHostPair {
+			target = agg.path
+		} else if ps := p.kPaths(f.Tuple.SrcHost, f.Tuple.DstHost); len(ps) > 0 {
+			target = ps[0]
+		} else {
+			continue // pair disconnected; flow stays starved
+		}
+		p.net.Reroute(f, target)
+		p.FlowsRescued++
+	}
+}

@@ -1,0 +1,115 @@
+// Package ecmp implements the paper's baseline flow-allocation scheme:
+// Equal-Cost Multi-Pathing. As in the paper's own implementation, a flow's
+// five-tuple is hashed and the flow is assigned a path by a modulus
+// computation over the number of available paths in the routing graph
+// (cf. RFC 2992). The hash is load-unaware: two elephant flows can land on
+// the same congested path while an alternative sits idle — the adversarial
+// case of Fig. 1b.
+package ecmp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"pythia/internal/netsim"
+	"pythia/internal/topology"
+)
+
+// Allocator assigns paths by five-tuple hash over the k-shortest paths of
+// each host pair. Path sets are computed lazily per pair and cached until
+// the topology version changes (the paper recomputes the routing graph only
+// on topology events, keeping routing computation off the data path).
+type Allocator struct {
+	g     *topology.Graph
+	k     int
+	seed  uint64
+	cache map[[2]topology.NodeID][]topology.Path
+	ver   uint64
+}
+
+// New returns an ECMP allocator over the k shortest paths per pair. The
+// seed perturbs the hash so experiments can sample different (deterministic)
+// hash placements, emulating different TCP source ports across job runs.
+func New(g *topology.Graph, k int, seed uint64) *Allocator {
+	if k <= 0 {
+		panic("ecmp: k must be positive")
+	}
+	return &Allocator{
+		g:     g,
+		k:     k,
+		seed:  seed,
+		cache: make(map[[2]topology.NodeID][]topology.Path),
+		ver:   g.Version(),
+	}
+}
+
+// Paths returns the cached equal-cost path set for a host pair.
+func (a *Allocator) Paths(src, dst topology.NodeID) []topology.Path {
+	if a.g.Version() != a.ver {
+		a.cache = make(map[[2]topology.NodeID][]topology.Path)
+		a.ver = a.g.Version()
+	}
+	key := [2]topology.NodeID{src, dst}
+	if ps, ok := a.cache[key]; ok {
+		return ps
+	}
+	all := a.g.KShortestPaths(src, dst, a.k)
+	// ECMP only spreads over equal-cost (same hop count) paths.
+	var eq []topology.Path
+	for _, p := range all {
+		if p.Hops() == all[0].Hops() {
+			eq = append(eq, p)
+		}
+	}
+	a.cache[key] = eq
+	return eq
+}
+
+// Hash computes the flow hash used for the modulus path selection.
+func (a *Allocator) Hash(t netsim.FiveTuple) uint64 {
+	h := fnv.New64a()
+	var buf [21]byte
+	binary.BigEndian.PutUint64(buf[0:8], a.seed)
+	binary.BigEndian.PutUint32(buf[8:12], uint32(t.SrcHost))
+	binary.BigEndian.PutUint32(buf[12:16], uint32(t.DstHost))
+	binary.BigEndian.PutUint16(buf[16:18], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[18:20], t.DstPort)
+	buf[20] = t.Protocol
+	h.Write(buf[:])
+	// FNV-1a's low bits are parity-linear in the input bytes, which biases
+	// a small modulus (e.g. 2 trunk paths). Finalize with an avalanche mix
+	// so every output bit depends on every input byte.
+	return mix(h.Sum64())
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Resolve picks the path for a flow: hash(five-tuple) mod |paths|. It
+// returns false when the pair is disconnected. Same-host pairs resolve to
+// the zero-hop local path.
+func (a *Allocator) Resolve(t netsim.FiveTuple) (topology.Path, bool) {
+	if t.SrcHost == t.DstHost {
+		return topology.Path{Src: t.SrcHost, Dst: t.DstHost}, true
+	}
+	ps := a.Paths(t.SrcHost, t.DstHost)
+	if len(ps) == 0 {
+		return topology.Path{}, false
+	}
+	return ps[a.Hash(t)%uint64(len(ps))], true
+}
+
+// ResolveShuffle adapts Resolve to the hadoop.PathResolver interface, making
+// plain ECMP usable directly as the cluster's flow allocator (the paper's
+// baseline configuration).
+func (a *Allocator) ResolveShuffle(t netsim.FiveTuple) (topology.Path, error) {
+	p, ok := a.Resolve(t)
+	if !ok {
+		return topology.Path{}, fmt.Errorf("ecmp: no path %d -> %d", t.SrcHost, t.DstHost)
+	}
+	return p, nil
+}

@@ -1,0 +1,54 @@
+package ecmp
+
+import (
+	"fmt"
+
+	"pythia/internal/netsim"
+	"pythia/internal/topology"
+)
+
+// RoundRobin is the simplest alternative flow-allocation module (§IV notes
+// Pythia's design is "modular enough to support further flow scheduling
+// algorithms"): it deals each host pair's successive flows across the
+// equal-cost path set in rotation. Unlike hash-based ECMP it cannot collide
+// an unlucky pair of elephants on the same path twice in a row, but it is
+// still load- and application-unaware.
+type RoundRobin struct {
+	alloc *Allocator
+	next  map[[2]topology.NodeID]int
+}
+
+// NewRoundRobin builds the allocator over the k shortest equal-cost paths
+// per pair.
+func NewRoundRobin(g *topology.Graph, k int) *RoundRobin {
+	return &RoundRobin{
+		alloc: New(g, k, 0),
+		next:  make(map[[2]topology.NodeID]int),
+	}
+}
+
+// Resolve deals the pair's next equal-cost path. Note that unlike hashing,
+// resolution is stateful: the same five-tuple maps to different paths on
+// successive calls.
+func (r *RoundRobin) Resolve(t netsim.FiveTuple) (topology.Path, bool) {
+	if t.SrcHost == t.DstHost {
+		return topology.Path{Src: t.SrcHost, Dst: t.DstHost}, true
+	}
+	ps := r.alloc.Paths(t.SrcHost, t.DstHost)
+	if len(ps) == 0 {
+		return topology.Path{}, false
+	}
+	key := [2]topology.NodeID{t.SrcHost, t.DstHost}
+	idx := r.next[key] % len(ps)
+	r.next[key]++
+	return ps[idx], true
+}
+
+// ResolveShuffle adapts Resolve to hadoop.PathResolver.
+func (r *RoundRobin) ResolveShuffle(t netsim.FiveTuple) (topology.Path, error) {
+	p, ok := r.Resolve(t)
+	if !ok {
+		return topology.Path{}, fmt.Errorf("roundrobin: no path %d -> %d", t.SrcHost, t.DstHost)
+	}
+	return p, nil
+}

@@ -1,0 +1,230 @@
+package instrument
+
+import (
+	"fmt"
+
+	"pythia/internal/hadoop"
+	"pythia/internal/mgmtnet"
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// Intent is a shuffle-intent prediction: after map Map of job Job finished
+// on SrcHost, PredictedWireBytes[r] bytes are expected to flow from SrcHost
+// to whichever server will run reducer r. Reducer locations are not part of
+// the message — the collector resolves them, possibly later (destination
+// back-fill).
+type Intent struct {
+	Job     int
+	Map     int
+	SrcHost topology.NodeID
+	// PredictedWireBytes is indexed by reducer ID.
+	PredictedWireBytes []float64
+	// MapFinishedAt is the spill instant; EmittedAt is when the collector
+	// receives the message. EmittedAt - MapFinishedAt is the
+	// instrumentation latency.
+	MapFinishedAt sim.Time
+	EmittedAt     sim.Time
+}
+
+// ReducerUp announces that reducer Reduce of job Job was started on Host —
+// the event the collector uses to fill in unknown flow destinations.
+type ReducerUp struct {
+	Job    int
+	Reduce int
+	Host   topology.NodeID
+	At     sim.Time
+}
+
+// Sink receives instrumentation messages; Pythia's collector implements it.
+type Sink interface {
+	ShuffleIntent(Intent)
+	ReducerUp(ReducerUp)
+}
+
+// Config tunes the middleware's latency and overhead model.
+type Config struct {
+	// FSNotifyDelay is the gap between spill write and the filesystem
+	// notification reaching the monitor.
+	FSNotifyDelay sim.Duration
+	// DecodeBase + DecodePerPartition model index-file analysis time.
+	DecodeBase         sim.Duration
+	DecodePerPartition sim.Duration
+	// MgmtLatency is the one-way management-network delay to the
+	// collector (out-of-band, so it never contends with shuffle data).
+	// Ignored when Mgmt is set.
+	MgmtLatency sim.Duration
+	// Mgmt, when non-nil, carries control messages over an explicit
+	// management-network model (per-sender serialization and queueing)
+	// instead of the fixed MgmtLatency.
+	Mgmt *mgmtnet.Network
+	// PredictOverheadFactor converts decoded on-disk partition bytes into
+	// predicted wire bytes. The paper derives it from known protocol
+	// header sizes; slight overestimation (3–7% in Fig. 5) is expected
+	// and safe.
+	PredictOverheadFactor float64
+	// DCCPUFraction is the constant monitoring CPU cost per server;
+	// SpikeCPUSec is the per-spill index-analysis burst (§V-C: total
+	// 2–5% CPU).
+	DCCPUFraction float64
+	SpikeCPUSec   float64
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.FSNotifyDelay == 0 {
+		c.FSNotifyDelay = 20 * sim.Millisecond
+	}
+	if c.DecodeBase == 0 {
+		c.DecodeBase = 5 * sim.Millisecond
+	}
+	if c.DecodePerPartition == 0 {
+		c.DecodePerPartition = 0.2 * sim.Millisecond
+	}
+	if c.MgmtLatency == 0 {
+		c.MgmtLatency = 1 * sim.Millisecond
+	}
+	if c.PredictOverheadFactor == 0 {
+		c.PredictOverheadFactor = 1.08
+	}
+	if c.DCCPUFraction == 0 {
+		c.DCCPUFraction = 0.02
+	}
+	if c.SpikeCPUSec == 0 {
+		c.SpikeCPUSec = 0.03
+	}
+	return c
+}
+
+// Middleware is the fleet of per-server monitors. One Middleware instance
+// serves a whole simulated cluster (monitors share no state in the real
+// system; here the aggregation is just bookkeeping).
+type Middleware struct {
+	eng  *sim.Engine
+	cfg  Config
+	sink Sink
+
+	// overhead accounting
+	attachedAt sim.Time
+	spills     map[topology.NodeID]int
+	hosts      []topology.NodeID
+
+	// IntentsSent counts prediction messages (network overhead analysis).
+	IntentsSent int
+	// BytesOnMgmt estimates control bytes on the management network.
+	BytesOnMgmt float64
+}
+
+// Attach wires a middleware onto a cluster: every tasktracker host gets a
+// monitor; predictions and reducer-up events flow to sink. Attach must be
+// called before the first job is submitted.
+func Attach(eng *sim.Engine, cluster *hadoop.Cluster, sink Sink, cfg Config) *Middleware {
+	if sink == nil {
+		panic("instrument: nil sink")
+	}
+	m := &Middleware{
+		eng:        eng,
+		cfg:        cfg.Defaults(),
+		sink:       sink,
+		attachedAt: eng.Now(),
+		spills:     make(map[topology.NodeID]int),
+		hosts:      cluster.Hosts(),
+	}
+	cluster.OnMapFinished(func(j *hadoop.Job, task *hadoop.MapTask, partitions []float64) {
+		m.onSpill(cluster, j, task, partitions)
+	})
+	cluster.OnReduceScheduled(func(j *hadoop.Job, r *hadoop.ReduceTask) {
+		host := cluster.HostOf(r.Tracker)
+		// Reducer-init detection rides the monitor's tasktracker watch;
+		// delivery to the collector costs one management-network hop.
+		up := ReducerUp{Job: j.ID, Reduce: r.ID, Host: host, At: eng.Now()}
+		m.send(host, 64, func() { m.sink.ReducerUp(up) })
+	})
+	return m
+}
+
+// send delivers a control message to the collector over the configured
+// management path (explicit network model or fixed latency).
+func (m *Middleware) send(from topology.NodeID, bytes float64, deliver func()) {
+	m.BytesOnMgmt += bytes
+	if m.cfg.Mgmt != nil {
+		m.cfg.Mgmt.Send(from, bytes, deliver)
+		return
+	}
+	m.eng.After(m.cfg.MgmtLatency, deliver)
+}
+
+// onSpill models the full prediction pipeline for one finished map:
+// FS notification → index decode → predict → send.
+func (m *Middleware) onSpill(cluster *hadoop.Cluster, j *hadoop.Job, task *hadoop.MapTask, partitions []float64) {
+	host := cluster.HostOf(task.Tracker)
+	finished := m.eng.Now()
+	m.spills[host]++
+
+	// The Hadoop runtime wrote the spill and its index; encode the real
+	// bytes the monitor will read.
+	encoded := BuildIndex(partitions).Encode()
+
+	delay := m.cfg.FSNotifyDelay +
+		m.cfg.DecodeBase +
+		sim.Duration(float64(m.cfg.DecodePerPartition)*float64(len(partitions)))
+	m.eng.After(delay, func() {
+		idx, err := DecodeIndex(encoded)
+		if err != nil {
+			// A real deployment would log and skip; in simulation this
+			// is a programming error.
+			panic(fmt.Sprintf("instrument: decode failed: %v", err))
+		}
+		pred := make([]float64, len(idx.Segments))
+		for r, seg := range idx.Segments {
+			pred[r] = float64(seg.PartLength) * m.cfg.PredictOverheadFactor
+		}
+		intent := Intent{
+			Job:                j.ID,
+			Map:                task.ID,
+			SrcHost:            host,
+			PredictedWireBytes: pred,
+			MapFinishedAt:      finished,
+		}
+		m.IntentsSent++
+		m.send(host, float64(32+8*len(pred)), func() {
+			intent.EmittedAt = m.eng.Now()
+			m.sink.ShuffleIntent(intent)
+		})
+	})
+}
+
+// OverheadReport summarizes the §V-C instrumentation cost model.
+type OverheadReport struct {
+	// MeanCPUFraction is the average per-server CPU fraction consumed
+	// (constant monitoring + per-spill spikes).
+	MeanCPUFraction float64
+	// MaxCPUFraction is the worst server.
+	MaxCPUFraction float64
+	// Spills is the total number of index analyses performed.
+	Spills int
+	// MgmtBytes is control traffic placed on the management network.
+	MgmtBytes float64
+}
+
+// Overhead computes the report over the window since Attach. It returns a
+// zero report if no time has elapsed.
+func (m *Middleware) Overhead() OverheadReport {
+	elapsed := float64(m.eng.Now().Sub(m.attachedAt))
+	rep := OverheadReport{MgmtBytes: m.BytesOnMgmt}
+	if elapsed <= 0 {
+		return rep
+	}
+	var sum, max float64
+	for _, h := range m.hosts {
+		cpu := m.cfg.DCCPUFraction + float64(m.spills[h])*m.cfg.SpikeCPUSec/elapsed
+		sum += cpu
+		if cpu > max {
+			max = cpu
+		}
+		rep.Spills += m.spills[h]
+	}
+	rep.MeanCPUFraction = sum / float64(len(m.hosts))
+	rep.MaxCPUFraction = max
+	return rep
+}

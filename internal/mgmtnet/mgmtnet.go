@@ -1,0 +1,97 @@
+// Package mgmtnet models the management network of §III: a physically
+// distinct, lower-bisection network (a star through one management switch)
+// interconnecting all servers, switches and the controller. It carries the
+// out-of-band control plane — Pythia's prediction notifications, reducer-up
+// events, and OpenFlow control messages — so that control traffic never
+// disrupts application data traffic, while still being subject to its own
+// serialization and queueing.
+//
+// The model is intentionally simple and conservative: per-endpoint
+// half-duplex serialization at LinkBps plus a propagation delay, with FIFO
+// queueing per sender. That captures the failure mode that matters (control
+// bursts queueing behind each other at message granularity) without a
+// second full fluid simulation.
+package mgmtnet
+
+import (
+	"fmt"
+
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// Config shapes the management network.
+type Config struct {
+	// LinkBps is each endpoint's management-port rate (the paper notes
+	// this network is "typically of much lower bisection and cost";
+	// 100 Mbps management ports were the norm). Default 100 Mbps.
+	LinkBps float64
+	// PropagationDelay is the fixed one-way latency floor. Default 0.5 ms.
+	PropagationDelay sim.Duration
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.LinkBps == 0 {
+		c.LinkBps = 100e6
+	}
+	if c.PropagationDelay == 0 {
+		c.PropagationDelay = 0.5 * sim.Millisecond
+	}
+	return c
+}
+
+// Network is the management fabric.
+type Network struct {
+	eng *sim.Engine
+	cfg Config
+
+	// busyUntil serializes each sender's management port.
+	busyUntil map[topology.NodeID]sim.Time
+
+	// Messages and Bytes count delivered traffic.
+	Messages uint64
+	Bytes    float64
+	// MaxQueueDelay tracks the worst serialization wait observed.
+	MaxQueueDelay sim.Duration
+}
+
+// New builds a management network on the engine.
+func New(eng *sim.Engine, cfg Config) *Network {
+	return &Network{
+		eng:       eng,
+		cfg:       cfg.Defaults(),
+		busyUntil: make(map[topology.NodeID]sim.Time),
+	}
+}
+
+// Send transmits a control message of the given size from the sender's
+// management port, invoking deliver when it arrives at the collector /
+// controller. Messages from one sender serialize FIFO; bytes must be
+// positive.
+func (n *Network) Send(from topology.NodeID, bytes float64, deliver func()) {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("mgmtnet: message of %v bytes", bytes))
+	}
+	now := n.eng.Now()
+	start := n.busyUntil[from]
+	if start < now {
+		start = now
+	}
+	queueDelay := start.Sub(now)
+	if queueDelay > n.MaxQueueDelay {
+		n.MaxQueueDelay = queueDelay
+	}
+	txTime := sim.Duration(bytes * 8 / n.cfg.LinkBps)
+	done := start.Add(txTime)
+	n.busyUntil[from] = done
+	n.Messages++
+	n.Bytes += bytes
+	n.eng.At(done.Add(n.cfg.PropagationDelay), deliver)
+}
+
+// Latency reports the no-queue delivery latency for a message size — handy
+// for tests and capacity planning.
+func (n *Network) Latency(bytes float64) sim.Duration {
+	return sim.Duration(bytes*8/n.cfg.LinkBps) + n.cfg.PropagationDelay
+}

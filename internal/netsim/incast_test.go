@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"pythia/internal/sim"
+)
+
+// TCP-incast goodput-collapse model tests.
+
+func TestIncastDisabledByDefault(t *testing.T) {
+	eng, n, hosts, _ := testbed()
+	// 8 senders converge on host5.
+	var done sim.Time
+	for i := 0; i < 4; i++ {
+		p := pathOf(t, n, hosts[i], hosts[5], 0)
+		n.StartFlow(tup(hosts[i], hosts[5], uint16(i), 1), Shuffle, p, 0.25e9, 0, i, 0,
+			func(f *Flow) { done = f.Finished() })
+	}
+	eng.Run()
+	// 1 Gbit total into a 1 Gbps edge: exactly 1 s without incast.
+	if math.Abs(float64(done)-1) > 1e-6 {
+		t.Fatalf("finish = %v, want 1s", done)
+	}
+}
+
+func TestIncastDegradesConvergence(t *testing.T) {
+	eng, n, hosts, _ := testbed()
+	n.EnableIncast(2, 0.1, 0.3) // beyond 2 concurrent senders: -10% each
+	var done sim.Time
+	for i := 0; i < 4; i++ {
+		p := pathOf(t, n, hosts[i], hosts[5], 0)
+		n.StartFlow(tup(hosts[i], hosts[5], uint16(i), 1), Shuffle, p, 0.25e9, 0, i, 0,
+			func(f *Flow) { done = f.Finished() })
+	}
+	eng.Run()
+	// 4 senders: 2 extra -> capacity 0.8 Gbps while all run; finish later
+	// than 1 s (capacity recovers as flows drain, so < 1/0.8 + slack).
+	if float64(done) <= 1.0 {
+		t.Fatalf("incast had no effect: %v", done)
+	}
+	if float64(done) > 1.5 {
+		t.Fatalf("incast collapse too strong: %v", done)
+	}
+}
+
+func TestIncastFloor(t *testing.T) {
+	eng, n, hosts, _ := testbed()
+	n.EnableIncast(1, 0.5, 0.4) // brutal factor, floor at 40%
+	for i := 0; i < 4; i++ {
+		p := pathOf(t, n, hosts[i], hosts[5], 0)
+		n.StartFlow(tup(hosts[i], hosts[5], uint16(i), 1), Shuffle, p, 1e9, 0, i, 0, nil)
+	}
+	eng.RunUntil(0.001)
+	// Receiver edge capacity floored at 0.4 Gbps -> 0.1 Gbps per flow.
+	sum := 0.0
+	for _, f := range n.ActiveList() {
+		sum += f.Rate()
+	}
+	if math.Abs(sum-0.4e9) > 1 {
+		t.Fatalf("aggregate rate = %v, want floor 0.4 Gbps", sum)
+	}
+}
+
+func TestIncastOnlyAtTerminalHop(t *testing.T) {
+	// Transit links (trunks) must not degrade: 4 flows THROUGH a trunk to
+	// 4 different receivers keep full trunk capacity.
+	eng, n, hosts, _ := testbed()
+	n.EnableIncast(2, 0.2, 0.3)
+	for i := 0; i < 4; i++ {
+		p := pathOf(t, n, hosts[i], hosts[5+i], 0)
+		n.StartFlow(tup(hosts[i], hosts[5+i], uint16(i), 1), Shuffle, p, 1e9, 0, i, 0, nil)
+	}
+	eng.RunUntil(0.001)
+	sum := 0.0
+	for _, f := range n.ActiveList() {
+		sum += f.Rate()
+	}
+	// All share one trunk (path index 0): 1 Gbps aggregate, undegraded.
+	if math.Abs(sum-1e9) > 1 {
+		t.Fatalf("aggregate = %v, want 1 Gbps (no transit incast)", sum)
+	}
+}
+
+func TestEnableIncastValidation(t *testing.T) {
+	_, n, _, _ := testbed()
+	for _, bad := range [][3]float64{{1, 1.0, 0.5}, {1, -0.1, 0.5}, {1, 0.1, 0}, {1, 0.1, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("params %v did not panic", bad)
+				}
+			}()
+			n.EnableIncast(int(bad[0]), bad[1], bad[2])
+		}()
+	}
+}

@@ -1,0 +1,585 @@
+// Package netsim is a flow-level (fluid) simulator of a multi-path
+// datacenter network. TCP flows share each link with max-min fairness,
+// recomputed at every flow arrival and departure; constant-bit-rate
+// background traffic (the paper's iperf UDP streams used to emulate
+// oversubscription) is unresponsive and consumes its configured rate off the
+// top of each link it crosses.
+//
+// Path selection is deliberately external: the ECMP baseline, the
+// Hedera-like baseline and the Pythia scheduler all inject flows with a
+// chosen topology.Path, so the network model stays policy-free.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// FlowID identifies a flow within one Network.
+type FlowID int
+
+// FlowKind tags what a flow carries, for accounting and for the NetFlow
+// measurement substrate.
+type FlowKind int
+
+const (
+	// Shuffle is Hadoop intermediate-data movement (the flows Pythia
+	// schedules).
+	Shuffle FlowKind = iota
+	// Background is other datacenter traffic.
+	Background
+	// Control is Pythia/OpenFlow control-plane traffic (carried on the
+	// management network in the paper; modeled for overhead accounting).
+	Control
+	// Storage is HDFS block movement (replication pipelines, remote
+	// reads) — data traffic that Pythia does not schedule.
+	Storage
+)
+
+func (k FlowKind) String() string {
+	switch k {
+	case Shuffle:
+		return "shuffle"
+	case Background:
+		return "background"
+	case Control:
+		return "control"
+	case Storage:
+		return "storage"
+	}
+	return fmt.Sprintf("FlowKind(%d)", int(k))
+}
+
+// FiveTuple is the classical flow identity. Pythia cannot know DstPort at
+// prediction time (assigned at socket bind), which is why its rules match on
+// host pairs; the ECMP baseline hashes the full tuple.
+type FiveTuple struct {
+	SrcHost  topology.NodeID
+	DstHost  topology.NodeID
+	SrcPort  uint16
+	DstPort  uint16
+	Protocol uint8
+}
+
+// Flow is a finite-size data transfer in flight.
+type Flow struct {
+	ID    FlowID
+	Tuple FiveTuple
+	Kind  FlowKind
+	Path  topology.Path
+	// SizeBits is the total volume to move.
+	SizeBits float64
+	// Labels let upper layers (Hadoop, Pythia) attach identity.
+	Job, Map, Reduce int
+
+	rate        float64 // current allocated bps
+	remaining   float64
+	transferred float64
+	started     sim.Time
+	finished    sim.Time
+	done        bool
+	onComplete  func(*Flow)
+}
+
+// Rate returns the current max-min allocated rate in bps (valid between
+// recomputations).
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bits still to transfer.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Transferred returns bits moved so far.
+func (f *Flow) Transferred() float64 { return f.transferred }
+
+// Started returns the flow start time.
+func (f *Flow) Started() sim.Time { return f.started }
+
+// Finished returns the completion time; valid only when Done.
+func (f *Flow) Finished() sim.Time { return f.finished }
+
+// Done reports completion.
+func (f *Flow) Done() bool { return f.done }
+
+// Duration returns the flow completion time minus start time; valid only
+// when Done.
+func (f *Flow) Duration() sim.Duration { return f.finished.Sub(f.started) }
+
+// Network simulates the data network over a topology graph.
+type Network struct {
+	eng *sim.Engine
+	g   *topology.Graph
+
+	nextID  FlowID
+	active  map[FlowID]*Flow
+	history []*Flow
+
+	// background CBR load per link, bps.
+	background map[topology.LinkID]float64
+
+	// accounting
+	lastAdvance   sim.Time
+	linkBits      map[topology.LinkID]float64 // data bits carried (excl. background)
+	hostTxBits    map[topology.NodeID]float64 // bits sourced per host (shuffle only)
+	completionFns []func(*Flow)
+
+	// localBps is the rate for zero-hop flows (source and sink on the
+	// same server: a reducer fetching from a co-located mapper goes over
+	// loopback/local disk, not the fabric).
+	localBps float64
+
+	// Incast models TCP throughput collapse at many-to-one convergence
+	// points (Chen et al., the paper's TCP-incast citation): when more
+	// than incastThreshold flows terminate at one receiving edge link,
+	// that link's usable capacity degrades by incastFactor per extra
+	// flow, floored at incastFloor of nominal. Disabled by default.
+	incastThreshold int
+	incastFactor    float64
+	incastFloor     float64
+
+	completeEvent *sim.Event
+}
+
+// EnableIncast turns on the many-to-one goodput-collapse model: beyond
+// threshold concurrent flows into one receiver link, capacity shrinks by
+// factor per additional flow (e.g. 0.05 = 5%), floored at floorFrac of
+// nominal. Pass threshold <= 0 to disable.
+func (n *Network) EnableIncast(threshold int, factor, floorFrac float64) {
+	if factor < 0 || factor >= 1 || floorFrac <= 0 || floorFrac > 1 {
+		panic("netsim: bad incast parameters")
+	}
+	n.advance()
+	n.incastThreshold = threshold
+	n.incastFactor = factor
+	n.incastFloor = floorFrac
+	n.recompute()
+}
+
+// DefaultLocalBps is the default loopback/local-fetch rate (8 Gbps —
+// comfortably above the 1 Gbps NICs so local fetches are never the
+// bottleneck, matching the paper's in-memory intermediate data setup).
+const DefaultLocalBps = 8e9
+
+// SetLocalBps overrides the loopback transfer rate for zero-hop flows.
+func (n *Network) SetLocalBps(bps float64) {
+	if bps <= 0 {
+		panic("netsim: non-positive local rate")
+	}
+	n.advance()
+	n.localBps = bps
+	n.recompute()
+}
+
+// New creates a network simulator bound to an engine and a topology.
+func New(eng *sim.Engine, g *topology.Graph) *Network {
+	return &Network{
+		eng:        eng,
+		g:          g,
+		active:     make(map[FlowID]*Flow),
+		background: make(map[topology.LinkID]float64),
+		linkBits:   make(map[topology.LinkID]float64),
+		hostTxBits: make(map[topology.NodeID]float64),
+		localBps:   DefaultLocalBps,
+	}
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// SetBackground sets the CBR background load on a link in bps, clamped to
+// [0, capacity]. Changing background reshapes the fair shares of all active
+// flows immediately.
+func (n *Network) SetBackground(link topology.LinkID, bps float64) {
+	capBps := n.g.Link(link).CapacityBps
+	if bps < 0 {
+		bps = 0
+	}
+	if bps > capBps {
+		bps = capBps
+	}
+	n.advance()
+	if bps == 0 {
+		delete(n.background, link)
+	} else {
+		n.background[link] = bps
+	}
+	n.recompute()
+}
+
+// BackgroundOn returns the configured CBR load on a link.
+func (n *Network) BackgroundOn(link topology.LinkID) float64 { return n.background[link] }
+
+// OnFlowComplete registers a callback invoked for every completing flow
+// (after the flow's own callback).
+func (n *Network) OnFlowComplete(fn func(*Flow)) {
+	n.completionFns = append(n.completionFns, fn)
+}
+
+// StartFlow injects a flow on the given path. sizeBits must be positive and
+// the path valid for the tuple endpoints. onComplete (may be nil) fires at
+// completion time. The returned flow is live immediately.
+func (n *Network) StartFlow(tuple FiveTuple, kind FlowKind, path topology.Path, sizeBits float64, job, mapID, reduce int, onComplete func(*Flow)) *Flow {
+	if sizeBits <= 0 {
+		panic("netsim: StartFlow with non-positive size")
+	}
+	if path.Src != tuple.SrcHost || path.Dst != tuple.DstHost {
+		panic("netsim: path endpoints do not match tuple")
+	}
+	if err := path.Valid(n.g); err != nil {
+		panic(fmt.Sprintf("netsim: invalid path: %v", err))
+	}
+	n.advance()
+	f := &Flow{
+		ID:        n.nextID,
+		Tuple:     tuple,
+		Kind:      kind,
+		Path:      path,
+		SizeBits:  sizeBits,
+		remaining: sizeBits,
+		started:   n.eng.Now(),
+		Job:       job, Map: mapID, Reduce: reduce,
+		onComplete: onComplete,
+	}
+	n.nextID++
+	n.active[f.ID] = f
+	n.recompute()
+	return f
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.active) }
+
+// History returns all completed flows in completion order.
+func (n *Network) History() []*Flow { return append([]*Flow(nil), n.history...) }
+
+// advance accrues transfer progress from lastAdvance to now at current
+// rates. It must be called before any change to the active set or rates.
+func (n *Network) advance() {
+	now := n.eng.Now()
+	dt := float64(now.Sub(n.lastAdvance))
+	if dt <= 0 {
+		n.lastAdvance = now
+		return
+	}
+	for _, f := range n.active {
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		f.transferred += moved
+		if f.Kind == Shuffle && len(f.Path.Links) > 0 {
+			n.hostTxBits[f.Tuple.SrcHost] += moved
+		}
+		for _, l := range f.Path.Links {
+			n.linkBits[l] += moved
+		}
+	}
+	n.lastAdvance = now
+}
+
+// recompute performs max-min fair allocation (progressive filling) across
+// all active flows and reschedules the next-completion event.
+func (n *Network) recompute() {
+	// Residual capacity per link after CBR background.
+	residual := make(map[topology.LinkID]float64)
+	counts := make(map[topology.LinkID]int)
+	terminal := make(map[topology.LinkID]int) // flows ending on this link
+	for id, f := range n.active {
+		_ = id
+		for _, l := range f.Path.Links {
+			counts[l]++
+		}
+		if k := len(f.Path.Links); k > 0 {
+			terminal[f.Path.Links[k-1]]++
+		}
+	}
+	for l, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if !n.g.LinkUp(l) {
+			// A failed link carries nothing: flows routed across it
+			// starve until rerouted or the link recovers.
+			residual[l] = 0
+			continue
+		}
+		capBps := n.g.Link(l).CapacityBps
+		if n.incastThreshold > 0 {
+			if extra := terminal[l] - n.incastThreshold; extra > 0 {
+				eff := 1 - n.incastFactor*float64(extra)
+				if eff < n.incastFloor {
+					eff = n.incastFloor
+				}
+				capBps *= eff
+			}
+		}
+		r := capBps - n.background[l]
+		if r < 0 {
+			r = 0
+		}
+		residual[l] = r
+	}
+
+	unfixed := make(map[FlowID]*Flow, len(n.active))
+	for id, f := range n.active {
+		f.rate = 0
+		if len(f.Path.Links) == 0 {
+			// Local (same-host) transfer: fixed loopback rate, no
+			// fabric contention.
+			f.rate = n.localBps
+			continue
+		}
+		unfixed[id] = f
+	}
+
+	for len(unfixed) > 0 {
+		// Find the bottleneck link: minimal fair share among links
+		// carrying unfixed flows.
+		bestShare := math.Inf(1)
+		var bottleneck topology.LinkID = -1
+		for l, c := range counts {
+			if c <= 0 {
+				continue
+			}
+			share := residual[l] / float64(c)
+			if share < bestShare || (share == bestShare && (bottleneck == -1 || l < bottleneck)) {
+				bestShare = share
+				bottleneck = l
+			}
+		}
+		if bottleneck == -1 {
+			break
+		}
+		if math.IsInf(bestShare, 1) {
+			break
+		}
+		// Fix every unfixed flow crossing the bottleneck at bestShare.
+		for id, f := range unfixed {
+			crosses := false
+			for _, l := range f.Path.Links {
+				if l == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = bestShare
+			delete(unfixed, id)
+			for _, l := range f.Path.Links {
+				residual[l] -= bestShare
+				if residual[l] < 0 {
+					residual[l] = 0
+				}
+				counts[l]--
+			}
+		}
+	}
+
+	n.scheduleNextCompletion()
+}
+
+func (n *Network) scheduleNextCompletion() {
+	if n.completeEvent != nil {
+		n.eng.Cancel(n.completeEvent)
+		n.completeEvent = nil
+	}
+	next := math.Inf(1)
+	for _, f := range n.active {
+		if f.rate <= 0 {
+			continue // starved; will resume when background/load changes
+		}
+		t := f.remaining / f.rate
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	n.completeEvent = n.eng.After(sim.Duration(next), n.completeDue)
+}
+
+// completeDue finishes every flow whose remaining volume has reached zero at
+// the current instant, then recomputes shares for the survivors.
+func (n *Network) completeDue() {
+	n.completeEvent = nil
+	n.advance()
+	const eps = 1.0 // one bit; fluid-model rounding tolerance
+	var completed []*Flow
+	for id, f := range n.active {
+		if f.remaining <= eps {
+			f.remaining = 0
+			f.done = true
+			f.finished = n.eng.Now()
+			delete(n.active, id)
+			completed = append(completed, f)
+		}
+	}
+	// Deterministic callback order.
+	for i := 0; i < len(completed); i++ {
+		for j := i + 1; j < len(completed); j++ {
+			if completed[j].ID < completed[i].ID {
+				completed[i], completed[j] = completed[j], completed[i]
+			}
+		}
+	}
+	for _, f := range completed {
+		n.history = append(n.history, f)
+	}
+	n.recompute()
+	for _, f := range completed {
+		if f.onComplete != nil {
+			f.onComplete(f)
+		}
+		for _, fn := range n.completionFns {
+			fn(f)
+		}
+	}
+}
+
+// Utilization returns the instantaneous fraction of a link's capacity in
+// use (background + allocated flow rates). This is what the controller's
+// link-load update service reads.
+func (n *Network) Utilization(link topology.LinkID) float64 {
+	capBps := n.g.Link(link).CapacityBps
+	used := n.background[link]
+	for _, f := range n.active {
+		for _, l := range f.Path.Links {
+			if l == link {
+				used += f.rate
+				break
+			}
+		}
+	}
+	u := used / capBps
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// AvailableBps returns the instantaneous spare capacity of a link
+// (capacity - background - allocated flow rates), floored at zero.
+func (n *Network) AvailableBps(link topology.LinkID) float64 {
+	capBps := n.g.Link(link).CapacityBps
+	used := n.background[link]
+	for _, f := range n.active {
+		for _, l := range f.Path.Links {
+			if l == link {
+				used += f.rate
+				break
+			}
+		}
+	}
+	if used >= capBps {
+		return 0
+	}
+	return capBps - used
+}
+
+// ShuffleRateOn returns the summed instantaneous rate of shuffle-kind flows
+// crossing a link. Pythia uses this to differentiate shuffle load from
+// background traffic when estimating available bandwidth.
+func (n *Network) ShuffleRateOn(link topology.LinkID) float64 {
+	sum := 0.0
+	for _, f := range n.active {
+		if f.Kind != Shuffle {
+			continue
+		}
+		for _, l := range f.Path.Links {
+			if l == link {
+				sum += f.rate
+				break
+			}
+		}
+	}
+	return sum
+}
+
+// HostTxBits returns cumulative shuffle bits sourced by a host up to the
+// current instant, including in-flight progress. The NetFlow substrate
+// samples this (Fig. 5 methodology).
+func (n *Network) HostTxBits(host topology.NodeID) float64 {
+	n.advance()
+	return n.hostTxBits[host]
+}
+
+// LinkBits returns cumulative data bits (excluding background) carried by a
+// link.
+func (n *Network) LinkBits(link topology.LinkID) float64 {
+	n.advance()
+	return n.linkBits[link]
+}
+
+// NotifyTopology re-evaluates rate allocations after a topology change
+// (link failure or recovery). Flows whose paths cross failed links starve
+// from this instant; callers that can reroute them (Pythia, Hedera) should
+// do so. Without this call, the change takes effect at the next flow event.
+func (n *Network) NotifyTopology() {
+	n.advance()
+	n.recompute()
+}
+
+// ActiveList returns the in-flight flows ordered by ID.
+func (n *Network) ActiveList() []*Flow {
+	fs := make([]*Flow, 0, len(n.active))
+	for _, f := range n.active {
+		fs = append(fs, f)
+	}
+	for i := 0; i < len(fs); i++ {
+		for j := i + 1; j < len(fs); j++ {
+			if fs[j].ID < fs[i].ID {
+				fs[i], fs[j] = fs[j], fs[i]
+			}
+		}
+	}
+	return fs
+}
+
+// FlowsOn returns the active flows traversing a link, useful for elephant
+// detection in the Hedera-like baseline. Order is by flow ID.
+func (n *Network) FlowsOn(link topology.LinkID) []*Flow {
+	var fs []*Flow
+	for _, f := range n.active {
+		for _, l := range f.Path.Links {
+			if l == link {
+				fs = append(fs, f)
+				break
+			}
+		}
+	}
+	for i := 0; i < len(fs); i++ {
+		for j := i + 1; j < len(fs); j++ {
+			if fs[j].ID < fs[i].ID {
+				fs[i], fs[j] = fs[j], fs[i]
+			}
+		}
+	}
+	return fs
+}
+
+// Reroute moves an active flow onto a new path (Hedera-style reallocation).
+// Progress is preserved; rates are recomputed. It panics if the flow is done
+// or the path invalid.
+func (n *Network) Reroute(f *Flow, path topology.Path) {
+	if f.done {
+		panic("netsim: reroute of completed flow")
+	}
+	if path.Src != f.Tuple.SrcHost || path.Dst != f.Tuple.DstHost {
+		panic("netsim: reroute path endpoints mismatch")
+	}
+	if err := path.Valid(n.g); err != nil {
+		panic(fmt.Sprintf("netsim: reroute invalid path: %v", err))
+	}
+	n.advance()
+	f.Path = path
+	n.recompute()
+}

@@ -1,0 +1,416 @@
+// Package ofp10 implements the subset of the OpenFlow 1.0 wire protocol
+// (openflow-spec-v1.0.0, the version the paper's testbed switches spoke)
+// that Pythia's control plane exercises: session setup (HELLO, ECHO,
+// FEATURES), flow programming (FLOW_MOD with output actions), and the port
+// statistics used by the link-load update service. Encoding follows the
+// spec's big-endian fixed layouts exactly, so message sizes — which feed the
+// management-network model — are authentic.
+package ofp10
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the OpenFlow wire version (1.0 = 0x01).
+const Version = 0x01
+
+// MsgType enumerates the OpenFlow 1.0 message types used here.
+type MsgType uint8
+
+// Message types (spec §5.1).
+const (
+	TypeHello           MsgType = 0
+	TypeError           MsgType = 1
+	TypeEchoRequest     MsgType = 2
+	TypeEchoReply       MsgType = 3
+	TypeFeaturesRequest MsgType = 5
+	TypeFeaturesReply   MsgType = 6
+	TypeFlowMod         MsgType = 14
+	TypeStatsRequest    MsgType = 16
+	TypeStatsReply      MsgType = 17
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "HELLO"
+	case TypeError:
+		return "ERROR"
+	case TypeEchoRequest:
+		return "ECHO_REQUEST"
+	case TypeEchoReply:
+		return "ECHO_REPLY"
+	case TypeFeaturesRequest:
+		return "FEATURES_REQUEST"
+	case TypeFeaturesReply:
+		return "FEATURES_REPLY"
+	case TypeFlowMod:
+		return "FLOW_MOD"
+	case TypeStatsRequest:
+		return "STATS_REQUEST"
+	case TypeStatsReply:
+		return "STATS_REPLY"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Errors.
+var (
+	ErrTruncated  = errors.New("ofp10: truncated message")
+	ErrBadVersion = errors.New("ofp10: unsupported version")
+	ErrBadLength  = errors.New("ofp10: length field mismatch")
+	ErrBadType    = errors.New("ofp10: unexpected message type")
+)
+
+// Header is the 8-byte OpenFlow header (spec §5.1).
+type Header struct {
+	Type MsgType
+	// Length covers header + body.
+	Length uint16
+	XID    uint32
+}
+
+const headerLen = 8
+
+func putHeader(b []byte, t MsgType, length int, xid uint32) {
+	b[0] = Version
+	b[1] = byte(t)
+	binary.BigEndian.PutUint16(b[2:4], uint16(length))
+	binary.BigEndian.PutUint32(b[4:8], xid)
+}
+
+// ParseHeader decodes and validates the 8-byte header.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < headerLen {
+		return Header{}, ErrTruncated
+	}
+	if b[0] != Version {
+		return Header{}, ErrBadVersion
+	}
+	h := Header{
+		Type:   MsgType(b[1]),
+		Length: binary.BigEndian.Uint16(b[2:4]),
+		XID:    binary.BigEndian.Uint32(b[4:8]),
+	}
+	if int(h.Length) < headerLen || int(h.Length) > len(b) {
+		return Header{}, ErrBadLength
+	}
+	return h, nil
+}
+
+// Hello encodes an OFPT_HELLO.
+func Hello(xid uint32) []byte {
+	b := make([]byte, headerLen)
+	putHeader(b, TypeHello, headerLen, xid)
+	return b
+}
+
+// EchoRequest and EchoReply carry arbitrary payloads.
+func EchoRequest(xid uint32, payload []byte) []byte {
+	b := make([]byte, headerLen+len(payload))
+	putHeader(b, TypeEchoRequest, len(b), xid)
+	copy(b[headerLen:], payload)
+	return b
+}
+
+// EchoReply mirrors the request payload.
+func EchoReply(xid uint32, payload []byte) []byte {
+	b := make([]byte, headerLen+len(payload))
+	putHeader(b, TypeEchoReply, len(b), xid)
+	copy(b[headerLen:], payload)
+	return b
+}
+
+// FeaturesRequest encodes an OFPT_FEATURES_REQUEST (header only).
+func FeaturesRequest(xid uint32) []byte {
+	b := make([]byte, headerLen)
+	putHeader(b, TypeFeaturesRequest, headerLen, xid)
+	return b
+}
+
+// FeaturesReply is the subset of ofp_switch_features the controller uses.
+type FeaturesReply struct {
+	XID        uint32
+	DatapathID uint64
+	NumPorts   int
+}
+
+const featuresFixedLen = headerLen + 24
+const phyPortLen = 48
+
+// Encode serializes the reply with NumPorts empty phy-port entries (the
+// simulator identifies ports by index; names and MACs are irrelevant).
+func (fr *FeaturesReply) Encode() []byte {
+	b := make([]byte, featuresFixedLen+fr.NumPorts*phyPortLen)
+	putHeader(b, TypeFeaturesReply, len(b), fr.XID)
+	binary.BigEndian.PutUint64(b[headerLen:], fr.DatapathID)
+	// n_buffers, n_tables, capabilities, actions left zero.
+	for i := 0; i < fr.NumPorts; i++ {
+		at := featuresFixedLen + i*phyPortLen
+		binary.BigEndian.PutUint16(b[at:], uint16(i+1))
+	}
+	return b
+}
+
+// DecodeFeaturesReply parses a FEATURES_REPLY.
+func DecodeFeaturesReply(b []byte) (*FeaturesReply, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if h.Type != TypeFeaturesReply {
+		return nil, ErrBadType
+	}
+	if int(h.Length) < featuresFixedLen || (int(h.Length)-featuresFixedLen)%phyPortLen != 0 {
+		return nil, ErrBadLength
+	}
+	return &FeaturesReply{
+		XID:        h.XID,
+		DatapathID: binary.BigEndian.Uint64(b[headerLen:]),
+		NumPorts:   (int(h.Length) - featuresFixedLen) / phyPortLen,
+	}, nil
+}
+
+// Wildcard flag bits for Match.Wildcards (spec ofp_flow_wildcards).
+const (
+	WildcardInPort  uint32 = 1 << 0
+	WildcardDLVLAN  uint32 = 1 << 1
+	WildcardDLSrc   uint32 = 1 << 2
+	WildcardDLDst   uint32 = 1 << 3
+	WildcardDLType  uint32 = 1 << 4
+	WildcardNWProto uint32 = 1 << 5
+	WildcardTPSrc   uint32 = 1 << 6
+	WildcardTPDst   uint32 = 1 << 7
+	// NW address wildcards are 6-bit mask-length fields.
+	WildcardNWSrcAll uint32 = 32 << 8
+	WildcardNWDstAll uint32 = 32 << 14
+	WildcardAll      uint32 = (1 << 22) - 1
+)
+
+// Match is the 40-byte ofp_match structure (spec §5.2.3). Host addresses
+// are carried as IPv4 NWSrc/NWDst; the simulator maps node IDs into
+// 10.0.0.0/8.
+type Match struct {
+	Wildcards uint32
+	InPort    uint16
+	DLSrc     [6]byte
+	DLDst     [6]byte
+	DLVLAN    uint16
+	DLType    uint16
+	NWProto   uint8
+	NWSrc     uint32
+	NWDst     uint32
+	TPSrc     uint16
+	TPDst     uint16
+}
+
+const matchLen = 40
+
+func (m *Match) put(b []byte) {
+	binary.BigEndian.PutUint32(b[0:4], m.Wildcards)
+	binary.BigEndian.PutUint16(b[4:6], m.InPort)
+	copy(b[6:12], m.DLSrc[:])
+	copy(b[12:18], m.DLDst[:])
+	binary.BigEndian.PutUint16(b[18:20], m.DLVLAN)
+	// b[20] VLAN PCP, b[21] pad
+	binary.BigEndian.PutUint16(b[22:24], m.DLType)
+	// b[24] NW ToS, b[25] NW proto, b[26:28] pad
+	b[25] = m.NWProto
+	binary.BigEndian.PutUint32(b[28:32], m.NWSrc)
+	binary.BigEndian.PutUint32(b[32:36], m.NWDst)
+	binary.BigEndian.PutUint16(b[36:38], m.TPSrc)
+	binary.BigEndian.PutUint16(b[38:40], m.TPDst)
+}
+
+func parseMatch(b []byte) Match {
+	var m Match
+	m.Wildcards = binary.BigEndian.Uint32(b[0:4])
+	m.InPort = binary.BigEndian.Uint16(b[4:6])
+	copy(m.DLSrc[:], b[6:12])
+	copy(m.DLDst[:], b[12:18])
+	m.DLVLAN = binary.BigEndian.Uint16(b[18:20])
+	m.DLType = binary.BigEndian.Uint16(b[22:24])
+	m.NWProto = b[25]
+	m.NWSrc = binary.BigEndian.Uint32(b[28:32])
+	m.NWDst = binary.BigEndian.Uint32(b[32:36])
+	m.TPSrc = binary.BigEndian.Uint16(b[36:38])
+	m.TPDst = binary.BigEndian.Uint16(b[38:40])
+	return m
+}
+
+// HostPairMatch builds the wildcard match Pythia installs: exact IPv4
+// source/destination (10.x mapping of node IDs), everything else wildcard —
+// exactly the aggregation §IV argues for.
+func HostPairMatch(srcNode, dstNode uint32) Match {
+	return Match{
+		// Exact NW src+dst (clear the 6-bit mask-length fields) and
+		// exact DLType (IPv4); everything else — ports included —
+		// wildcard.
+		Wildcards: WildcardAll &^ (uint32(63)<<8 | uint32(63)<<14 | WildcardDLType),
+		DLType:    0x0800,
+		NWSrc:     0x0A000000 | (srcNode & 0x00FFFFFF),
+		NWDst:     0x0A000000 | (dstNode & 0x00FFFFFF),
+	}
+}
+
+// FlowMod commands (spec ofp_flow_mod_command).
+const (
+	FCAdd          uint16 = 0
+	FCModify       uint16 = 1
+	FCDelete       uint16 = 3
+	FCDeleteStrict uint16 = 4
+)
+
+// ActionOutput is the only action type Pythia needs (OFPAT_OUTPUT).
+type ActionOutput struct {
+	Port uint16
+}
+
+const actionOutputLen = 8
+
+// FlowMod is ofp_flow_mod (spec §5.3.3) with output actions.
+type FlowMod struct {
+	XID         uint32
+	Match       Match
+	Cookie      uint64
+	Command     uint16
+	IdleTimeout uint16
+	HardTimeout uint16
+	Priority    uint16
+	Actions     []ActionOutput
+}
+
+// FlowModLen is the wire size of a FlowMod with n output actions.
+func FlowModLen(nActions int) int {
+	return headerLen + matchLen + 24 + nActions*actionOutputLen
+}
+
+// Encode serializes the FlowMod.
+func (fm *FlowMod) Encode() []byte {
+	total := FlowModLen(len(fm.Actions))
+	b := make([]byte, total)
+	putHeader(b, TypeFlowMod, total, fm.XID)
+	fm.Match.put(b[headerLen:])
+	at := headerLen + matchLen
+	binary.BigEndian.PutUint64(b[at:], fm.Cookie)
+	binary.BigEndian.PutUint16(b[at+8:], fm.Command)
+	binary.BigEndian.PutUint16(b[at+10:], fm.IdleTimeout)
+	binary.BigEndian.PutUint16(b[at+12:], fm.HardTimeout)
+	binary.BigEndian.PutUint16(b[at+14:], fm.Priority)
+	binary.BigEndian.PutUint32(b[at+16:], 0xFFFFFFFF) // buffer_id: none
+	binary.BigEndian.PutUint16(b[at+20:], 0xFFFF)     // out_port: none
+	// b[at+22:at+24]: flags = 0
+	at += 24
+	for _, a := range fm.Actions {
+		binary.BigEndian.PutUint16(b[at:], 0) // OFPAT_OUTPUT
+		binary.BigEndian.PutUint16(b[at+2:], actionOutputLen)
+		binary.BigEndian.PutUint16(b[at+4:], a.Port)
+		binary.BigEndian.PutUint16(b[at+6:], 0xFFFF) // max_len
+		at += actionOutputLen
+	}
+	return b
+}
+
+// DecodeFlowMod parses a FLOW_MOD message.
+func DecodeFlowMod(b []byte) (*FlowMod, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if h.Type != TypeFlowMod {
+		return nil, ErrBadType
+	}
+	if int(h.Length) < FlowModLen(0) || int(h.Length)%actionOutputLen != 0 {
+		return nil, ErrBadLength
+	}
+	body := b[:h.Length]
+	fm := &FlowMod{XID: h.XID, Match: parseMatch(body[headerLen:])}
+	at := headerLen + matchLen
+	fm.Cookie = binary.BigEndian.Uint64(body[at:])
+	fm.Command = binary.BigEndian.Uint16(body[at+8:])
+	fm.IdleTimeout = binary.BigEndian.Uint16(body[at+10:])
+	fm.HardTimeout = binary.BigEndian.Uint16(body[at+12:])
+	fm.Priority = binary.BigEndian.Uint16(body[at+14:])
+	at += 24
+	for at+actionOutputLen <= int(h.Length) {
+		if binary.BigEndian.Uint16(body[at:]) != 0 ||
+			binary.BigEndian.Uint16(body[at+2:]) != actionOutputLen {
+			return nil, fmt.Errorf("ofp10: unsupported action at offset %d", at)
+		}
+		fm.Actions = append(fm.Actions, ActionOutput{Port: binary.BigEndian.Uint16(body[at+4:])})
+		at += actionOutputLen
+	}
+	if at != int(h.Length) {
+		return nil, ErrBadLength
+	}
+	return fm, nil
+}
+
+// PortStats is one entry of an OFPST_PORT stats reply (subset: the byte
+// counters the link-load service consumes).
+type PortStats struct {
+	PortNo  uint16
+	RxBytes uint64
+	TxBytes uint64
+}
+
+const portStatsLen = 104 // full ofp_port_stats entry size
+
+// PortStatsRequest encodes an OFPST_PORT request for all ports.
+func PortStatsRequest(xid uint32) []byte {
+	// header + stats header(4) + ofp_port_stats_request(8)
+	b := make([]byte, headerLen+4+8)
+	putHeader(b, TypeStatsRequest, len(b), xid)
+	binary.BigEndian.PutUint16(b[8:10], 4)       // OFPST_PORT
+	binary.BigEndian.PutUint16(b[10:12], 0)      // flags
+	binary.BigEndian.PutUint16(b[12:14], 0xFFFF) // OFPP_NONE: all ports
+	return b
+}
+
+// EncodePortStatsReply encodes an OFPST_PORT reply with the given entries.
+func EncodePortStatsReply(xid uint32, entries []PortStats) []byte {
+	b := make([]byte, headerLen+4+len(entries)*portStatsLen)
+	putHeader(b, TypeStatsReply, len(b), xid)
+	binary.BigEndian.PutUint16(b[headerLen:], 4) // OFPST_PORT
+	at := headerLen + 4
+	for _, e := range entries {
+		binary.BigEndian.PutUint16(b[at:], e.PortNo)
+		// rx_packets/tx_packets at +8/+16 left zero.
+		binary.BigEndian.PutUint64(b[at+24:], e.RxBytes)
+		binary.BigEndian.PutUint64(b[at+32:], e.TxBytes)
+		at += portStatsLen
+	}
+	return b
+}
+
+// DecodePortStatsReply parses the entries of an OFPST_PORT reply.
+func DecodePortStatsReply(b []byte) ([]PortStats, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if h.Type != TypeStatsReply {
+		return nil, ErrBadType
+	}
+	if int(h.Length) < headerLen+4 {
+		return nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(b[headerLen:headerLen+2]) != 4 {
+		return nil, fmt.Errorf("ofp10: not a port-stats reply")
+	}
+	body := b[headerLen+4 : h.Length]
+	if len(body)%portStatsLen != 0 {
+		return nil, ErrBadLength
+	}
+	var out []PortStats
+	for at := 0; at < len(body); at += portStatsLen {
+		out = append(out, PortStats{
+			PortNo:  binary.BigEndian.Uint16(body[at:]),
+			RxBytes: binary.BigEndian.Uint64(body[at+24:]),
+			TxBytes: binary.BigEndian.Uint64(body[at+32:]),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,389 @@
+package openflow
+
+import (
+	"fmt"
+
+	"pythia/internal/mgmtnet"
+	"pythia/internal/netsim"
+	"pythia/internal/ofp10"
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// DefaultInstallLatency is the per-rule programming latency. The paper
+// reports contemporary hardware allows ~3–5 ms per installed flow; we default
+// to the middle of that band.
+const DefaultInstallLatency = 4 * sim.Millisecond
+
+// DefaultPollInterval is the link-load update service period.
+const DefaultPollInterval = 1 * sim.Second
+
+// Controller is the centralized SDN control plane: it owns a Switch per
+// topology switch node, serializes rule installation with per-rule latency,
+// publishes periodic link-load statistics, and notifies listeners of
+// topology changes (OpenDaylight's topology update service in the paper).
+type Controller struct {
+	eng *sim.Engine
+	g   *topology.Graph
+	net *netsim.Network
+
+	switches map[topology.NodeID]*Switch
+
+	// InstallLatency is the control-plane programming cost per rule.
+	InstallLatency sim.Duration
+
+	// install queue: the controller programs rules strictly in order.
+	queueBusyUntil sim.Time
+
+	linkLoad  map[topology.LinkID]LoadSample
+	pollEvery sim.Duration
+	topoLs    []func()
+	lastVer   uint64
+
+	// RulesInstalled counts successful installs, for overhead reporting.
+	RulesInstalled uint64
+	// FlowModsSent counts OpenFlow FLOW_MOD messages emitted and
+	// ControlBytes their total wire size (ofp10 encoding) — the §III
+	// control-plane traffic the management network carries.
+	FlowModsSent uint64
+	ControlBytes float64
+
+	// mgmt, when set, carries control messages with per-sender
+	// serialization instead of the fixed install pipeline delay.
+	mgmt     *mgmtnet.Network
+	ctrlNode topology.NodeID
+	nextXID  uint32
+}
+
+// LoadSample is one link's state as of the last poll.
+type LoadSample struct {
+	Utilization  float64
+	AvailableBps float64
+	// ShuffleBps is the portion of the load due to shuffle flows, which
+	// application-aware consumers (Pythia) can subtract to estimate
+	// background traffic.
+	ShuffleBps float64
+	SampledAt  sim.Time
+}
+
+// NewController builds a controller over every switch in the graph and
+// starts the link-load poller.
+func NewController(eng *sim.Engine, net *netsim.Network, tableCapacity int) *Controller {
+	g := net.Graph()
+	c := &Controller{
+		eng:            eng,
+		g:              g,
+		net:            net,
+		switches:       make(map[topology.NodeID]*Switch),
+		InstallLatency: DefaultInstallLatency,
+		linkLoad:       make(map[topology.LinkID]LoadSample),
+		pollEvery:      DefaultPollInterval,
+		lastVer:        g.Version(),
+	}
+	rackOf := func(n topology.NodeID) int { return g.Node(n).Rack }
+	for _, s := range g.Switches() {
+		sw := NewSwitch(s, tableCapacity)
+		sw.SetRackResolver(rackOf)
+		c.switches[s] = sw
+		// Session setup per switch: HELLO exchange + feature discovery.
+		c.ControlBytes += float64(len(ofp10.Hello(0))) * 2
+		c.ControlBytes += float64(len(ofp10.PortStatsRequest(0)))
+	}
+	c.poll()
+	return c
+}
+
+// SetManagementNetwork routes FLOW_MOD messages over an explicit management
+// fabric (per-sender FIFO serialization + transmission time) before the
+// per-rule switch programming latency, instead of the built-in serialized
+// pipeline. ctrlNode identifies the controller's management port.
+func (c *Controller) SetManagementNetwork(mn *mgmtnet.Network, ctrlNode topology.NodeID) {
+	c.mgmt = mn
+	c.ctrlNode = ctrlNode
+}
+
+// Switch returns the flow-table model for a switch node; nil for hosts or
+// unknown nodes.
+func (c *Controller) Switch(n topology.NodeID) *Switch { return c.switches[n] }
+
+// SetPollInterval changes the link-load service period (takes effect after
+// the next poll).
+func (c *Controller) SetPollInterval(d sim.Duration) {
+	if d <= 0 {
+		panic("openflow: non-positive poll interval")
+	}
+	c.pollEvery = d
+}
+
+func (c *Controller) poll() {
+	for _, l := range c.g.Links() {
+		c.linkLoad[l.ID] = LoadSample{
+			Utilization:  c.net.Utilization(l.ID),
+			AvailableBps: c.net.AvailableBps(l.ID),
+			ShuffleBps:   c.net.ShuffleRateOn(l.ID),
+			SampledAt:    c.eng.Now(),
+		}
+	}
+	// The link-load update service is OFPST_PORT polling under the hood:
+	// one request/reply per switch per period, the reply sized by the
+	// switch's port count. This dominates Pythia's control traffic.
+	for node, sw := range c.switches {
+		ports := len(c.g.Out(node))
+		c.nextXID++
+		c.ControlBytes += float64(len(ofp10.PortStatsRequest(c.nextXID)))
+		c.ControlBytes += float64(8 + 4 + ports*104) // reply header + entries
+		_ = sw
+	}
+	if c.g.Version() != c.lastVer {
+		c.lastVer = c.g.Version()
+		for _, fn := range c.topoLs {
+			fn()
+		}
+	}
+	// Daemon: the recurring poll must not keep the simulation alive after
+	// the workload drains.
+	c.eng.AfterDaemon(c.pollEvery, c.poll)
+}
+
+// LinkLoad returns the last polled sample for a link. The staleness is
+// inherent to stats-polling control planes and is what reactive schemes
+// like Hedera pay that predictive Pythia does not.
+func (c *Controller) LinkLoad(l topology.LinkID) LoadSample { return c.linkLoad[l] }
+
+// OnTopologyChange registers a callback run when the topology version
+// changes (detected at poll granularity).
+func (c *Controller) OnTopologyChange(fn func()) { c.topoLs = append(c.topoLs, fn) }
+
+// FailLink takes a link down (fault injection). Traffic on the link starves
+// immediately; control-plane listeners hear about it at the next poll, as
+// with LLDP-driven discovery.
+func (c *Controller) FailLink(l topology.LinkID) {
+	c.g.SetLinkUp(l, false)
+	c.net.NotifyTopology()
+}
+
+// RestoreLink brings a link back up.
+func (c *Controller) RestoreLink(l topology.LinkID) {
+	c.g.SetLinkUp(l, true)
+	c.net.NotifyTopology()
+}
+
+// InstallPath programs one rule per switch along the path so that traffic
+// matching m follows exactly that path. Rules appear in the switch tables
+// asynchronously — the controller serializes installs at InstallLatency per
+// rule — and done (may be nil) fires with the first error or nil once all
+// rules are in. Host hops need no rules (servers have a single uplink).
+func (c *Controller) InstallPath(m Match, path topology.Path, priority int, cookie uint64, done func(error)) {
+	c.install(m, path, priority, cookie, false, done)
+}
+
+// InstallSteering programs rules only on hops whose out-link leads to
+// another switch — the trunk/spine choices. Used with rack-pair (prefix)
+// matches: the final hop to the destination server differs per host and is
+// left to the default pipeline, so one coarse rule steers a whole rack's
+// traffic without misdelivering it.
+func (c *Controller) InstallSteering(m Match, path topology.Path, priority int, cookie uint64, done func(error)) {
+	c.install(m, path, priority, cookie, true, done)
+}
+
+func (c *Controller) install(m Match, path topology.Path, priority int, cookie uint64, interSwitchOnly bool, done func(error)) {
+	type step struct {
+		sw  *Switch
+		out topology.LinkID
+	}
+	var steps []step
+	for _, lid := range path.Links {
+		l := c.g.Link(lid)
+		if sw, ok := c.switches[l.From]; ok {
+			if interSwitchOnly && c.g.Node(l.To).Kind != topology.Switch {
+				continue
+			}
+			steps = append(steps, step{sw, lid})
+		}
+	}
+	if len(steps) == 0 {
+		if done != nil {
+			// Even a no-op command round-trips the control network.
+			c.eng.After(c.InstallLatency, func() { done(nil) })
+		}
+		return
+	}
+	var firstErr error
+	apply := func(st step, last bool) {
+		err := st.sw.Install(FlowRule{Match: m, Out: st.out, Priority: priority, Cookie: cookie})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err == nil {
+			c.RulesInstalled++
+		}
+		if last && done != nil {
+			done(firstErr)
+		}
+	}
+
+	if c.mgmt != nil {
+		// Explicit control plane: each rule is a real OpenFlow FLOW_MOD
+		// serialized out the controller's management port (FIFO), then
+		// programmed at the switch after the hardware latency.
+		for i, st := range steps {
+			st := st
+			last := i == len(steps)-1
+			wire := c.encodeFlowMod(m, st.out, priority, cookie)
+			c.FlowModsSent++
+			c.ControlBytes += float64(len(wire))
+			c.mgmt.Send(c.ctrlNode, float64(len(wire)), func() {
+				c.eng.After(c.InstallLatency, func() { apply(st, last) })
+			})
+		}
+		return
+	}
+
+	// Built-in pipeline: serialize behind any in-flight installation work
+	// at InstallLatency per rule (the paper's 3–5 ms/flow budget).
+	start := c.queueBusyUntil
+	if start < c.eng.Now() {
+		start = c.eng.Now()
+	}
+	for i, st := range steps {
+		st := st
+		last := i == len(steps)-1
+		wire := c.encodeFlowMod(m, st.out, priority, cookie)
+		c.FlowModsSent++
+		c.ControlBytes += float64(len(wire))
+		at := start.Add(sim.Duration(float64(c.InstallLatency) * float64(i+1)))
+		c.eng.At(at, func() { apply(st, last) })
+	}
+	c.queueBusyUntil = start.Add(sim.Duration(float64(c.InstallLatency) * float64(len(steps))))
+}
+
+// encodeFlowMod produces the authentic OpenFlow 1.0 wire message for a rule
+// (host-pair or rack-prefix match, one output action); its size feeds the
+// control-traffic accounting.
+func (c *Controller) encodeFlowMod(m Match, out topology.LinkID, priority int, cookie uint64) []byte {
+	c.nextXID++
+	var src, dst uint32
+	switch {
+	case m.SrcHost != Wildcard:
+		src = uint32(m.SrcHost)
+	case m.SrcRack != Wildcard:
+		src = uint32(m.SrcRack)
+	}
+	switch {
+	case m.DstHost != Wildcard:
+		dst = uint32(m.DstHost)
+	case m.DstRack != Wildcard:
+		dst = uint32(m.DstRack)
+	}
+	fm := &ofp10.FlowMod{
+		XID:      c.nextXID,
+		Match:    ofp10.HostPairMatch(src, dst),
+		Cookie:   cookie,
+		Command:  ofp10.FCAdd,
+		Priority: uint16(priority),
+		Actions:  []ofp10.ActionOutput{{Port: uint16(out)}},
+	}
+	return fm.Encode()
+}
+
+// RemovePath deletes every rule carrying cookie across all switches,
+// immediately (rule deletion is cheap and not on the critical path).
+func (c *Controller) RemovePath(cookie uint64) int {
+	removed := 0
+	for _, sw := range c.switches {
+		removed += sw.RemoveByCookie(cookie)
+	}
+	return removed
+}
+
+// Resolve walks a tuple through the fabric hop by hop: hosts forward on
+// their single uplink; switches consult their flow table and, on a miss,
+// fall back to local ECMP hashing over the shortest-path next hops (the
+// default datacenter pipeline in the paper). It fails when the fabric has
+// no route or a rule loop is detected.
+func (c *Controller) Resolve(t netsim.FiveTuple) (topology.Path, error) {
+	if t.SrcHost == t.DstHost {
+		return topology.Path{Src: t.SrcHost, Dst: t.DstHost}, nil
+	}
+	dist := c.distanceTo(t.DstHost)
+	var links []topology.LinkID
+	at := t.SrcHost
+	maxHops := 4 * c.g.NumNodes()
+	for at != t.DstHost {
+		if len(links) > maxHops {
+			return topology.Path{}, fmt.Errorf("openflow: forwarding loop resolving %v", t)
+		}
+		var next topology.LinkID = -1
+		if sw, ok := c.switches[at]; ok {
+			if rule, ok := sw.Lookup(t); ok && c.g.LinkUp(rule.Out) && c.g.Link(rule.Out).From == at {
+				next = rule.Out
+			}
+		}
+		if next == -1 {
+			// Default pipeline: ECMP local hash over shortest-path
+			// next hops.
+			var candidates []topology.LinkID
+			for _, lid := range c.g.Out(at) {
+				to := c.g.Link(lid).To
+				d, ok := dist[to]
+				if !ok {
+					continue
+				}
+				if cur, ok2 := dist[at]; ok2 && d == cur-1 {
+					candidates = append(candidates, lid)
+				}
+			}
+			if len(candidates) == 0 {
+				return topology.Path{}, fmt.Errorf("openflow: no route from node %d to %d", at, t.DstHost)
+			}
+			next = candidates[localHash(t, at)%uint64(len(candidates))]
+		}
+		links = append(links, next)
+		at = c.g.Link(next).To
+	}
+	p := topology.Path{Links: links, Src: t.SrcHost, Dst: t.DstHost}
+	if err := p.Valid(c.g); err != nil {
+		return topology.Path{}, fmt.Errorf("openflow: resolved invalid path: %w", err)
+	}
+	return p, nil
+}
+
+// distanceTo returns hop distances of every node to dst over up links.
+func (c *Controller) distanceTo(dst topology.NodeID) map[topology.NodeID]int {
+	// BFS on the reversed graph.
+	rev := make(map[topology.NodeID][]topology.NodeID)
+	for _, l := range c.g.Links() {
+		if !c.g.LinkUp(l.ID) {
+			continue
+		}
+		rev[l.To] = append(rev[l.To], l.From)
+	}
+	dist := map[topology.NodeID]int{dst: 0}
+	queue := []topology.NodeID{dst}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range rev[n] {
+			if _, seen := dist[m]; !seen {
+				dist[m] = dist[n] + 1
+				queue = append(queue, m)
+			}
+		}
+	}
+	return dist
+}
+
+// ResolveShuffle adapts Resolve to the hadoop.PathResolver interface: under
+// Pythia, shuffle flows are routed by whatever rules the controller has
+// installed, falling back to the default ECMP pipeline on a table miss.
+func (c *Controller) ResolveShuffle(t netsim.FiveTuple) (topology.Path, error) {
+	return c.Resolve(t)
+}
+
+func localHash(t netsim.FiveTuple, at topology.NodeID) uint64 {
+	z := uint64(t.SrcHost)<<48 ^ uint64(t.DstHost)<<32 ^
+		uint64(t.SrcPort)<<16 ^ uint64(t.DstPort) ^ uint64(t.Protocol)<<56 ^ uint64(at)<<24
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

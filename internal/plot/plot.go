@@ -1,0 +1,259 @@
+// Package plot renders the experiment results as standalone SVG documents —
+// grouped bar charts with an overlaid speedup series for Figs. 3/4 (the
+// paper's presentation) and step-line charts for the Fig. 5 cumulative
+// traffic curves. No dependencies beyond fmt/strings; output is valid SVG
+// 1.1.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Size and style constants shared by the charts.
+const (
+	width    = 760
+	height   = 420
+	marginL  = 70
+	marginR  = 70
+	marginT  = 48
+	marginB  = 64
+	plotW    = width - marginL - marginR
+	plotH    = height - marginT - marginB
+	fontFace = "font-family=\"Helvetica,Arial,sans-serif\""
+)
+
+var seriesColors = []string{"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#af7aa1"}
+
+// BarGroup is one x-axis category with one value per series.
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// BarChart describes a grouped bar chart with an optional secondary line
+// (e.g. relative speedup on the right axis, as in Figs. 3/4).
+type BarChart struct {
+	Title     string
+	YLabel    string
+	Series    []string
+	Groups    []BarGroup
+	Line      []float64 // optional; len == len(Groups)
+	LineLabel string
+	LinePct   bool // render right-axis ticks as percentages
+}
+
+// Render produces the SVG document. It returns an empty string for charts
+// with no data.
+func (c BarChart) Render() string {
+	if len(c.Groups) == 0 || len(c.Series) == 0 {
+		return ""
+	}
+	maxY := 0.0
+	for _, g := range c.Groups {
+		for _, v := range g.Values {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY = niceCeil(maxY)
+
+	var b strings.Builder
+	header(&b, c.Title)
+	axes(&b, c.YLabel, maxY, false)
+
+	groupW := float64(plotW) / float64(len(c.Groups))
+	barW := groupW * 0.7 / float64(len(c.Series))
+	for gi, g := range c.Groups {
+		gx := float64(marginL) + groupW*float64(gi)
+		for si, v := range g.Values {
+			h := v / maxY * float64(plotH)
+			x := gx + groupW*0.15 + barW*float64(si)
+			y := float64(marginT+plotH) - h
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.1f</title></rect>`,
+				x, y, barW, h, seriesColors[si%len(seriesColors)], g.Label, c.Series[si], v)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" %s font-size="12" text-anchor="middle">%s</text>`,
+			gx+groupW/2, marginT+plotH+18, fontFace, g.Label)
+	}
+
+	// Legend.
+	for si, name := range c.Series {
+		lx := marginL + 10 + si*140
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`,
+			lx, marginT-24, seriesColors[si%len(seriesColors)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" %s font-size="12">%s</text>`,
+			lx+16, marginT-14, fontFace, name)
+	}
+
+	// Secondary line with right axis.
+	if len(c.Line) == len(c.Groups) {
+		maxL := 0.0
+		for _, v := range c.Line {
+			if v > maxL {
+				maxL = v
+			}
+		}
+		if maxL <= 0 {
+			maxL = 1
+		}
+		maxL = niceCeil(maxL)
+		var pts []string
+		for gi, v := range c.Line {
+			x := float64(marginL) + groupW*(float64(gi)+0.5)
+			y := float64(marginT+plotH) - v/maxL*float64(plotH)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#e15759" stroke-width="2.5"/>`,
+			strings.Join(pts, " "))
+		for _, p := range pts {
+			var x, y float64
+			fmt.Sscanf(p, "%f,%f", &x, &y)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="#e15759"/>`, x, y)
+		}
+		// Right axis ticks.
+		for i := 0; i <= 4; i++ {
+			v := maxL * float64(i) / 4
+			y := float64(marginT+plotH) - float64(plotH)*float64(i)/4
+			label := fmt.Sprintf("%.0f", v)
+			if c.LinePct {
+				label = fmt.Sprintf("%.0f%%", v*100)
+			}
+			fmt.Fprintf(&b, `<text x="%d" y="%.1f" %s font-size="11" fill="#e15759">%s</text>`,
+				marginL+plotW+8, y+4, fontFace, label)
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" %s font-size="12" fill="#e15759">%s</text>`,
+			marginL+plotW-80, marginT-14, fontFace, c.LineLabel)
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// LineSeries is one named step/line series.
+type LineSeries struct {
+	Name string
+	X    []float64
+	Y    []float64
+	Step bool // draw as step function (cumulative curves)
+}
+
+// LineChart draws multiple series over a shared axis (Fig. 5 style).
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []LineSeries
+}
+
+// Render produces the SVG document, or "" with no data.
+func (c LineChart) Render() string {
+	if len(c.Series) == 0 {
+		return ""
+	}
+	maxX, maxY := 0.0, 0.0
+	for _, s := range c.Series {
+		for i := range s.X {
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	if maxX <= 0 || maxY <= 0 {
+		return ""
+	}
+	maxX, maxY = niceCeil(maxX), niceCeil(maxY)
+
+	var b strings.Builder
+	header(&b, c.Title)
+	axes(&b, c.YLabel, maxY, true)
+	// X ticks.
+	for i := 0; i <= 5; i++ {
+		v := maxX * float64(i) / 5
+		x := float64(marginL) + float64(plotW)*float64(i)/5
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" %s font-size="11" text-anchor="middle">%.0f</text>`,
+			x, marginT+plotH+18, fontFace, v)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" %s font-size="12" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, height-16, fontFace, c.XLabel)
+
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		var pts []string
+		prevY := float64(marginT + plotH)
+		for i := range s.X {
+			x := float64(marginL) + s.X[i]/maxX*float64(plotW)
+			y := float64(marginT+plotH) - s.Y[i]/maxY*float64(plotH)
+			if s.Step && len(pts) > 0 {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, prevY))
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+			prevY = y
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.Join(pts, " "), color)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`,
+			marginL+10+si*170, marginT-24, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" %s font-size="12">%s</text>`,
+			marginL+26+si*170, marginT-14, fontFace, s.Name)
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func header(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	fmt.Fprintf(b, `<text x="%d" y="20" %s font-size="15" font-weight="bold">%s</text>`,
+		marginL, fontFace, title)
+}
+
+// axes draws the frame, left-axis ticks and gridlines.
+func axes(b *strings.Builder, yLabel string, maxY float64, xContinuous bool) {
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999"/>`,
+		marginL, marginT, plotW, plotH)
+	for i := 0; i <= 4; i++ {
+		v := maxY * float64(i) / 4
+		y := float64(marginT+plotH) - float64(plotH)*float64(i)/4
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#e5e5e5"/>`,
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" %s font-size="11" text-anchor="end">%s</text>`,
+			marginL-6, y+4, fontFace, fmtTick(v))
+	}
+	fmt.Fprintf(b, `<text x="18" y="%d" %s font-size="12" transform="rotate(-90 18 %d)">%s</text>`,
+		marginT+plotH/2, fontFace, marginT+plotH/2, yLabel)
+}
+
+func fmtTick(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// niceCeil rounds up to 1/2/5 × 10^k for clean axis maxima.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}

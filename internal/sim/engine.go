@@ -1,0 +1,270 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant are delivered in scheduling order
+// (FIFO), which keeps runs fully deterministic. All of the simulated
+// substrates in this repository (the network, the Hadoop runtime, the SDN
+// controller) are driven by a single Engine so that their interleavings are
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured in seconds from simulation
+// start. A float64 gives sub-microsecond resolution over multi-hour
+// simulated horizons, which is ample for flow-level modeling.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration float64
+
+// Common durations, for readability at call sites.
+const (
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Std converts a virtual duration to a time.Duration for display.
+func (d Duration) Std() time.Duration { return time.Duration(float64(d) * float64(time.Second)) }
+
+// String formats a virtual time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
+
+// String formats a duration as seconds with millisecond precision.
+func (d Duration) String() string { return fmt.Sprintf("%.3fs", float64(d)) }
+
+// Event is a scheduled callback. The callback runs exactly once, at its
+// scheduled time, unless cancelled first.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among same-time events
+	fn     func()
+	index  int // heap index; -1 once removed
+	cancel bool
+	daemon bool
+}
+
+// Time reports when the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now       Time
+	queue     eventQueue
+	seq       uint64
+	running   bool
+	stopped   bool
+	nonDaemon int
+	// Processed counts events that have fired.
+	Processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.nonDaemon++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// AtDaemon schedules a background event that does not keep Run alive:
+// when only daemon events remain pending, Run returns. Recurring pollers
+// (SDN statistics, NetFlow sampling) use this so simulations terminate when
+// the workload drains.
+func (e *Engine) AtDaemon(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, daemon: true}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// AfterDaemon is AtDaemon relative to the current time.
+func (e *Engine) AfterDaemon(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.AtDaemon(e.now.Add(d), fn)
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+	if !ev.daemon {
+		e.nonDaemon--
+	}
+}
+
+// Step fires the earliest pending event and returns true, or returns false
+// if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.Processed++
+	if !ev.daemon {
+		e.nonDaemon--
+	}
+	ev.fn()
+	return true
+}
+
+// Run processes events until no non-daemon events remain or Stop is called.
+// Daemon events earlier than the last non-daemon event still fire.
+func (e *Engine) Run() {
+	e.running = true
+	e.stopped = false
+	for !e.stopped && e.nonDaemon > 0 && e.Step() {
+	}
+	e.running = false
+}
+
+// RunUntil processes events with time ≤ deadline. Events scheduled after the
+// deadline remain queued; the clock is advanced to the deadline if the
+// simulation ran dry earlier.
+func (e *Engine) RunUntil(deadline Time) {
+	e.running = true
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	e.running = false
+}
+
+// Stop halts Run/RunUntil after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Ticker is a recurring daemon callback created by Every.
+type Ticker struct {
+	eng     *Engine
+	period  Duration
+	fn      func()
+	stopped bool
+}
+
+// Every schedules fn as a recurring daemon: it fires every period while
+// foreground work keeps the simulation alive, and never prevents Run from
+// returning. The first firing is one period from now. Stop the ticker to
+// cease firing.
+func (e *Engine) Every(period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %v", period))
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	e.AfterDaemon(period, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.eng.AfterDaemon(t.period, t.tick)
+	}
+}
+
+// Stop halts the ticker; pending firings are suppressed.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// SetPeriod changes the interval from the next firing onward.
+func (t *Ticker) SetPeriod(period Duration) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %v", period))
+	}
+	t.period = period
+}
+
+// NextEventTime returns the time of the earliest pending event, or +Inf when
+// the queue is empty.
+func (e *Engine) NextEventTime() Time {
+	if len(e.queue) == 0 {
+		return Time(math.Inf(1))
+	}
+	return e.queue[0].at
+}

@@ -1,0 +1,116 @@
+package topology
+
+import "fmt"
+
+// Gbps converts gigabits/second to bits/second.
+const Gbps = 1e9
+
+// TwoRack builds the paper's testbed topology: two racks of hostsPerRack
+// servers, each rack with a ToR switch, and trunkLinks parallel cables
+// between the two ToRs. All links run at linkBps. The paper used 5 servers
+// per rack, 1 Gbps links, and 2 inter-rack trunks.
+//
+// Returned alongside the graph are the host IDs (rack 0 first) and the
+// forward-direction trunk link IDs.
+func TwoRack(hostsPerRack, trunkLinks int, linkBps float64) (*Graph, []NodeID, []LinkID) {
+	if hostsPerRack <= 0 || trunkLinks <= 0 {
+		panic("topology: TwoRack needs positive hosts and trunks")
+	}
+	g := NewGraph()
+	tor0 := g.AddNode(Switch, "tor0", 0)
+	tor1 := g.AddNode(Switch, "tor1", 1)
+	var hosts []NodeID
+	for r, tor := range []NodeID{tor0, tor1} {
+		for i := 0; i < hostsPerRack; i++ {
+			h := g.AddNode(Host, fmt.Sprintf("rack%d-host%d", r, i), r)
+			g.AddDuplex(h, tor, linkBps, fmt.Sprintf("edge-r%dh%d", r, i))
+			hosts = append(hosts, h)
+		}
+	}
+	var trunks []LinkID
+	for i := 0; i < trunkLinks; i++ {
+		f, _ := g.AddDuplex(tor0, tor1, linkBps, fmt.Sprintf("trunk%d", i))
+		trunks = append(trunks, f)
+	}
+	return g, hosts, trunks
+}
+
+// LeafSpine builds a two-tier Clos: leaves racks each with hostsPerRack
+// servers, spines spine switches, every leaf connected to every spine at
+// linkBps. This is the "larger-scale future SDN setup" shape the paper
+// discusses for flow aggregation, and gives spines equal-cost paths between
+// any inter-rack host pair.
+func LeafSpine(leaves, spines, hostsPerRack int, linkBps float64) (*Graph, []NodeID) {
+	if leaves <= 0 || spines <= 0 || hostsPerRack <= 0 {
+		panic("topology: LeafSpine needs positive dimensions")
+	}
+	g := NewGraph()
+	leafIDs := make([]NodeID, leaves)
+	for l := 0; l < leaves; l++ {
+		leafIDs[l] = g.AddNode(Switch, fmt.Sprintf("leaf%d", l), l)
+	}
+	spineIDs := make([]NodeID, spines)
+	for s := 0; s < spines; s++ {
+		spineIDs[s] = g.AddNode(Switch, fmt.Sprintf("spine%d", s), -1)
+	}
+	var hosts []NodeID
+	for l := 0; l < leaves; l++ {
+		for i := 0; i < hostsPerRack; i++ {
+			h := g.AddNode(Host, fmt.Sprintf("rack%d-host%d", l, i), l)
+			g.AddDuplex(h, leafIDs[l], linkBps, fmt.Sprintf("edge-l%dh%d", l, i))
+			hosts = append(hosts, h)
+		}
+	}
+	for l := 0; l < leaves; l++ {
+		for s := 0; s < spines; s++ {
+			g.AddDuplex(leafIDs[l], spineIDs[s], linkBps, fmt.Sprintf("up-l%ds%d", l, s))
+		}
+	}
+	return g, hosts
+}
+
+// FatTree builds a k-ary fat-tree (k even): (k/2)² core switches, k pods of
+// k/2 aggregation and k/2 edge switches, and hostsPerEdge hosts per edge
+// switch (the canonical construction uses k/2). All links at linkBps.
+func FatTree(k, hostsPerEdge int, linkBps float64) (*Graph, []NodeID) {
+	if k <= 0 || k%2 != 0 {
+		panic("topology: FatTree arity must be positive and even")
+	}
+	if hostsPerEdge <= 0 {
+		panic("topology: FatTree needs positive hosts per edge")
+	}
+	g := NewGraph()
+	half := k / 2
+	core := make([]NodeID, half*half)
+	for i := range core {
+		core[i] = g.AddNode(Switch, fmt.Sprintf("core%d", i), -1)
+	}
+	var hosts []NodeID
+	for p := 0; p < k; p++ {
+		aggs := make([]NodeID, half)
+		edges := make([]NodeID, half)
+		for a := 0; a < half; a++ {
+			aggs[a] = g.AddNode(Switch, fmt.Sprintf("pod%d-agg%d", p, a), p)
+		}
+		for e := 0; e < half; e++ {
+			edges[e] = g.AddNode(Switch, fmt.Sprintf("pod%d-edge%d", p, e), p)
+		}
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				g.AddDuplex(edges[e], aggs[a], linkBps, fmt.Sprintf("p%de%da%d", p, e, a))
+			}
+			for h := 0; h < hostsPerEdge; h++ {
+				hn := g.AddNode(Host, fmt.Sprintf("pod%d-edge%d-host%d", p, e, h), p)
+				g.AddDuplex(hn, edges[e], linkBps, fmt.Sprintf("p%de%dh%d", p, e, h))
+				hosts = append(hosts, hn)
+			}
+		}
+		// Aggregation a connects to cores [a*half, (a+1)*half).
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				g.AddDuplex(aggs[a], core[a*half+c], linkBps, fmt.Sprintf("p%da%dc%d", p, a, a*half+c))
+			}
+		}
+	}
+	return g, hosts
+}

@@ -1,0 +1,82 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ToDOT renders the topology as a Graphviz document: hosts as boxes grouped
+// into rack clusters, switches as ellipses, one undirected edge per duplex
+// cable (capacity as the label), dashed red for failed links. Render with
+// `dot -Tsvg` or any Graphviz viewer.
+func ToDOT(g *Graph) string {
+	var b strings.Builder
+	b.WriteString("graph topology {\n")
+	b.WriteString("  rankdir=BT;\n  node [fontname=\"Helvetica\"];\n")
+
+	// Group hosts (and their rack's switches) into cluster subgraphs.
+	racks := map[int][]Node{}
+	var rackIDs []int
+	var coreSwitches []Node
+	for _, n := range g.Nodes() {
+		if n.Rack < 0 {
+			coreSwitches = append(coreSwitches, n)
+			continue
+		}
+		if _, seen := racks[n.Rack]; !seen {
+			rackIDs = append(rackIDs, n.Rack)
+		}
+		racks[n.Rack] = append(racks[n.Rack], n)
+	}
+	sort.Ints(rackIDs)
+	for _, r := range rackIDs {
+		fmt.Fprintf(&b, "  subgraph cluster_rack%d {\n    label=\"rack %d\";\n", r, r)
+		for _, n := range racks[r] {
+			b.WriteString("    " + dotNode(n))
+		}
+		b.WriteString("  }\n")
+	}
+	for _, n := range coreSwitches {
+		b.WriteString("  " + dotNode(n))
+	}
+
+	// One edge per duplex pair; singly-added links get a directed-style
+	// annotation.
+	drawn := map[LinkID]bool{}
+	for _, l := range g.Links() {
+		if drawn[l.ID] {
+			continue
+		}
+		drawn[l.ID] = true
+		if rev, ok := g.Reverse(l.ID); ok {
+			drawn[rev] = true
+		}
+		style := ""
+		if !g.LinkUp(l.ID) {
+			style = ", style=dashed, color=red"
+		}
+		fmt.Fprintf(&b, "  n%d -- n%d [label=\"%s\"%s];\n",
+			l.From, l.To, capLabel(l.CapacityBps), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotNode(n Node) string {
+	shape := "box"
+	if n.Kind == Switch {
+		shape = "ellipse"
+	}
+	return fmt.Sprintf("n%d [label=\"%s\", shape=%s];\n", n.ID, n.Name, shape)
+}
+
+func capLabel(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.0fG", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.0fM", bps/1e6)
+	}
+	return fmt.Sprintf("%.0f", bps)
+}

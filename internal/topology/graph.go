@@ -1,0 +1,232 @@
+// Package topology models the physical datacenter network as a graph of
+// hosts, switches and links, and provides the routing primitives Pythia's
+// network scheduling module depends on: Dijkstra shortest paths and the
+// Yen/successive-Dijkstra k-shortest-paths computation the paper describes
+// (hop-count metric, recomputed only on topology change events).
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node (host or switch) in the graph.
+type NodeID int
+
+// NodeKind distinguishes servers (leaf vertices in the paper's routing
+// graph) from network switches (intermediate vertices).
+type NodeKind int
+
+const (
+	// Host is a server: a leaf vertex that sources/sinks traffic.
+	Host NodeKind = iota
+	// Switch is a network element that only forwards.
+	Switch
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case Switch:
+		return "switch"
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// Node is a vertex in the topology.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	Name string
+	// Rack groups hosts and their ToR switch; -1 for core switches.
+	Rack int
+}
+
+// LinkID identifies a directed link. Physical cables are modeled as two
+// directed links so that each direction has independent capacity, matching
+// full-duplex Ethernet.
+type LinkID int
+
+// Link is a directed edge with a capacity in bits per second.
+type Link struct {
+	ID       LinkID
+	From, To NodeID
+	// CapacityBps is the nominal line rate in bits per second.
+	CapacityBps float64
+	Name        string
+}
+
+// Graph is the network topology. Construct with NewGraph and the Add*
+// methods; the graph is then immutable from the router's perspective except
+// through SetLinkUp (failure injection).
+type Graph struct {
+	nodes []Node
+	links []Link
+	// out[n] lists link IDs leaving node n.
+	out [][]LinkID
+	// linkIndex maps (from,to) to the link ID; parallel links get distinct
+	// entries in parallel[].
+	parallel map[[2]NodeID][]LinkID
+	reverse  map[LinkID]LinkID // duplex pairing
+	down     map[LinkID]bool
+	version  uint64 // bumped on topology change, lets routers cache
+}
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph {
+	return &Graph{
+		parallel: make(map[[2]NodeID][]LinkID),
+		reverse:  make(map[LinkID]LinkID),
+		down:     make(map[LinkID]bool),
+	}
+}
+
+// AddNode adds a vertex and returns its ID.
+func (g *Graph) AddNode(kind NodeKind, name string, rack int) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Name: name, Rack: rack})
+	g.out = append(g.out, nil)
+	g.version++
+	return id
+}
+
+// AddLink adds a single directed link and returns its ID. It panics on
+// unknown endpoints or non-positive capacity.
+func (g *Graph) AddLink(from, to NodeID, capacityBps float64, name string) LinkID {
+	if !g.valid(from) || !g.valid(to) {
+		panic(fmt.Sprintf("topology: AddLink with unknown node %d->%d", from, to))
+	}
+	if capacityBps <= 0 {
+		panic("topology: AddLink with non-positive capacity")
+	}
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, From: from, To: to, CapacityBps: capacityBps, Name: name})
+	g.out[from] = append(g.out[from], id)
+	key := [2]NodeID{from, to}
+	g.parallel[key] = append(g.parallel[key], id)
+	g.version++
+	return id
+}
+
+// AddDuplex adds a full-duplex cable: two directed links, one per direction,
+// each at the given capacity. It returns both link IDs (forward, reverse).
+func (g *Graph) AddDuplex(a, b NodeID, capacityBps float64, name string) (LinkID, LinkID) {
+	f := g.AddLink(a, b, capacityBps, name)
+	r := g.AddLink(b, a, capacityBps, name+"~rev")
+	g.reverse[f] = r
+	g.reverse[r] = f
+	return f, r
+}
+
+// Reverse returns the paired opposite-direction link of a duplex cable and
+// true, or -1 and false for links added singly via AddLink.
+func (g *Graph) Reverse(id LinkID) (LinkID, bool) {
+	r, ok := g.reverse[id]
+	if !ok {
+		return -1, false
+	}
+	return r, true
+}
+
+func (g *Graph) valid(n NodeID) bool { return n >= 0 && int(n) < len(g.nodes) }
+
+// Node returns the node record. It panics on an unknown ID.
+func (g *Graph) Node(id NodeID) Node {
+	if !g.valid(id) {
+		panic(fmt.Sprintf("topology: unknown node %d", id))
+	}
+	return g.nodes[id]
+}
+
+// Link returns the link record. It panics on an unknown ID.
+func (g *Graph) Link(id LinkID) Link {
+	if id < 0 || int(id) >= len(g.links) {
+		panic(fmt.Sprintf("topology: unknown link %d", id))
+	}
+	return g.links[id]
+}
+
+// Nodes returns all nodes in ID order.
+func (g *Graph) Nodes() []Node { return append([]Node(nil), g.nodes...) }
+
+// Links returns all links in ID order (including downed links).
+func (g *Graph) Links() []Link { return append([]Link(nil), g.links...) }
+
+// NumNodes and NumLinks report graph size.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks reports the number of directed links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Hosts returns the IDs of all host nodes in ID order.
+func (g *Graph) Hosts() []NodeID {
+	var hs []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == Host {
+			hs = append(hs, n.ID)
+		}
+	}
+	return hs
+}
+
+// Switches returns the IDs of all switch nodes in ID order.
+func (g *Graph) Switches() []NodeID {
+	var ss []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == Switch {
+			ss = append(ss, n.ID)
+		}
+	}
+	return ss
+}
+
+// Out returns the usable (up) links leaving node n.
+func (g *Graph) Out(n NodeID) []LinkID {
+	var ls []LinkID
+	for _, l := range g.out[n] {
+		if !g.down[l] {
+			ls = append(ls, l)
+		}
+	}
+	return ls
+}
+
+// SetLinkUp marks a link up (true) or down (false). Downed links are
+// excluded from routing; the version counter is bumped so cached routing
+// graphs are invalidated, mirroring the paper's reliance on OpenDaylight
+// topology-update events for fault tolerance.
+func (g *Graph) SetLinkUp(id LinkID, up bool) {
+	if id < 0 || int(id) >= len(g.links) {
+		panic(fmt.Sprintf("topology: unknown link %d", id))
+	}
+	if g.down[id] == !up {
+		return
+	}
+	if up {
+		delete(g.down, id)
+	} else {
+		g.down[id] = true
+	}
+	g.version++
+}
+
+// LinkUp reports whether the link is usable.
+func (g *Graph) LinkUp(id LinkID) bool { return !g.down[id] }
+
+// Version is a counter bumped on every topology mutation; routing caches key
+// off it.
+func (g *Graph) Version() uint64 { return g.version }
+
+// FindLinks returns the IDs of up links from a to b (parallel links give
+// multiple results), in ID order.
+func (g *Graph) FindLinks(a, b NodeID) []LinkID {
+	var ls []LinkID
+	for _, l := range g.parallel[[2]NodeID{a, b}] {
+		if !g.down[l] {
+			ls = append(ls, l)
+		}
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	return ls
+}

@@ -1,0 +1,287 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+)
+
+// Path is a loop-free sequence of directed links from a source node to a
+// destination node. Paths are link sequences, not node sequences, because
+// the evaluation topology (two ToR switches joined by two parallel cables)
+// has distinct paths that traverse the same nodes.
+type Path struct {
+	Links []LinkID
+	Src   NodeID
+	Dst   NodeID
+}
+
+// Hops returns the number of links on the path (the paper's distance
+// metric).
+func (p Path) Hops() int { return len(p.Links) }
+
+// Nodes returns the node sequence Src..Dst implied by the links.
+func (p Path) Nodes(g *Graph) []NodeID {
+	ns := []NodeID{p.Src}
+	for _, l := range p.Links {
+		ns = append(ns, g.Link(l).To)
+	}
+	return ns
+}
+
+// Equal reports whether two paths use the identical link sequence.
+func (p Path) Equal(q Path) bool {
+	if p.Src != q.Src || p.Dst != q.Dst || len(p.Links) != len(q.Links) {
+		return false
+	}
+	for i := range p.Links {
+		if p.Links[i] != q.Links[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the path as "src -[link]-> ... -> dst" using node names.
+func (p Path) Format(g *Graph) string {
+	var b strings.Builder
+	b.WriteString(g.Node(p.Src).Name)
+	for _, l := range p.Links {
+		fmt.Fprintf(&b, " -[%s]-> %s", g.Link(l).Name, g.Node(g.Link(l).To).Name)
+	}
+	return b.String()
+}
+
+// Valid checks structural integrity: links are connected head-to-tail, start
+// at Src, end at Dst, all links up, and no node repeats (loop-free).
+func (p Path) Valid(g *Graph) error {
+	at := p.Src
+	seen := map[NodeID]bool{p.Src: true}
+	for i, lid := range p.Links {
+		l := g.Link(lid)
+		if !g.LinkUp(lid) {
+			return fmt.Errorf("link %d is down", lid)
+		}
+		if l.From != at {
+			return fmt.Errorf("link %d at position %d starts at node %d, expected %d", lid, i, l.From, at)
+		}
+		at = l.To
+		if seen[at] && at != p.Dst {
+			return fmt.Errorf("path revisits node %d", at)
+		}
+		if seen[at] && at == p.Dst && i != len(p.Links)-1 {
+			return fmt.Errorf("path passes through destination before ending")
+		}
+		seen[at] = true
+	}
+	if at != p.Dst {
+		return fmt.Errorf("path ends at node %d, expected %d", at, p.Dst)
+	}
+	return nil
+}
+
+type pqItem struct {
+	node NodeID
+	dist int
+	seq  int
+}
+
+type nodePQ []pqItem
+
+func (q nodePQ) Len() int { return len(q) }
+func (q nodePQ) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].seq < q[j].seq
+}
+func (q nodePQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *nodePQ) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *nodePQ) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// ShortestPath runs Dijkstra with hop-count metric from src to dst,
+// excluding any links in banned and any nodes in bannedNodes. It returns the
+// path and true, or a zero path and false when dst is unreachable. Ties are
+// broken deterministically by link ID so results are stable across runs.
+func (g *Graph) ShortestPath(src, dst NodeID, banned map[LinkID]bool, bannedNodes map[NodeID]bool) (Path, bool) {
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, len(g.nodes))
+	prev := make([]LinkID, len(g.nodes))
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodePQ{{node: src}}
+	seq := 1
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		if it.node == dst {
+			break
+		}
+		for _, lid := range g.out[it.node] {
+			if g.down[lid] || (banned != nil && banned[lid]) {
+				continue
+			}
+			l := g.links[lid]
+			if bannedNodes != nil && bannedNodes[l.To] && l.To != dst {
+				continue
+			}
+			nd := it.dist + 1
+			if nd < dist[l.To] || (nd == dist[l.To] && prev[l.To] > lid && prev[l.To] != -1) {
+				// Strict improvement, or equal-cost with a smaller
+				// link ID: keeps tie-breaks deterministic.
+				if nd < dist[l.To] {
+					dist[l.To] = nd
+					prev[l.To] = lid
+					heap.Push(pq, pqItem{node: l.To, dist: nd, seq: seq})
+					seq++
+				} else {
+					prev[l.To] = lid
+				}
+			}
+		}
+	}
+	if prev[dst] == -1 && src != dst {
+		return Path{}, false
+	}
+	var rev []LinkID
+	for at := dst; at != src; {
+		lid := prev[at]
+		rev = append(rev, lid)
+		at = g.links[lid].From
+	}
+	links := make([]LinkID, len(rev))
+	for i := range rev {
+		links[i] = rev[len(rev)-1-i]
+	}
+	return Path{Links: links, Src: src, Dst: dst}, true
+}
+
+// KShortestPaths returns up to k loop-free paths from src to dst in
+// nondecreasing hop-count order (Yen's algorithm over link sequences, built
+// from successive Dijkstra calls as the paper describes). Parallel links
+// yield distinct paths. Results are deterministic.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := g.ShortestPath(src, dst, nil, nil)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+
+	for len(paths) < k {
+		prevPath := paths[len(paths)-1]
+		// For each node along the previous path, branch: ban the links
+		// that previous paths used at this divergence point and the
+		// root-path nodes, then reroute the tail.
+		prevNodes := prevPath.Nodes(g)
+		for i := 0; i < len(prevPath.Links); i++ {
+			spurNode := prevNodes[i]
+			rootLinks := append([]LinkID(nil), prevPath.Links[:i]...)
+
+			banned := make(map[LinkID]bool)
+			for _, p := range paths {
+				if hasPrefix(p.Links, rootLinks) && len(p.Links) > i {
+					banned[p.Links[i]] = true
+				}
+			}
+			bannedNodes := make(map[NodeID]bool)
+			for _, n := range prevNodes[:i] {
+				bannedNodes[n] = true
+			}
+
+			spur, ok := g.ShortestPath(spurNode, dst, banned, bannedNodes)
+			if !ok {
+				continue
+			}
+			total := Path{
+				Links: append(append([]LinkID(nil), rootLinks...), spur.Links...),
+				Src:   src,
+				Dst:   dst,
+			}
+			if total.Valid(g) != nil {
+				continue
+			}
+			dup := false
+			for _, c := range candidates {
+				if c.Equal(total) {
+					dup = true
+					break
+				}
+			}
+			for _, p := range paths {
+				if p.Equal(total) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Pick the shortest candidate; tie-break by lexicographic link
+		// IDs for determinism.
+		best := 0
+		for i := 1; i < len(candidates); i++ {
+			if pathLess(candidates[i], candidates[best]) {
+				best = i
+			}
+		}
+		paths = append(paths, candidates[best])
+		candidates = append(candidates[:best], candidates[best+1:]...)
+	}
+	return paths
+}
+
+func hasPrefix(links, prefix []LinkID) bool {
+	if len(links) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if links[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pathLess(a, b Path) bool {
+	if len(a.Links) != len(b.Links) {
+		return len(a.Links) < len(b.Links)
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			return a.Links[i] < b.Links[i]
+		}
+	}
+	return false
+}
+
+// AllPairsKShortest computes k-shortest paths between every ordered pair of
+// hosts, as the paper's flow allocation module does at startup. The result
+// maps [src][dst] to the path list. For h hosts this is O(h²) Dijkstra-based
+// computations, acceptable off the data path.
+func (g *Graph) AllPairsKShortest(k int) map[NodeID]map[NodeID][]Path {
+	hosts := g.Hosts()
+	out := make(map[NodeID]map[NodeID][]Path, len(hosts))
+	for _, s := range hosts {
+		out[s] = make(map[NodeID][]Path, len(hosts)-1)
+		for _, d := range hosts {
+			if s == d {
+				continue
+			}
+			out[s][d] = g.KShortestPaths(s, d, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// chromeEvent is one Trace Event Format record ("X" = complete event).
+// The format is consumed by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func (k SpanKind) category() string {
+	switch k {
+	case MapSpan:
+		return "map"
+	case ShuffleSpan:
+		return "shuffle"
+	case ReduceSpan:
+		return "reduce"
+	}
+	return "unknown"
+}
+
+// ChromeTrace exports the recorded job as Chrome trace-event JSON: one
+// "thread" per tasktracker, a complete-event per task span, and one per
+// shuffle fetch (on a dedicated fetch lane per reducer). Returns nil when
+// no job completed.
+func (r *Recorder) ChromeTrace() ([]byte, error) {
+	if r.job == nil {
+		return nil, nil
+	}
+	t0 := r.job.Submitted
+	var events []chromeEvent
+	for _, s := range r.Spans() {
+		events = append(events, chromeEvent{
+			Name:  fmt.Sprintf("%s (%s)", s.Label, s.Kind.category()),
+			Cat:   s.Kind.category(),
+			Phase: "X",
+			TsUs:  float64(s.Start.Sub(t0)) * 1e6,
+			DurUs: float64(s.End.Sub(s.Start)) * 1e6,
+			PID:   0,
+			TID:   s.Host,
+			Args:  map[string]any{"host": s.Host},
+		})
+	}
+	// Fetch lanes: tid = 1000 + reducer ID keeps them clear of tracker
+	// rows.
+	fetches := r.Fetches()
+	sort.Slice(fetches, func(i, j int) bool {
+		if fetches[i].Start != fetches[j].Start {
+			return fetches[i].Start < fetches[j].Start
+		}
+		return fetches[i].Map < fetches[j].Map
+	})
+	for _, f := range fetches {
+		if f.Bytes == 0 {
+			continue
+		}
+		events = append(events, chromeEvent{
+			Name:  fmt.Sprintf("fetch m%d→r%d", f.Map, f.Reduce),
+			Cat:   "fetch",
+			Phase: "X",
+			TsUs:  float64(f.Start.Sub(t0)) * 1e6,
+			DurUs: float64(f.End.Sub(f.Start)) * 1e6,
+			PID:   0,
+			TID:   1000 + f.Reduce,
+			Args: map[string]any{
+				"bytes":  f.Bytes,
+				"remote": f.Remote,
+			},
+		})
+	}
+	return json.MarshalIndent(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	}, "", " ")
+}

@@ -1,0 +1,298 @@
+// Package trace records MapReduce job execution events and renders them as
+// sequence (Gantt) diagrams — the "custom visualization tool" the paper used
+// to produce Fig. 1a, where the map, shuffle and reduce phases of a toy sort
+// job are annotated and the 5x reducer skew is visible in the per-reducer
+// fetch volumes. Output is ASCII (deterministic and diffable) plus an SVG
+// writer for reports.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pythia/internal/hadoop"
+	"pythia/internal/netsim"
+	"pythia/internal/sim"
+)
+
+// Span is one task's timeline segment.
+type Span struct {
+	Label string
+	Host  int // tracker index
+	Start sim.Time
+	End   sim.Time
+	Kind  SpanKind
+}
+
+// SpanKind classifies a span for rendering.
+type SpanKind int
+
+const (
+	// MapSpan covers a map task's compute.
+	MapSpan SpanKind = iota
+	// ShuffleSpan covers a reducer's fetch phase.
+	ShuffleSpan
+	// ReduceSpan covers a reducer's compute after the shuffle barrier.
+	ReduceSpan
+)
+
+func (k SpanKind) glyph() byte {
+	switch k {
+	case MapSpan:
+		return 'M'
+	case ShuffleSpan:
+		return 's'
+	case ReduceSpan:
+		return 'R'
+	}
+	return '?'
+}
+
+// FetchRecord is one shuffle transfer.
+type FetchRecord struct {
+	Map, Reduce int
+	Bytes       float64
+	Start, End  sim.Time
+	Remote      bool
+}
+
+// Recorder captures one job's execution from cluster events.
+type Recorder struct {
+	eng *sim.Engine
+
+	jobID      int
+	haveJob    bool
+	mapStart   map[int]sim.Time
+	redStart   map[int]sim.Time
+	shufDone   map[int]sim.Time
+	spans      []Span
+	fetches    []FetchRecord
+	fetchStart map[[2]int]sim.Time
+	job        *hadoop.Job
+}
+
+// Attach wires a recorder to a cluster. It records the first job submitted
+// (the Fig. 1a tool visualizes a single job).
+func Attach(eng *sim.Engine, cluster *hadoop.Cluster) *Recorder {
+	r := &Recorder{
+		eng:        eng,
+		mapStart:   make(map[int]sim.Time),
+		redStart:   make(map[int]sim.Time),
+		shufDone:   make(map[int]sim.Time),
+		fetchStart: make(map[[2]int]sim.Time),
+	}
+	cluster.OnMapScheduled(func(j *hadoop.Job, m *hadoop.MapTask) {
+		if !r.claim(j) {
+			return
+		}
+		r.mapStart[m.ID] = eng.Now()
+	})
+	cluster.OnMapFinished(func(j *hadoop.Job, m *hadoop.MapTask, _ []float64) {
+		if !r.owns(j) {
+			return
+		}
+		r.spans = append(r.spans, Span{
+			Label: fmt.Sprintf("map-%d", m.ID), Host: m.Tracker,
+			Start: r.mapStart[m.ID], End: eng.Now(), Kind: MapSpan,
+		})
+	})
+	cluster.OnReduceScheduled(func(j *hadoop.Job, red *hadoop.ReduceTask) {
+		if !r.claim(j) {
+			return
+		}
+		r.redStart[red.ID] = eng.Now()
+	})
+	cluster.OnFetchStart(func(j *hadoop.Job, mapID, reduceID int, f *netsim.Flow) {
+		if !r.owns(j) {
+			return
+		}
+		r.fetchStart[[2]int{mapID, reduceID}] = eng.Now()
+	})
+	cluster.OnFetchDone(func(j *hadoop.Job, mapID, reduceID int, f *netsim.Flow) {
+		if !r.owns(j) {
+			return
+		}
+		rec := FetchRecord{
+			Map: mapID, Reduce: reduceID,
+			Start: r.fetchStart[[2]int{mapID, reduceID}], End: eng.Now(),
+		}
+		if f != nil {
+			rec.Bytes = f.SizeBits / 8
+			rec.Remote = len(f.Path.Links) > 0
+		}
+		r.fetches = append(r.fetches, rec)
+	})
+	cluster.OnJobDone(func(j *hadoop.Job) {
+		if !r.owns(j) {
+			return
+		}
+		r.job = j
+		for _, red := range j.Reduces {
+			r.spans = append(r.spans,
+				Span{Label: fmt.Sprintf("reduce-%d", red.ID), Host: red.Tracker,
+					Start: r.redStart[red.ID], End: red.ShuffleDone, Kind: ShuffleSpan},
+				Span{Label: fmt.Sprintf("reduce-%d", red.ID), Host: red.Tracker,
+					Start: red.ShuffleDone, End: red.Finished, Kind: ReduceSpan},
+			)
+		}
+	})
+	return r
+}
+
+func (r *Recorder) claim(j *hadoop.Job) bool {
+	if !r.haveJob {
+		r.haveJob = true
+		r.jobID = j.ID
+	}
+	return r.jobID == j.ID
+}
+
+func (r *Recorder) owns(j *hadoop.Job) bool { return r.haveJob && r.jobID == j.ID }
+
+// Job returns the recorded job (nil before completion).
+func (r *Recorder) Job() *hadoop.Job { return r.job }
+
+// Spans returns recorded spans sorted by (kind, label).
+func (r *Recorder) Spans() []Span {
+	out := append([]Span(nil), r.spans...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// Fetches returns all fetch records in completion order.
+func (r *Recorder) Fetches() []FetchRecord { return append([]FetchRecord(nil), r.fetches...) }
+
+// ReducerVolumes sums fetched bytes per reducer — the skew annotation of
+// Fig. 1a.
+func (r *Recorder) ReducerVolumes() map[int]float64 {
+	v := make(map[int]float64)
+	for _, f := range r.fetches {
+		v[f.Reduce] += f.Bytes
+	}
+	return v
+}
+
+// Render draws the ASCII sequence diagram, width columns wide. It returns
+// an empty string when no job has completed.
+func (r *Recorder) Render(width int) string {
+	if r.job == nil || width < 40 {
+		return ""
+	}
+	spans := r.Spans()
+	t0 := r.job.Submitted
+	t1 := r.job.Finished
+	total := float64(t1.Sub(t0))
+	if total <= 0 {
+		return ""
+	}
+	labelW := 0
+	rows := map[string][]Span{}
+	var order []string
+	for _, s := range spans {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+		if _, ok := rows[s.Label]; !ok {
+			order = append(order, s.Label)
+		}
+		rows[s.Label] = append(rows[s.Label], s)
+	}
+	barW := width - labelW - 2
+	if barW < 10 {
+		barW = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %d maps, %d reduces, %.1fs total\n",
+		r.job.Spec.Name, r.job.Spec.NumMaps, r.job.Spec.NumReduces, total)
+	fmt.Fprintf(&b, "phases: M=map s=shuffle R=reduce; maps done %.1fs, shuffle done %.1fs\n",
+		float64(r.job.MapPhaseEnd.Sub(t0)), float64(r.job.ShuffleEnd.Sub(t0)))
+	for _, label := range order {
+		line := make([]byte, barW)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, s := range rows[label] {
+			from := int(float64(s.Start.Sub(t0)) / total * float64(barW))
+			to := int(float64(s.End.Sub(t0)) / total * float64(barW))
+			if to >= barW {
+				to = barW - 1
+			}
+			if from > to {
+				from = to
+			}
+			for i := from; i <= to; i++ {
+				line[i] = s.Kind.glyph()
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s\n", labelW, label, line)
+	}
+	// Skew annotation, as in Fig. 1a's discussion.
+	vols := r.ReducerVolumes()
+	var rids []int
+	for rid := range vols {
+		rids = append(rids, rid)
+	}
+	sort.Ints(rids)
+	for _, rid := range rids {
+		fmt.Fprintf(&b, "reducer-%d fetched %.1f MB\n", rid, vols[rid]/1e6)
+	}
+	return b.String()
+}
+
+// RenderSVG draws the same diagram as a standalone SVG document.
+func (r *Recorder) RenderSVG() string {
+	if r.job == nil {
+		return ""
+	}
+	const (
+		w        = 900
+		rowH     = 22
+		leftPad  = 120
+		topPad   = 40
+		rightPad = 20
+	)
+	spans := r.Spans()
+	rows := map[string]int{}
+	var order []string
+	for _, s := range spans {
+		if _, ok := rows[s.Label]; !ok {
+			rows[s.Label] = len(order)
+			order = append(order, s.Label)
+		}
+	}
+	t0, t1 := r.job.Submitted, r.job.Finished
+	total := float64(t1.Sub(t0))
+	h := topPad + rowH*len(order) + 30
+	scale := float64(w-leftPad-rightPad) / total
+	colors := map[SpanKind]string{MapSpan: "#4e79a7", ShuffleSpan: "#f28e2b", ReduceSpan: "#59a14f"}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, w, h)
+	fmt.Fprintf(&b, `<text x="10" y="20" font-family="monospace" font-size="14">%s: %.1fs (map | shuffle | reduce)</text>`,
+		r.job.Spec.Name, total)
+	for _, s := range spans {
+		y := topPad + rows[s.Label]*rowH
+		x := leftPad + float64(s.Start.Sub(t0))*scale
+		sw := float64(s.End.Sub(s.Start)) * scale
+		if sw < 1 {
+			sw = 1
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"/>`,
+			x, y, sw, rowH-6, colors[s.Kind])
+	}
+	for label, idx := range rows {
+		fmt.Fprintf(&b, `<text x="6" y="%d" font-family="monospace" font-size="12">%s</text>`,
+			topPad+idx*rowH+12, label)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"pythia/internal/ecmp"
+	"pythia/internal/hadoop"
+	"pythia/internal/netsim"
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+	"pythia/internal/workload"
+)
+
+func runToy() (*Recorder, *hadoop.Job) {
+	eng := sim.NewEngine()
+	g, hosts, _ := topology.TwoRack(5, 2, topology.Gbps)
+	net := netsim.New(eng, g)
+	cl := hadoop.NewCluster(eng, net, hosts, ecmp.New(g, 2, 1), hadoop.Config{})
+	rec := Attach(eng, cl)
+	j, err := cl.Submit(workload.ToySort())
+	if err != nil {
+		panic(err)
+	}
+	eng.Run()
+	return rec, j
+}
+
+func TestRecorderCapturesAllSpans(t *testing.T) {
+	rec, j := runToy()
+	if rec.Job() != j {
+		t.Fatal("recorder job mismatch")
+	}
+	spans := rec.Spans()
+	// 3 map spans + 2 shuffle + 2 reduce.
+	var m, s, r int
+	for _, sp := range spans {
+		switch sp.Kind {
+		case MapSpan:
+			m++
+		case ShuffleSpan:
+			s++
+		case ReduceSpan:
+			r++
+		}
+		if sp.End < sp.Start {
+			t.Fatalf("span %q ends before start", sp.Label)
+		}
+	}
+	if m != 3 || s != 2 || r != 2 {
+		t.Fatalf("spans m=%d s=%d r=%d, want 3/2/2", m, s, r)
+	}
+}
+
+func TestReducerVolumesShowSkew(t *testing.T) {
+	rec, _ := runToy()
+	vols := rec.ReducerVolumes()
+	// ToySort sends reducer-0 5x reducer-1 (payload); wire overhead is a
+	// common factor.
+	ratio := vols[0] / vols[1]
+	if math.Abs(ratio-5) > 0.01 {
+		t.Fatalf("volume ratio = %v, want 5 (Fig. 1a skew)", ratio)
+	}
+}
+
+func TestFetchRecords(t *testing.T) {
+	rec, _ := runToy()
+	fs := rec.Fetches()
+	if len(fs) != 6 { // 3 maps x 2 reducers
+		t.Fatalf("fetches = %d, want 6", len(fs))
+	}
+	for _, f := range fs {
+		if f.End < f.Start {
+			t.Fatal("fetch ends before start")
+		}
+		if f.Bytes < 0 {
+			t.Fatal("negative fetch volume")
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	rec, _ := runToy()
+	out := rec.Render(100)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	for _, want := range []string{"toy-sort", "map-0", "map-2", "reduce-0", "reduce-1", "reducer-0 fetched", "M", "s", "R"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Rows all same width region: every task line has the | separator.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 7 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+}
+
+func TestRenderEmptyBeforeCompletion(t *testing.T) {
+	eng := sim.NewEngine()
+	g, hosts, _ := topology.TwoRack(2, 1, topology.Gbps)
+	net := netsim.New(eng, g)
+	cl := hadoop.NewCluster(eng, net, hosts, ecmp.New(g, 2, 1), hadoop.Config{})
+	rec := Attach(eng, cl)
+	if rec.Render(100) != "" {
+		t.Fatal("render before any job")
+	}
+	if rec.RenderSVG() != "" {
+		t.Fatal("svg before any job")
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	rec, _ := runToy()
+	svg := rec.RenderSVG()
+	for _, want := range []string{"<svg", "</svg>", "rect", "toy-sort"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+}
+
+func TestRecorderIgnoresSecondJob(t *testing.T) {
+	eng := sim.NewEngine()
+	g, hosts, _ := topology.TwoRack(5, 2, topology.Gbps)
+	net := netsim.New(eng, g)
+	cl := hadoop.NewCluster(eng, net, hosts, ecmp.New(g, 2, 1), hadoop.Config{})
+	rec := Attach(eng, cl)
+	j1, _ := cl.Submit(workload.ToySort())
+	cl.Submit(workload.ToySort())
+	eng.Run()
+	if rec.Job() != j1 {
+		t.Fatal("recorder switched jobs")
+	}
+	if len(rec.Fetches()) != 6 {
+		t.Fatalf("fetches = %d, want 6 (first job only)", len(rec.Fetches()))
+	}
+}
+
+func TestShuffleSpanPrecedesReduceSpan(t *testing.T) {
+	rec, _ := runToy()
+	var shufEnd, redStart map[string]sim.Time
+	shufEnd = map[string]sim.Time{}
+	redStart = map[string]sim.Time{}
+	for _, s := range rec.Spans() {
+		switch s.Kind {
+		case ShuffleSpan:
+			shufEnd[s.Label] = s.End
+		case ReduceSpan:
+			redStart[s.Label] = s.Start
+		}
+	}
+	for label, e := range shufEnd {
+		if redStart[label] != e {
+			t.Fatalf("%s: reduce starts at %v, shuffle ended %v", label, redStart[label], e)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	rec, _ := runToy()
+	raw, err := rec.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Cat   string  `json:"cat"`
+			Phase string  `json:"ph"`
+			TsUs  float64 `json:"ts"`
+			DurUs float64 `json:"dur"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	cats := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "X" {
+			t.Fatalf("non-complete event %q", e.Phase)
+		}
+		if e.TsUs < 0 || e.DurUs < 0 {
+			t.Fatalf("negative timing in %q", e.Name)
+		}
+		cats[e.Cat]++
+	}
+	if cats["map"] != 3 || cats["shuffle"] != 2 || cats["reduce"] != 2 {
+		t.Fatalf("categories: %v", cats)
+	}
+	if cats["fetch"] != 6 {
+		t.Fatalf("fetch events = %d, want 6", cats["fetch"])
+	}
+}
+
+func TestChromeTraceEmptyBeforeJob(t *testing.T) {
+	eng := sim.NewEngine()
+	g, hosts, _ := topology.TwoRack(2, 1, topology.Gbps)
+	net := netsim.New(eng, g)
+	cl := hadoop.NewCluster(eng, net, hosts, ecmp.New(g, 2, 1), hadoop.Config{})
+	rec := Attach(eng, cl)
+	raw, err := rec.ChromeTrace()
+	if err != nil || raw != nil {
+		t.Fatalf("expected nil trace, got %v / %v", raw, err)
+	}
+}

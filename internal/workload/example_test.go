@@ -1,0 +1,61 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"pythia/internal/workload"
+)
+
+// Generating the paper's benchmark workloads at any scale.
+func ExampleSort() {
+	spec := workload.Sort(24*workload.GB, 10, 42)
+	rb := spec.ReducerBytes()
+	max, min := rb[0], rb[0]
+	for _, v := range rb {
+		if v > max {
+			max = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	fmt.Printf("%s: %d maps, skew ratio %.1f\n", spec.Name, spec.NumMaps, max/min)
+	// Output:
+	// sort: 94 maps, skew ratio 3.2
+}
+
+// The Fig. 1a toy job is fixed by construction.
+func ExampleToySort() {
+	toy := workload.ToySort()
+	rb := toy.ReducerBytes()
+	fmt.Printf("reducer-0 : reducer-1 = %.0f : 1\n", rb[0]/rb[1])
+	// Output:
+	// reducer-0 : reducer-1 = 5 : 1
+}
+
+// An adaptive (sampling) partitioner flattens reducer skew without changing
+// the shuffle volume.
+func ExampleRebalancePartitions() {
+	spec := workload.Generate(workload.Config{
+		Name: "skewed", InputBytes: 4 * workload.GB,
+		NumReduces: 8, SkewExponent: 1.2, Seed: 7,
+	})
+	before := spec.TotalShuffleBytes()
+	workload.RebalancePartitions(spec, 1.0)
+	rb := spec.ReducerBytes()
+	drift := spec.TotalShuffleBytes()/before - 1
+	fmt.Printf("volume drift: %.6f; per-reducer share: %.3f\n",
+		drift, rb[0]/spec.TotalShuffleBytes())
+	// Output:
+	// volume drift: 0.000000; per-reducer share: 0.125
+}
+
+// Workload specs serialize to JSON for archiving and replay.
+func ExampleMarshalSpec() {
+	spec := workload.ToySort()
+	data, _ := workload.MarshalSpec(spec)
+	loaded, _ := workload.UnmarshalSpec(data)
+	fmt.Printf("%s: %d maps, %d reducers\n", loaded.Name, loaded.NumMaps, loaded.NumReduces)
+	// Output:
+	// toy-sort: 3 maps, 2 reducers
+}

@@ -1,0 +1,30 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pythia/internal/hadoop"
+)
+
+// MarshalSpec serializes a job specification to JSON, so generated (or
+// hand-built) workloads can be archived and replayed across runs and
+// machines — the workload-trace analogue of the paper's benchmark configs.
+func MarshalSpec(spec *hadoop.JobSpec) ([]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: refusing to serialize invalid spec: %w", err)
+	}
+	return json.MarshalIndent(spec, "", " ")
+}
+
+// UnmarshalSpec parses and validates a serialized job specification.
+func UnmarshalSpec(data []byte) (*hadoop.JobSpec, error) {
+	var spec hadoop.JobSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("workload: parsing spec: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: loaded spec invalid: %w", err)
+	}
+	return &spec, nil
+}

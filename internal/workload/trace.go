@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+
+	"pythia/internal/hadoop"
+	"pythia/internal/stats"
+)
+
+// TraceJob is one entry of a synthesized cluster trace.
+type TraceJob struct {
+	Spec *hadoop.JobSpec
+	// SubmitAtSec is the arrival time relative to trace start.
+	SubmitAtSec float64
+}
+
+// TraceConfig shapes a synthetic multi-job trace in the mold of the
+// Facebook-2009 workload the paper's motivation cites ("33% of the
+// execution time of a large number of jobs is spent at the shuffle phase")
+// and that the SWIM project published distributions for: heavy-tailed input
+// sizes, a job mix dominated by small map-heavy jobs with a minority of
+// shuffle-heavy ones, and Poisson arrivals.
+type TraceConfig struct {
+	Jobs int
+	// MeanInterarrivalSec spaces the Poisson arrivals.
+	MeanInterarrivalSec float64
+	// MedianInputBytes and InputSigma parameterize the lognormal input
+	// distribution; inputs are clamped to [64 MB, MaxInputBytes].
+	MedianInputBytes float64
+	InputSigma       float64
+	MaxInputBytes    float64
+	// Class mix (fractions; normalized): map-heavy jobs shuffle ~5% of
+	// input, transform jobs ~40%, shuffle-heavy jobs ~120%.
+	MapHeavyFrac     float64
+	TransformFrac    float64
+	ShuffleHeavyFrac float64
+	Seed             uint64
+}
+
+// Defaults fills unset fields with the published-shape values.
+func (c TraceConfig) Defaults() TraceConfig {
+	if c.Jobs == 0 {
+		c.Jobs = 30
+	}
+	if c.MeanInterarrivalSec == 0 {
+		c.MeanInterarrivalSec = 20
+	}
+	if c.MedianInputBytes == 0 {
+		c.MedianInputBytes = 1 * GB
+	}
+	if c.InputSigma == 0 {
+		c.InputSigma = 1.2
+	}
+	if c.MaxInputBytes == 0 {
+		c.MaxInputBytes = 16 * GB
+	}
+	if c.MapHeavyFrac == 0 && c.TransformFrac == 0 && c.ShuffleHeavyFrac == 0 {
+		c.MapHeavyFrac, c.TransformFrac, c.ShuffleHeavyFrac = 0.5, 0.3, 0.2
+	}
+	return c
+}
+
+// SyntheticFacebookTrace materializes the job stream. Jobs are returned in
+// arrival order.
+func SyntheticFacebookTrace(cfg TraceConfig) []TraceJob {
+	cfg = cfg.Defaults()
+	rng := stats.NewRNG(cfg.Seed ^ 0x7ACE)
+	classRNG := rng.Split(1)
+	sizeRNG := rng.Split(2)
+	arriveRNG := rng.Split(3)
+
+	total := cfg.MapHeavyFrac + cfg.TransformFrac + cfg.ShuffleHeavyFrac
+	pMap := cfg.MapHeavyFrac / total
+	pTransform := cfg.TransformFrac / total
+
+	var out []TraceJob
+	at := 0.0
+	for i := 0; i < cfg.Jobs; i++ {
+		at += arriveRNG.Exp(cfg.MeanInterarrivalSec)
+		input := cfg.MedianInputBytes * sizeRNG.LogNormal(0, cfg.InputSigma)
+		if input < 64*MB {
+			input = 64 * MB
+		}
+		if input > cfg.MaxInputBytes {
+			input = cfg.MaxInputBytes
+		}
+		u := classRNG.Float64()
+		var (
+			class string
+			ratio float64
+			skew  float64
+		)
+		switch {
+		case u < pMap:
+			class, ratio, skew = "map-heavy", 0.05, 1.0
+		case u < pMap+pTransform:
+			class, ratio, skew = "transform", 0.4, 0.6
+		default:
+			class, ratio, skew = "shuffle-heavy", 1.2, 0.8
+		}
+		reduces := 4 + int(input/(2*GB))*2
+		if reduces > 16 {
+			reduces = 16
+		}
+		spec := Generate(Config{
+			Name:         fmt.Sprintf("trace-%03d-%s", i, class),
+			InputBytes:   input,
+			BlockBytes:   HDFSBlock,
+			NumReduces:   reduces,
+			OutputRatio:  ratio,
+			SkewExponent: skew,
+			// Production jobs are far more compute-bound than raw I/O:
+			// ~15 MB/s/task calibrates the trace's aggregate
+			// shuffle-time share near the ~33% the Facebook analysis
+			// reports.
+			MapRateBytesPerSec: 15 * MB,
+			Seed:               cfg.Seed + uint64(i)*104729,
+		})
+		out = append(out, TraceJob{Spec: spec, SubmitAtSec: at})
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+// Package workload generates MapReduce job specifications shaped like the
+// HiBench benchmarks the paper evaluates: Sort (the Hadoop-distribution
+// example, representative of data transformation — 240 GB input in the
+// paper) and Nutch indexing (large-scale search indexing — 5M pages / 8 GB),
+// plus WordCount as an aggregation-heavy contrast and the paper's Fig. 1a
+// toy sort.
+//
+// What matters for shuffle scheduling is the flow-size matrix
+// (map × reducer byte counts), not record contents, so generators produce
+// exactly that: per-map output volumes hashed over reducers with a
+// configurable Zipf key skew, plus deterministic per-cell noise.
+package workload
+
+import (
+	"fmt"
+
+	"pythia/internal/hadoop"
+	"pythia/internal/stats"
+)
+
+// Common byte sizes.
+const (
+	MB = 1e6
+	GB = 1e9
+	// HDFSBlock is the classic 64 MB Hadoop 1.x block size.
+	HDFSBlock = 64 * MB
+)
+
+// Config parameterizes a synthetic MapReduce workload.
+type Config struct {
+	Name string
+	// InputBytes is total job input; maps are one per BlockBytes.
+	InputBytes float64
+	BlockBytes float64
+	NumReduces int
+	// OutputRatio scales input to intermediate output (1.0 for sort-like
+	// transformations, <1 for combiner-heavy aggregation).
+	OutputRatio float64
+	// SkewExponent shapes per-reducer volumes: 0 = uniform, 1 yields the
+	// 2:1..5:1 imbalances common in practice (Fig. 1a shows 5:1).
+	SkewExponent float64
+	// MapRateBytesPerSec is map-task processing throughput; with jitter it
+	// sets map durations. The paper's servers read ~130 MB/s serially but
+	// stored intermediate data in memory; map tasks remain CPU-bound.
+	MapRateBytesPerSec float64
+	// MapJitterSigma is the lognormal sigma on map durations (stragglers).
+	MapJitterSigma float64
+	// CellNoiseSigma is the lognormal sigma on individual partition sizes.
+	CellNoiseSigma float64
+	// ReduceSecPerMB and ReduceBaseSec model reduce-side compute.
+	ReduceSecPerMB float64
+	ReduceBaseSec  float64
+	Seed           uint64
+}
+
+// Defaults fills unset fields with sensible values.
+func (c Config) Defaults() Config {
+	if c.BlockBytes == 0 {
+		c.BlockBytes = HDFSBlock
+	}
+	if c.NumReduces == 0 {
+		c.NumReduces = 10
+	}
+	if c.OutputRatio == 0 {
+		c.OutputRatio = 1.0
+	}
+	if c.MapRateBytesPerSec == 0 {
+		c.MapRateBytesPerSec = 100 * MB
+	}
+	if c.MapJitterSigma == 0 {
+		c.MapJitterSigma = 0.15
+	}
+	if c.CellNoiseSigma == 0 {
+		c.CellNoiseSigma = 0.10
+	}
+	if c.ReduceSecPerMB == 0 {
+		c.ReduceSecPerMB = 0.004
+	}
+	if c.ReduceBaseSec == 0 {
+		c.ReduceBaseSec = 1.0
+	}
+	return c
+}
+
+// Generate materializes the job spec. It panics on non-positive input size.
+func Generate(c Config) *hadoop.JobSpec {
+	c = c.Defaults()
+	if c.InputBytes <= 0 {
+		panic(fmt.Sprintf("workload: job %q needs positive input", c.Name))
+	}
+	rng := stats.NewRNG(c.Seed ^ 0xF00DF00D)
+	numMaps := int(c.InputBytes / c.BlockBytes)
+	lastBlock := c.InputBytes - float64(numMaps)*c.BlockBytes
+	if lastBlock > 0 {
+		numMaps++
+	} else {
+		lastBlock = c.BlockBytes
+	}
+	weights := stats.SkewWeights(c.NumReduces, c.SkewExponent)
+
+	durations := make([]float64, numMaps)
+	outputs := make([][]float64, numMaps)
+	durRNG := rng.Split(1)
+	cellRNG := rng.Split(2)
+	for m := 0; m < numMaps; m++ {
+		in := c.BlockBytes
+		if m == numMaps-1 {
+			in = lastBlock
+		}
+		jitter := durRNG.LogNormal(0, c.MapJitterSigma)
+		durations[m] = in / c.MapRateBytesPerSec * jitter
+
+		out := in * c.OutputRatio
+		row := make([]float64, c.NumReduces)
+		sum := 0.0
+		for r := range row {
+			row[r] = weights[r] * cellRNG.LogNormal(0, c.CellNoiseSigma)
+			sum += row[r]
+		}
+		// Normalize so the map's total output is exact despite noise.
+		for r := range row {
+			row[r] = row[r] / sum * out
+		}
+		outputs[m] = row
+	}
+	return &hadoop.JobSpec{
+		Name:           c.Name,
+		NumMaps:        numMaps,
+		NumReduces:     c.NumReduces,
+		MapDurations:   durations,
+		MapOutputs:     outputs,
+		ReduceSecPerMB: c.ReduceSecPerMB,
+		ReduceBaseSec:  c.ReduceBaseSec,
+	}
+}
+
+// Sort returns a HiBench-Sort-like job: intermediate output equals input
+// (pure transformation), moderate reducer skew, few large flows. The paper
+// ran 240 GB; pass the scaled size you want.
+func Sort(inputBytes float64, numReduces int, seed uint64) *hadoop.JobSpec {
+	return Generate(Config{
+		Name:         "sort",
+		InputBytes:   inputBytes,
+		BlockBytes:   256 * MB, // fewer, larger flows than Nutch
+		NumReduces:   numReduces,
+		OutputRatio:  1.0,
+		SkewExponent: 0.5,
+		Seed:         seed,
+	})
+}
+
+// Nutch returns a Nutch-indexing-like job: 64 MB blocks, output ratio above
+// one (postings + metadata), stronger key skew (term frequencies are
+// Zipfian), and many smaller flows — the property the paper credits for
+// Pythia's near-flat completion times in Fig. 3. Indexing is CPU-bound
+// (parsing/tokenizing ~3.5 MB/s per task puts the paper's 8 GB job near its
+// 242 s completion time), so the shuffle demand rate stays low enough to fit
+// the spare capacity even at 1:20 oversubscription — when scheduled well.
+func Nutch(inputBytes float64, numReduces int, seed uint64) *hadoop.JobSpec {
+	return Generate(Config{
+		Name:               "nutch-indexing",
+		InputBytes:         inputBytes,
+		BlockBytes:         HDFSBlock,
+		NumReduces:         numReduces,
+		OutputRatio:        1.2,
+		SkewExponent:       0.45,
+		MapRateBytesPerSec: 3.6 * MB,
+		ReduceSecPerMB:     0.012,
+		Seed:               seed,
+	})
+}
+
+// WordCount returns an aggregation job: combiners crush the shuffle to a few
+// percent of input. Network scheduling barely matters for it — a useful
+// negative control.
+func WordCount(inputBytes float64, numReduces int, seed uint64) *hadoop.JobSpec {
+	return Generate(Config{
+		Name:               "wordcount",
+		InputBytes:         inputBytes,
+		BlockBytes:         HDFSBlock,
+		NumReduces:         numReduces,
+		OutputRatio:        0.05,
+		SkewExponent:       1.0,
+		MapRateBytesPerSec: 20 * MB, // tokenizing is CPU-bound
+		Seed:               seed,
+	})
+}
+
+// ToySort reproduces the paper's Fig. 1a motivational job: three map tasks,
+// two reducers, with reducer-0 fetching 5x the data of reducer-1.
+func ToySort() *hadoop.JobSpec {
+	const per = 200 * MB // per-map intermediate output
+	outputs := make([][]float64, 3)
+	for m := range outputs {
+		outputs[m] = []float64{per * 5 / 6, per * 1 / 6}
+	}
+	return &hadoop.JobSpec{
+		Name:           "toy-sort",
+		NumMaps:        3,
+		NumReduces:     2,
+		MapDurations:   []float64{20, 22, 21},
+		MapOutputs:     outputs,
+		ReduceSecPerMB: 0.004,
+		ReduceBaseSec:  1,
+	}
+}
+
+// IntegerSort returns the Fig. 5 workload: a 60 GB integer sort (pass the
+// scaled size), uniform-ish partitions across reducers.
+func IntegerSort(inputBytes float64, numReduces int, seed uint64) *hadoop.JobSpec {
+	return Generate(Config{
+		Name:         "integer-sort",
+		InputBytes:   inputBytes,
+		BlockBytes:   256 * MB,
+		NumReduces:   numReduces,
+		OutputRatio:  1.0,
+		SkewExponent: 0.2,
+		Seed:         seed,
+	})
+}
+
+// RebalancePartitions emulates an adaptive (sampling-based) partitioner —
+// the application-level skew remedy the paper's §II mentions as an
+// alternative to network-level handling. Each map's output is blended
+// toward a uniform split: strength 0 leaves the matrix untouched, 1 makes
+// every reducer receive an equal share. Per-map totals (and thus the
+// shuffle volume) are preserved exactly. In real Hadoop this corresponds to
+// choosing range-partition boundaries from an input sample (as TeraSort
+// does) instead of hashing keys blindly.
+func RebalancePartitions(spec *hadoop.JobSpec, strength float64) {
+	if strength <= 0 {
+		return
+	}
+	if strength > 1 {
+		strength = 1
+	}
+	for m, row := range spec.MapOutputs {
+		total := 0.0
+		for _, v := range row {
+			total += v
+		}
+		uniform := total / float64(len(row))
+		for r := range row {
+			spec.MapOutputs[m][r] = row[r]*(1-strength) + uniform*strength
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package pythia is a faithful, fully simulated reproduction of
+// "Pythia: Faster Big Data in Motion through Predictive Software-Defined
+// Network Optimization at Runtime" (IPDPS 2014).
+//
+// It bundles a discrete-event Hadoop MapReduce runtime, a flow-level
+// multi-path datacenter network with max-min fair sharing, an OpenFlow-style
+// SDN control plane, Pythia's shuffle-intent prediction middleware and
+// network scheduler, and the ECMP and Hedera-like baselines — everything
+// needed to rerun the paper's evaluation on a laptop.
+//
+// The root package is a facade over internal/: build a Cluster, run
+// workloads shaped like the paper's benchmarks, and compare schedulers.
+//
+//	cl := pythia.New(pythia.WithScheduler(pythia.SchedulerPythia),
+//	    pythia.WithOversubscription(10))
+//	res := cl.RunJob(pythia.SortJob(24*pythia.GB, 10, 1))
+//	fmt.Printf("sort finished in %.1fs\n", res.DurationSec)
+package pythia
+
+import (
+	"fmt"
+
+	"pythia/internal/core"
+	"pythia/internal/ecmp"
+	"pythia/internal/hadoop"
+	"pythia/internal/hdfs"
+	"pythia/internal/hedera"
+	"pythia/internal/instrument"
+	"pythia/internal/mgmtnet"
+	"pythia/internal/netsim"
+	"pythia/internal/openflow"
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+	"pythia/internal/trace"
+	"pythia/internal/workload"
+)
+
+// Byte-size helpers.
+const (
+	MB = workload.MB
+	GB = workload.GB
+)
+
+// SchedulerKind selects the shuffle flow-allocation scheme.
+type SchedulerKind int
+
+const (
+	// SchedulerECMP is the load-unaware baseline (five-tuple hash).
+	SchedulerECMP SchedulerKind = iota
+	// SchedulerPythia is the paper's predictive SDN scheduler.
+	SchedulerPythia
+	// SchedulerHedera is the reactive load-aware baseline.
+	SchedulerHedera
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedulerECMP:
+		return "ECMP"
+	case SchedulerPythia:
+		return "Pythia"
+	case SchedulerHedera:
+		return "Hedera"
+	}
+	return fmt.Sprintf("SchedulerKind(%d)", int(k))
+}
+
+// JobSpec aliases the simulator's job description; build one with SortJob,
+// NutchJob, WordCountJob, ToySortJob or CustomJob.
+type JobSpec = hadoop.JobSpec
+
+// config collects options.
+type config struct {
+	scheduler    SchedulerKind
+	hostsPerRack int
+	trunks       int
+	linkBps      float64
+	oversub      int
+	seed         uint64
+	hadoopCfg    hadoop.Config
+	pythiaCfg    core.Config
+	record       bool
+	hdfs         bool
+	explicitCP   bool
+
+	incastThreshold int
+	incastFactor    float64
+	incastFloor     float64
+}
+
+// Option customizes a Cluster.
+type Option func(*config)
+
+// WithScheduler selects the flow allocator (default ECMP).
+func WithScheduler(k SchedulerKind) Option { return func(c *config) { c.scheduler = k } }
+
+// WithHostsPerRack sizes the racks (default 5, the paper's testbed).
+func WithHostsPerRack(n int) Option { return func(c *config) { c.hostsPerRack = n } }
+
+// WithTrunks sets the number of parallel inter-rack links (default 2).
+func WithTrunks(n int) Option { return func(c *config) { c.trunks = n } }
+
+// WithLinkRateGbps sets every link's rate (default 1 Gbps).
+func WithLinkRateGbps(g float64) Option { return func(c *config) { c.linkBps = g * 1e9 } }
+
+// WithOversubscription loads the trunks with CBR background traffic so the
+// bandwidth left to Hadoop is rackBandwidth/n, split asymmetrically across
+// trunks as in the paper's evaluation. n <= 0 disables background traffic.
+func WithOversubscription(n int) Option { return func(c *config) { c.oversub = n } }
+
+// WithSeed fixes all randomness (ECMP hash salt, workload jitter).
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithReduceSlowstart sets the fraction of maps that must complete before
+// reducers launch (Hadoop's default 0.05).
+func WithReduceSlowstart(f float64) Option {
+	return func(c *config) { c.hadoopCfg.SlowstartFraction = f }
+}
+
+// WithParallelCopies bounds each reducer's concurrent fetches (default 5).
+func WithParallelCopies(n int) Option { return func(c *config) { c.hadoopCfg.ParallelCopies = n } }
+
+// WithKShortestPaths sets Pythia's per-pair path diversity (default 4).
+func WithKShortestPaths(k int) Option { return func(c *config) { c.pythiaCfg.K = k } }
+
+// WithRackAggregation switches Pythia to rack-pair (prefix) rules: one
+// steering rule per rack pair instead of per server pair, conserving switch
+// TCAM as §IV proposes for large-scale deployments.
+func WithRackAggregation() Option {
+	return func(c *config) { c.pythiaCfg.Scope = core.ScopeRackPair }
+}
+
+// WithCriticality enables the §VI flow-priority criterion: aggregates
+// feeding the reducer with the largest outstanding shuffle backlog are
+// placed first.
+func WithCriticality() Option {
+	return func(c *config) { c.pythiaCfg.UseCriticality = true }
+}
+
+// WithSequenceRecording attaches the Fig. 1a trace recorder to the first
+// submitted job; retrieve the diagram with SequenceDiagram after RunJob.
+func WithSequenceRecording() Option { return func(c *config) { c.record = true } }
+
+// WithHDFS attaches a simulated HDFS (64 MB blocks, 3-way replication,
+// default placement policy). Jobs whose specs set ReduceOutputRatio > 0
+// then write their reducer output back through the replication pipeline
+// before completing; HDFS traffic rides the default ECMP pipeline, not
+// Pythia's rules, as in the paper.
+func WithHDFS() Option { return func(c *config) { c.hdfs = true } }
+
+// WithExplicitControlPlane routes prediction notifications and OpenFlow
+// FLOW_MOD messages over a modeled out-of-band management network
+// (per-sender FIFO serialization and transmission time) instead of fixed
+// latencies — the complete §III architecture.
+func WithExplicitControlPlane() Option { return func(c *config) { c.explicitCP = true } }
+
+// WithIncast enables the TCP many-to-one goodput-collapse model at receiver
+// edge links: beyond threshold concurrent incoming flows, capacity degrades
+// by factor per extra flow, floored at floorFrac of nominal. Models the
+// incast pathology the paper cites (Chen et al.); interacts with Hadoop's
+// ParallelCopies setting.
+func WithIncast(threshold int, factor, floorFrac float64) Option {
+	return func(c *config) {
+		c.incastThreshold = threshold
+		c.incastFactor = factor
+		c.incastFloor = floorFrac
+	}
+}
+
+// Cluster is a wired simulation stack: network + SDN controller + scheduler
+// + Hadoop + instrumentation.
+type Cluster struct {
+	eng      *sim.Engine
+	net      *netsim.Network
+	cluster  *hadoop.Cluster
+	mw       *instrument.Middleware
+	ofc      *openflow.Controller
+	py       *core.Pythia
+	recorder *trace.Recorder
+	fs       *hdfs.FileSystem
+	kind     SchedulerKind
+}
+
+// New builds a cluster on the paper's two-rack testbed topology.
+func New(opts ...Option) *Cluster {
+	cfg := config{
+		scheduler:    SchedulerECMP,
+		hostsPerRack: 5,
+		trunks:       2,
+		linkBps:      topology.Gbps,
+		seed:         1,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng := sim.NewEngine()
+	g, hosts, trunks := topology.TwoRack(cfg.hostsPerRack, cfg.trunks, cfg.linkBps)
+	net := netsim.New(eng, g)
+	applyBackground(net, trunks, cfg)
+	if cfg.incastThreshold > 0 {
+		net.EnableIncast(cfg.incastThreshold, cfg.incastFactor, cfg.incastFloor)
+	}
+
+	c := &Cluster{eng: eng, net: net, kind: cfg.scheduler}
+	var resolver hadoop.PathResolver
+	var sink instrument.Sink = dropSink{}
+	var mn *mgmtnet.Network
+	icfg := instrument.Config{}
+	if cfg.explicitCP {
+		mn = mgmtnet.New(eng, mgmtnet.Config{})
+		icfg.Mgmt = mn
+	}
+	switch cfg.scheduler {
+	case SchedulerECMP:
+		resolver = ecmp.New(g, 2, cfg.seed)
+	case SchedulerPythia:
+		c.ofc = openflow.NewController(eng, net, 0)
+		if mn != nil {
+			c.ofc.SetManagementNetwork(mn, topology.NodeID(-1))
+		}
+		c.py = core.New(eng, net, c.ofc, cfg.pythiaCfg.EnableAggregation())
+		resolver = c.ofc
+		sink = c.py
+	case SchedulerHedera:
+		resolver = hedera.New(eng, net, cfg.seed, hedera.Config{})
+	default:
+		panic(fmt.Sprintf("pythia: unknown scheduler %v", cfg.scheduler))
+	}
+	c.cluster = hadoop.NewCluster(eng, net, hosts, resolver, cfg.hadoopCfg)
+	c.mw = instrument.Attach(eng, c.cluster, sink, icfg)
+	if cfg.record {
+		c.recorder = trace.Attach(eng, c.cluster)
+	}
+	if cfg.hdfs {
+		// HDFS traffic always rides the default pipeline (distinct hash
+		// salt so it does not mirror the shuffle's ECMP draws).
+		c.fs = hdfs.New(eng, net, hosts, ecmp.New(g, 2, cfg.seed^0xD47A), hdfs.Config{}, cfg.seed)
+		c.cluster.SetOutputSink(c.fs)
+	}
+	return c
+}
+
+// HDFSBytesWritten reports total bytes landed on datanodes (all replicas),
+// or 0 without WithHDFS.
+func (c *Cluster) HDFSBytesWritten() float64 {
+	if c.fs == nil {
+		return 0
+	}
+	return c.fs.BytesWritten
+}
+
+func applyBackground(net *netsim.Network, trunks []topology.LinkID, cfg config) {
+	if cfg.oversub <= 0 {
+		return
+	}
+	g := net.Graph()
+	spareTotal := float64(cfg.hostsPerRack) * cfg.linkBps / float64(cfg.oversub)
+	if max := float64(len(trunks)) * cfg.linkBps; spareTotal > max {
+		spareTotal = max
+	}
+	// 30/70 split for two trunks, 1:2:…:n proportions otherwise — the
+	// same imbalance the experiment harness uses.
+	fracs := make([]float64, len(trunks))
+	if len(trunks) == 2 {
+		fracs[0], fracs[1] = 0.30, 0.70
+	} else {
+		sum := 0.0
+		for i := range fracs {
+			fracs[i] = float64(i + 1)
+			sum += fracs[i]
+		}
+		for i := range fracs {
+			fracs[i] /= sum
+		}
+	}
+	for i, tr := range trunks {
+		spare := spareTotal * fracs[i]
+		if spare > cfg.linkBps {
+			spare = cfg.linkBps
+		}
+		net.SetBackground(tr, cfg.linkBps-spare)
+		if r, ok := g.Reverse(tr); ok {
+			net.SetBackground(r, cfg.linkBps-spare)
+		}
+	}
+}
+
+type dropSink struct{}
+
+func (dropSink) ShuffleIntent(instrument.Intent) {}
+func (dropSink) ReducerUp(instrument.ReducerUp)  {}
+
+// JobResult summarizes one completed job.
+type JobResult struct {
+	Name string
+	// DurationSec is submission-to-completion time in simulated seconds.
+	DurationSec float64
+	// MapPhaseSec is when the last map finished.
+	MapPhaseSec float64
+	// ShuffleSec is when the last reducer passed the shuffle barrier.
+	ShuffleSec float64
+	// ShuffleBytes is the total intermediate payload moved.
+	ShuffleBytes float64
+	// RulesInstalled counts OpenFlow rules programmed (Pythia only).
+	RulesInstalled uint64
+}
+
+// RunJob submits the spec and drives the simulation until it completes.
+func (c *Cluster) RunJob(spec *JobSpec) JobResult {
+	rs := c.RunJobs(spec)
+	return rs[0]
+}
+
+// RunJobs submits several jobs at once (they contend for task slots and
+// network like co-scheduled production jobs — Pythia's collector tracks
+// each job's predictions independently) and runs the simulation until all
+// complete. Results are returned in submission order.
+func (c *Cluster) RunJobs(specs ...*JobSpec) []JobResult {
+	jobs := make([]*hadoop.Job, len(specs))
+	for i, spec := range specs {
+		job, err := c.cluster.Submit(spec)
+		if err != nil {
+			panic(fmt.Sprintf("pythia: %v", err))
+		}
+		jobs[i] = job
+	}
+	c.eng.Run()
+	out := make([]JobResult, len(specs))
+	for i, job := range jobs {
+		if !job.Done {
+			panic("pythia: job did not complete (starved network?)")
+		}
+		out[i] = JobResult{
+			Name:         specs[i].Name,
+			DurationSec:  float64(job.Duration()),
+			MapPhaseSec:  float64(job.MapPhaseEnd.Sub(job.Submitted)),
+			ShuffleSec:   float64(job.ShuffleEnd.Sub(job.Submitted)),
+			ShuffleBytes: specs[i].TotalShuffleBytes(),
+		}
+		if c.ofc != nil {
+			out[i].RulesInstalled = c.ofc.RulesInstalled
+		}
+	}
+	return out
+}
+
+// SequenceDiagram renders the recorded job as an ASCII Gantt chart, width
+// columns wide (requires WithSequenceRecording and a completed RunJob). The
+// SVG variant is SequenceDiagramSVG.
+func (c *Cluster) SequenceDiagram(width int) string {
+	if c.recorder == nil {
+		return ""
+	}
+	return c.recorder.Render(width)
+}
+
+// SequenceDiagramSVG renders the recorded job as an SVG document.
+func (c *Cluster) SequenceDiagramSVG() string {
+	if c.recorder == nil {
+		return ""
+	}
+	return c.recorder.RenderSVG()
+}
+
+// ChromeTrace exports the recorded job as Chrome trace-event JSON, loadable
+// in chrome://tracing or Perfetto (requires WithSequenceRecording).
+func (c *Cluster) ChromeTrace() ([]byte, error) {
+	if c.recorder == nil {
+		return nil, nil
+	}
+	return c.recorder.ChromeTrace()
+}
+
+// OverheadReport summarizes the instrumentation middleware's cost (§V-C).
+type OverheadReport struct {
+	MeanCPUFraction float64
+	MaxCPUFraction  float64
+	ManagementBytes float64
+	Spills          int
+}
+
+// Overhead reports instrumentation cost accumulated so far.
+func (c *Cluster) Overhead() OverheadReport {
+	rep := c.mw.Overhead()
+	return OverheadReport{
+		MeanCPUFraction: rep.MeanCPUFraction,
+		MaxCPUFraction:  rep.MaxCPUFraction,
+		ManagementBytes: rep.MgmtBytes,
+		Spills:          rep.Spills,
+	}
+}
+
+// Scheduler reports which allocator this cluster runs.
+func (c *Cluster) Scheduler() SchedulerKind { return c.kind }
+
+// SortJob builds a HiBench-Sort-like job (the paper ran 240 GB).
+func SortJob(inputBytes float64, numReduces int, seed uint64) *JobSpec {
+	return workload.Sort(inputBytes, numReduces, seed)
+}
+
+// NutchJob builds a Nutch-indexing-like job (the paper ran 8 GB / 5M pages).
+func NutchJob(inputBytes float64, numReduces int, seed uint64) *JobSpec {
+	return workload.Nutch(inputBytes, numReduces, seed)
+}
+
+// WordCountJob builds an aggregation-heavy job with a tiny shuffle.
+func WordCountJob(inputBytes float64, numReduces int, seed uint64) *JobSpec {
+	return workload.WordCount(inputBytes, numReduces, seed)
+}
+
+// ToySortJob is the paper's Fig. 1a motivational job: 3 maps, 2 reducers,
+// 5:1 reducer skew.
+func ToySortJob() *JobSpec { return workload.ToySort() }
+
+// IntegerSortJob is the Fig. 5 workload (the paper ran 60 GB).
+func IntegerSortJob(inputBytes float64, numReduces int, seed uint64) *JobSpec {
+	return workload.IntegerSort(inputBytes, numReduces, seed)
+}
+
+// WorkloadConfig re-exports the generic workload generator's knobs.
+type WorkloadConfig = workload.Config
+
+// CustomJob builds a job from explicit workload parameters.
+func CustomJob(cfg WorkloadConfig) *JobSpec { return workload.Generate(cfg) }
+
+// SaveJobSpec serializes a job spec to JSON for archiving/replay.
+func SaveJobSpec(spec *JobSpec) ([]byte, error) { return workload.MarshalSpec(spec) }
+
+// LoadJobSpec parses and validates a serialized job spec.
+func LoadJobSpec(data []byte) (*JobSpec, error) { return workload.UnmarshalSpec(data) }
+
+// Compare runs the same job spec under two schedulers on identical clusters
+// and returns (timeA, timeB, speedupOfBOverA).
+func Compare(spec *JobSpec, a, b SchedulerKind, oversub int, seed uint64) (float64, float64, float64) {
+	run := func(k SchedulerKind) float64 {
+		cl := New(WithScheduler(k), WithOversubscription(oversub), WithSeed(seed))
+		return cl.RunJob(spec).DurationSec
+	}
+	ta, tb := run(a), run(b)
+	speedup := 0.0
+	if tb > 0 {
+		speedup = (ta - tb) / tb
+	}
+	return ta, tb, speedup
+}
