@@ -12,6 +12,7 @@ package pythia
 
 import (
 	"flag"
+	"fmt"
 	"testing"
 
 	"pythia/internal/bench"
@@ -249,4 +250,28 @@ func BenchmarkOptimalityGap(b *testing.B) {
 	last := rows[len(rows)-1]
 	b.ReportMetric(last.PythiaGap*100, "pythia-gap-1:20-%")
 	b.ReportMetric(last.ECMPGap*100, "ecmp-gap-1:20-%")
+}
+
+// BenchmarkScaleFatTree measures simulator throughput on k-ary fat-trees
+// far beyond the paper's 16-server testbed, with the per-link occupancy
+// indexes on (default) and off (the pre-index full-scan baseline). The
+// determinism tests prove both variants produce bit-identical schedules;
+// this benchmark shows what the indexes buy in wall-clock time.
+func BenchmarkScaleFatTree(b *testing.B) {
+	for _, k := range []int{4, 6, 8} {
+		for _, scan := range []bool{false, true} {
+			name := fmt.Sprintf("k%d/hosts%d/indexed", k, bench.FatTreeHosts(k))
+			if scan {
+				name = fmt.Sprintf("k%d/hosts%d/scan", k, bench.FatTreeHosts(k))
+			}
+			b.Run(name, func(b *testing.B) {
+				var res bench.ScaleFatTreeResult
+				for i := 0; i < b.N; i++ {
+					res = bench.RunScaleFatTree(bench.ScaleFatTreeConfig{K: k, DisableIndexes: scan})
+				}
+				b.ReportMetric(res.JobSec, "sim-job-s")
+				b.ReportMetric(float64(len(res.FlowHistory)), "flows")
+			})
+		}
+	}
 }

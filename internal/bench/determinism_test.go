@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"testing"
+
+	"pythia/internal/core"
+	"pythia/internal/hadoop"
+	"pythia/internal/instrument"
+	"pythia/internal/netsim"
+	"pythia/internal/openflow"
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+	"pythia/internal/workload"
+)
+
+func flowHistoriesEqual(t *testing.T, indexed, scan []FlowRecord, label string) {
+	t.Helper()
+	if len(indexed) == 0 {
+		t.Fatalf("%s: empty flow history", label)
+	}
+	if len(indexed) != len(scan) {
+		t.Fatalf("%s: history lengths differ: indexed %d vs scan %d",
+			label, len(indexed), len(scan))
+	}
+	for i := range indexed {
+		// Exact comparison on purpose: the indexed hot paths must be
+		// bit-identical to the reference scans, not merely close.
+		if indexed[i] != scan[i] {
+			t.Fatalf("%s: flow %d diverged:\nindexed %+v\nscan    %+v",
+				label, i, indexed[i], scan[i])
+		}
+	}
+}
+
+// The Fig. 4 shape — a sort under oversubscription scheduled by Pythia —
+// must produce bit-identical flow completion times with and without the
+// per-link occupancy indexes.
+func TestIndexedMatchesScanOnSortTrial(t *testing.T) {
+	run := func(scan bool) []FlowRecord {
+		return RunTrial(TrialConfig{
+			Spec:               workload.Sort(2*workload.GB, 8, 42),
+			Scheduler:          Pythia,
+			Oversub:            Oversub{Label: "1:5", Ratio: 5},
+			Seed:               42,
+			DisableIndexes:     scan,
+			CollectFlowHistory: true,
+		}).FlowHistory
+	}
+	flowHistoriesEqual(t, run(false), run(true), "sort 1:5")
+}
+
+// Same guarantee under the §IV fault-tolerance scenario: a trunk failure
+// mid-job exercises reroutes, re-placements and the index maintenance on
+// every one of those transitions.
+func TestIndexedMatchesScanUnderLinkFailure(t *testing.T) {
+	run := func(scan bool) []FlowRecord {
+		eng := sim.NewEngine()
+		g, hosts, trunks := topology.TwoRack(5, 2, topology.Gbps)
+		net := netsim.New(eng, g)
+		if scan {
+			net.SetScanBaseline(true)
+		}
+		ofc := openflow.NewController(eng, net, 0)
+		py := core.New(eng, net, ofc, core.Config{}.EnableAggregation())
+		if scan {
+			py.SetScanBaseline(true)
+		}
+		cluster := hadoop.NewCluster(eng, net, hosts, ofc, hadoop.Config{})
+		instrument.Attach(eng, cluster, py, instrument.Config{})
+		job, err := cluster.Submit(workload.Sort(8*workload.GB, 8, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.At(20, func() {
+			ofc.FailLink(trunks[0])
+			if rev, ok := g.Reverse(trunks[0]); ok {
+				g.SetLinkUp(rev, false)
+			}
+		})
+		eng.Run()
+		if !job.Done {
+			t.Fatal("job did not survive the trunk failure")
+		}
+		var out []FlowRecord
+		for _, f := range net.History() {
+			out = append(out, FlowRecord{ID: f.ID, Job: f.Job, Map: f.Map,
+				Reduce: f.Reduce, StartSec: float64(f.Started()), EndSec: float64(f.Finished())})
+		}
+		return out
+	}
+	flowHistoriesEqual(t, run(false), run(true), "trunk failure")
+}
+
+// The scale harness itself must be deterministic across the toggle — this is
+// the correctness side of BenchmarkScaleFatTree's speedup claim.
+func TestScaleFatTreeDeterminism(t *testing.T) {
+	indexed := RunScaleFatTree(ScaleFatTreeConfig{K: 4})
+	scan := RunScaleFatTree(ScaleFatTreeConfig{K: 4, DisableIndexes: true})
+	if indexed.Hosts != 16 {
+		t.Fatalf("k=4 fat-tree hosts = %d, want 16", indexed.Hosts)
+	}
+	if indexed.JobSec != scan.JobSec {
+		t.Fatalf("job time diverged: indexed %v vs scan %v", indexed.JobSec, scan.JobSec)
+	}
+	flowHistoriesEqual(t, indexed.FlowHistory, scan.FlowHistory, "fat-tree k=4")
+}

@@ -96,11 +96,15 @@ type TrialConfig struct {
 	// Testbed shape; zero values take the paper's testbed (2 racks x 5
 	// hosts, 2 trunks, 1 Gbps). Setting Spines > 0 switches to a
 	// leaf-spine fabric with Leaves racks instead (the "larger-scale
-	// future SDN setup" shape of §IV).
+	// future SDN setup" shape of §IV). Setting FatTreeK > 0 instead
+	// builds a k-ary fat-tree with HostsPerRack hosts per edge switch
+	// (defaulting to k/2 — the canonical full fat-tree) for the scale
+	// benchmarks.
 	HostsPerRack int
 	Trunks       int
 	Leaves       int
 	Spines       int
+	FatTreeK     int
 	LinkBps      float64
 
 	Hadoop     hadoop.Config
@@ -123,11 +127,23 @@ type TrialConfig struct {
 	// CollectPrediction enables Fig. 5 instrumentation-efficacy capture
 	// (per-host predicted and measured cumulative curves).
 	CollectPrediction bool
+	// CollectFlowHistory records every completed flow's identity and
+	// timing in the result — the golden data for determinism tests.
+	CollectFlowHistory bool
+	// DisableIndexes reverts netsim telemetry and Pythia path scoring to
+	// the pre-index full-scan reference implementations (scan baseline).
+	// Results must be bit-identical either way; this knob exists so tests
+	// can prove it and benchmarks can measure the difference.
+	DisableIndexes bool
 }
 
 func (c TrialConfig) defaults() TrialConfig {
 	if c.HostsPerRack == 0 {
-		c.HostsPerRack = 5
+		if c.FatTreeK > 0 {
+			c.HostsPerRack = c.FatTreeK / 2
+		} else {
+			c.HostsPerRack = 5
+		}
 	}
 	if c.Trunks == 0 {
 		c.Trunks = 2
@@ -152,6 +168,18 @@ type TrialResult struct {
 	Overhead       instrument.OverheadReport
 	// Fig. 5 capture (CollectPrediction only).
 	Prediction *PredictionCapture
+	// FlowHistory lists every completed flow in completion order
+	// (CollectFlowHistory only).
+	FlowHistory []FlowRecord
+}
+
+// FlowRecord is one completed flow's identity and exact timing, used to
+// compare runs for bit-identical behavior.
+type FlowRecord struct {
+	ID               netsim.FlowID
+	Job, Map, Reduce int
+	StartSec         float64
+	EndSec           float64
 }
 
 // PredictionCapture is the Fig. 5 data: per source host, the predicted and
@@ -193,6 +221,12 @@ func (t *teeSink) ReducerUp(u instrument.ReducerUp) {
 	}
 }
 
+func (t *teeSink) JobDone(job int) {
+	if jd, ok := t.next.(instrument.JobDoneSink); ok {
+		jd.JobDone(job)
+	}
+}
+
 // nullSink drops messages (ECMP/Hedera runs still pay instrumentation cost
 // in reality, but they do not consume the intents).
 type nullSink struct{}
@@ -210,7 +244,11 @@ func RunTrial(cfg TrialConfig) TrialResult {
 		hosts  []topology.NodeID
 		trunks []topology.LinkID
 	)
-	if cfg.Spines > 0 {
+	if cfg.FatTreeK > 0 {
+		// Scale fabric: oversubscription comes from the tree's own arity,
+		// not injected background, so trunks stay empty.
+		g, hosts = topology.FatTree(cfg.FatTreeK, cfg.HostsPerRack, cfg.LinkBps)
+	} else if cfg.Spines > 0 {
 		leaves := cfg.Leaves
 		if leaves == 0 {
 			leaves = 4
@@ -228,6 +266,9 @@ func RunTrial(cfg TrialConfig) TrialResult {
 		g, hosts, trunks = topology.TwoRack(cfg.HostsPerRack, cfg.Trunks, cfg.LinkBps)
 	}
 	net := netsim.New(eng, g)
+	if cfg.DisableIndexes {
+		net.SetScanBaseline(true)
+	}
 
 	applyOversub(net, trunks, cfg)
 
@@ -252,6 +293,9 @@ func RunTrial(cfg TrialConfig) TrialResult {
 			ofc.SetManagementNetwork(mn, topology.NodeID(-1))
 		}
 		py := core.New(eng, net, ofc, cfg.PythiaCfg)
+		if cfg.DisableIndexes {
+			py.SetScanBaseline(true)
+		}
 		resolver = ofc
 		sink = py
 	case Hedera:
@@ -297,6 +341,18 @@ func RunTrial(cfg TrialConfig) TrialResult {
 	}
 	if cfg.CollectPrediction {
 		res.Prediction = buildPredictionCapture(g, cluster, job, tee, nfc)
+	}
+	if cfg.CollectFlowHistory {
+		for _, f := range net.History() {
+			res.FlowHistory = append(res.FlowHistory, FlowRecord{
+				ID:       f.ID,
+				Job:      f.Job,
+				Map:      f.Map,
+				Reduce:   f.Reduce,
+				StartSec: float64(f.Started()),
+				EndSec:   float64(f.Finished()),
+			})
+		}
 	}
 	return res
 }

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"pythia/internal/workload"
+)
+
+// ScaleFatTreeConfig sizes one scale-benchmark run: a sort job spread over
+// a k-ary fat-tree, scheduled by Pythia. The point is not a paper figure
+// but simulator throughput — how fast the hot paths (telemetry polls,
+// max-min recomputation, bin packing) handle fabrics far beyond the
+// 16-server testbed.
+type ScaleFatTreeConfig struct {
+	// K is the fat-tree arity (even, ≥ 4). Hosts = k³/4 with the default
+	// k/2 hosts per edge switch: k=4 → 16, k=6 → 54, k=8 → 128.
+	K int
+	// SortBytes is the job input size; 0 defaults to hosts × 128 MB
+	// (one sort block per two hosts — enough concurrent flows that every
+	// poll and recompute crosses the whole fabric).
+	SortBytes float64
+	// DisableIndexes runs the scan-baseline reference implementations
+	// instead of the per-link indexes.
+	DisableIndexes bool
+	Seed           uint64
+}
+
+// ScaleFatTreeResult reports the run.
+type ScaleFatTreeResult struct {
+	Hosts       int
+	JobSec      float64
+	FlowHistory []FlowRecord
+}
+
+// FatTreeHosts returns the host count of the k-ary fat-tree used by
+// RunScaleFatTree.
+func FatTreeHosts(k int) int { return k * (k / 2) * (k / 2) }
+
+// RunScaleFatTree executes one scale trial and returns its outcome,
+// including the full flow history so callers can assert determinism
+// across the indexed and scan-baseline implementations.
+func RunScaleFatTree(cfg ScaleFatTreeConfig) ScaleFatTreeResult {
+	hosts := FatTreeHosts(cfg.K)
+	bytes := cfg.SortBytes
+	if bytes == 0 {
+		bytes = float64(hosts) * 128 * workload.MB
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 7
+	}
+	res := RunTrial(TrialConfig{
+		Spec:               workload.Sort(bytes, hosts, seed),
+		Scheduler:          Pythia,
+		FatTreeK:           cfg.K,
+		Seed:               seed,
+		DisableIndexes:     cfg.DisableIndexes,
+		CollectFlowHistory: true,
+	})
+	return ScaleFatTreeResult{Hosts: hosts, JobSec: res.JobSec, FlowHistory: res.FlowHistory}
+}

@@ -105,6 +105,7 @@ type aggregate struct {
 	cookie         uint64
 	demandBits     float64 // outstanding predicted demand
 	placed         bool
+	indexed        bool // member of Pythia.placedOn for path's links
 	// perReducer tracks outstanding demand by (job, reducer), feeding the
 	// criticality criterion.
 	perReducer map[[2]int]float64
@@ -137,16 +138,28 @@ type Pythia struct {
 	pending    []*pendingIntent
 
 	aggregates map[pairKey]*aggregate
-	booked     map[flowKey]booking // predicted demand per (job,map,reduce)
+	// placedOn indexes the placed aggregates by every link of their
+	// installed path, so pathScore shares spare capacity in
+	// O(aggregates-on-link) instead of scanning every aggregate per
+	// candidate link. Kept in lockstep with aggregate.placed.
+	placedOn map[topology.LinkID]map[pairKey]*aggregate
+	// scanBaseline reverts pathScore to the pre-index full-scan pass
+	// (golden-equivalence tests and benchmark baselines only).
+	scanBaseline bool
+	booked       map[flowKey]booking // predicted demand per (job,map,reduce)
 	// redBacklog is global outstanding predicted demand per (job,
 	// reducer) — the shuffle-barrier backlog that defines criticality.
 	redBacklog map[[2]int]float64
 	nextCookie uint64
 
 	// Metrics.
-	IntentsReceived   int
-	IntentsDeferred   int // had at least one unknown destination
+	IntentsReceived int
+	IntentsDeferred int // had at least one unknown destination
+	// AggregatesPlaced counts placements that installed (or re-installed)
+	// rules; Reaffirmations counts allocation passes that re-affirmed an
+	// aggregate on its unchanged path without touching the switches.
 	AggregatesPlaced  int
+	Reaffirmations    int
 	Reallocations     int
 	RuleInstallErrors int
 	// FlowsRescued counts in-flight flows rerouted off failed links.
@@ -169,6 +182,7 @@ func New(eng *sim.Engine, net *netsim.Network, ofc *openflow.Controller, cfg Con
 		paths:      make(map[pairKey][]topology.Path),
 		reducerLoc: make(map[[2]int]topology.NodeID),
 		aggregates: make(map[pairKey]*aggregate),
+		placedOn:   make(map[topology.LinkID]map[pairKey]*aggregate),
 		booked:     make(map[flowKey]booking),
 		redBacklog: make(map[[2]int]float64),
 		nextCookie: 1,
@@ -183,6 +197,44 @@ func New(eng *sim.Engine, net *netsim.Network, ofc *openflow.Controller, cfg Con
 }
 
 var _ instrument.Sink = (*Pythia)(nil)
+var _ instrument.JobDoneSink = (*Pythia)(nil)
+
+// SetScanBaseline reverts pathScore's booked-demand pass to the pre-index
+// full-aggregate scan. The placement index is maintained either way; the
+// knob exists for golden-equivalence tests and benchmark baselines.
+func (p *Pythia) SetScanBaseline(on bool) { p.scanBaseline = on }
+
+// indexAgg adds a placed aggregate to the per-link placement index.
+func (p *Pythia) indexAgg(a *aggregate) {
+	if a.indexed {
+		return
+	}
+	for _, l := range a.path.Links {
+		set := p.placedOn[l]
+		if set == nil {
+			set = make(map[pairKey]*aggregate)
+			p.placedOn[l] = set
+		}
+		set[a.key] = a
+	}
+	a.indexed = true
+}
+
+// unindexAgg removes an aggregate from the per-link placement index.
+func (p *Pythia) unindexAgg(a *aggregate) {
+	if !a.indexed {
+		return
+	}
+	for _, l := range a.path.Links {
+		if set := p.placedOn[l]; set != nil {
+			delete(set, a.key)
+			if len(set) == 0 {
+				delete(p.placedOn, l)
+			}
+		}
+	}
+	a.indexed = false
+}
 
 // aggKey maps concrete endpoints to the aggregation key for the configured
 // scope. Rack scope encodes rack numbers as NodeIDs.
@@ -285,6 +337,7 @@ func (p *Pythia) resolveIntent(pi *pendingIntent) {
 			// Ablation: every new demand forces a fresh placement
 			// decision for the pair.
 			agg.placed = false
+			p.unindexAgg(agg)
 		}
 	}
 	sort.Ints(done)
@@ -385,19 +438,7 @@ func (p *Pythia) pathScore(path topology.Path, self *aggregate) float64 {
 		}
 		// Share the spare capacity with aggregates already booked on
 		// this link (self excluded), in proportion to predicted demand.
-		otherDemand := 0.0
-		for _, other := range p.aggregates {
-			if other == self || !other.placed || other.demandBits <= 0 {
-				continue
-			}
-			for _, ol := range other.path.Links {
-				if ol == l {
-					otherDemand += other.demandBits
-					break
-				}
-			}
-		}
-		linkScore := spare * selfDemand / (selfDemand + otherDemand)
+		linkScore := spare * selfDemand / (selfDemand + p.bookedDemandOn(l, self))
 		if i == 0 || linkScore < score {
 			score = linkScore
 		}
@@ -405,19 +446,68 @@ func (p *Pythia) pathScore(path topology.Path, self *aggregate) float64 {
 	return score
 }
 
+// bookedDemandOn sums the predicted demand of the other placed aggregates
+// crossing link l. The summation order is fixed (ascending pair key) in
+// both the indexed and scan-baseline modes so the float sum — and hence
+// every placement decision — is bit-identical between them.
+func (p *Pythia) bookedDemandOn(l topology.LinkID, self *aggregate) float64 {
+	var others []*aggregate
+	if p.scanBaseline {
+		for _, other := range p.aggregates {
+			if other == self || !other.placed || other.demandBits <= 0 {
+				continue
+			}
+			for _, ol := range other.path.Links {
+				if ol == l {
+					others = append(others, other)
+					break
+				}
+			}
+		}
+	} else {
+		for _, other := range p.placedOn[l] {
+			if other == self || other.demandBits <= 0 {
+				continue
+			}
+			others = append(others, other)
+		}
+	}
+	sort.Slice(others, func(i, j int) bool {
+		if others[i].key.src != others[j].key.src {
+			return others[i].key.src < others[j].key.src
+		}
+		return others[i].key.dst < others[j].key.dst
+	})
+	sum := 0.0
+	for _, o := range others {
+		sum += o.demandBits
+	}
+	return sum
+}
+
 // place books the aggregate onto the path and installs its rules. An
-// aggregate already holding rules for a different path is re-installed.
+// aggregate already holding rules for a different path is re-installed;
+// one re-affirmed on its unchanged path counts as a Reaffirmation, not a
+// placement, since no switch state moves.
 func (p *Pythia) place(a *aggregate, path topology.Path) {
-	samePath := a.placed && a.path.Equal(path)
+	// The cookie is the evidence that rules for a.path sit in the switches
+	// (placed may have been cleared by a re-placement pass already).
+	samePath := a.cookie != 0 && a.path.Equal(path)
 	if a.cookie != 0 && !samePath {
 		p.ofc.RemovePath(a.cookie)
 		a.cookie = 0
 		p.Reallocations++
 	}
+	p.unindexAgg(a)
 	a.path = path
 	a.placed = true
+	p.indexAgg(a)
+	if a.cookie != 0 {
+		p.Reaffirmations++
+		return
+	}
 	p.AggregatesPlaced++
-	if a.cookie == 0 {
+	{
 		cookie := p.nextCookie
 		p.nextCookie++
 		a.cookie = cookie
@@ -471,7 +561,52 @@ func (p *Pythia) unbook(key flowKey, b booking) {
 		if agg.cookie != 0 {
 			p.ofc.RemovePath(agg.cookie)
 		}
+		p.unindexAgg(agg)
 		delete(p.aggregates, agg.key)
+	}
+}
+
+// JobDone purges all controller state for a finished (or abandoned) job:
+// pending intents, bookings, reducer placements, and barrier backlog. Booked
+// demand whose flows never ran — e.g. reducers that never started — would
+// otherwise pin aggregates, rules, and backlog entries forever.
+func (p *Pythia) JobDone(job int) {
+	remaining := p.pending[:0]
+	for _, pi := range p.pending {
+		if pi.intent.Job != job {
+			remaining = append(remaining, pi)
+		}
+	}
+	for i := len(remaining); i < len(p.pending); i++ {
+		p.pending[i] = nil
+	}
+	p.pending = remaining
+	var keys []flowKey
+	for fk := range p.booked {
+		if fk.job == job {
+			keys = append(keys, fk)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].mapID != keys[j].mapID {
+			return keys[i].mapID < keys[j].mapID
+		}
+		return keys[i].reduce < keys[j].reduce
+	})
+	for _, fk := range keys {
+		b := p.booked[fk]
+		delete(p.booked, fk)
+		p.unbook(fk, b)
+	}
+	for jr := range p.reducerLoc {
+		if jr[0] == job {
+			delete(p.reducerLoc, jr)
+		}
+	}
+	for jr := range p.redBacklog {
+		if jr[0] == job {
+			delete(p.redBacklog, jr)
+		}
 	}
 }
 
@@ -488,6 +623,7 @@ func (p *Pythia) onTopologyChange() {
 		// Invalid paths (through failed links) must move; valid ones are
 		// re-scored too, since spare capacity shifted.
 		a.placed = false
+		p.unindexAgg(a)
 	}
 	p.allocate()
 	// Rescue stranded in-flight flows: move them onto their pair's new

@@ -215,9 +215,16 @@ func TestAggregationReducesPlacements(t *testing.T) {
 	off.clus.Submit(specGen())
 	off.eng.Run()
 
-	if off.py.AggregatesPlaced <= on.py.AggregatesPlaced {
-		t.Fatalf("aggregation off placed %d <= on %d",
-			off.py.AggregatesPlaced, on.py.AggregatesPlaced)
+	// Without aggregation every intent triggers its own allocation decision;
+	// decisions that land on the pair's unchanged path count as
+	// re-affirmations, changed paths as placements. Either way the A2
+	// ablation must decide strictly more often than the aggregated run.
+	onDecisions := on.py.AggregatesPlaced + on.py.Reaffirmations
+	offDecisions := off.py.AggregatesPlaced + off.py.Reaffirmations
+	if offDecisions <= onDecisions {
+		t.Fatalf("aggregation off decided %d (placed %d + reaffirmed %d) <= on %d (placed %d + reaffirmed %d)",
+			offDecisions, off.py.AggregatesPlaced, off.py.Reaffirmations,
+			onDecisions, on.py.AggregatesPlaced, on.py.Reaffirmations)
 	}
 }
 

@@ -42,6 +42,13 @@ type Sink interface {
 	ReducerUp(ReducerUp)
 }
 
+// JobDoneSink is implemented by sinks that want job-completion
+// notifications, so per-job controller state (bookings for reducers that
+// never started, deferred intents, barrier backlog) can be reclaimed.
+type JobDoneSink interface {
+	JobDone(job int)
+}
+
 // Config tunes the middleware's latency and overhead model.
 type Config struct {
 	// FSNotifyDelay is the gap between spill write and the filesystem
@@ -140,6 +147,14 @@ func Attach(eng *sim.Engine, cluster *hadoop.Cluster, sink Sink, cfg Config) *Mi
 		up := ReducerUp{Job: j.ID, Reduce: r.ID, Host: host, At: eng.Now()}
 		m.send(host, 64, func() { m.sink.ReducerUp(up) })
 	})
+	if jd, ok := sink.(JobDoneSink); ok {
+		cluster.OnJobDone(func(j *hadoop.Job) {
+			// The jobtracker already knows completion; one mgmt hop tells
+			// the collector to drop the job's residual state.
+			job := j.ID
+			m.send(cluster.Hosts()[0], 32, func() { jd.JobDone(job) })
+		})
+	}
 	return m
 }
 

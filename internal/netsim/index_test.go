@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"testing"
+
+	"pythia/internal/sim"
+)
+
+// checkIndexMatchesScan compares every telemetry read on every link between
+// the indexed path and the scan-baseline reference at the current instant.
+// The two must agree bit-for-bit: both iterate flows in ascending FlowID
+// order, so even the float sums are identical.
+func checkIndexMatchesScan(t *testing.T, n *Network) {
+	t.Helper()
+	for _, l := range n.Graph().Links() {
+		n.SetScanBaseline(false)
+		iu, ia, is := n.LinkStats(l.ID)
+		ifl := n.FlowsOn(l.ID)
+		n.SetScanBaseline(true)
+		su, sa, ss := n.LinkStats(l.ID)
+		sfl := n.FlowsOn(l.ID)
+		n.SetScanBaseline(false)
+		if iu != su || ia != sa || is != ss {
+			t.Fatalf("link %d: indexed stats (%v,%v,%v) != scan stats (%v,%v,%v)",
+				l.ID, iu, ia, is, su, sa, ss)
+		}
+		if len(ifl) != len(sfl) {
+			t.Fatalf("link %d: indexed FlowsOn %d flows, scan %d", l.ID, len(ifl), len(sfl))
+		}
+		for i := range ifl {
+			if ifl[i].ID != sfl[i].ID {
+				t.Fatalf("link %d: FlowsOn[%d] = %d indexed vs %d scan",
+					l.ID, i, ifl[i].ID, sfl[i].ID)
+			}
+		}
+	}
+}
+
+func TestIndexMatchesScanAcrossLifecycle(t *testing.T) {
+	eng, n, hosts, _ := testbed()
+	// A mesh of staggered flows so the checkpoints see starts, completions
+	// and a mid-flight reroute.
+	var tracked *Flow
+	k := 0
+	for i := 0; i < 5; i++ {
+		for j := 5; j < 10; j++ {
+			k++
+			p := pathOf(t, n, hosts[i], hosts[j], k%2)
+			f := n.StartFlow(tup(hosts[i], hosts[j], uint16(k), uint16(k)),
+				Shuffle, p, float64(k)*2e8, 0, i, j, nil)
+			if tracked == nil {
+				tracked = f
+			}
+		}
+	}
+	eng.At(0.1, func() { checkIndexMatchesScan(t, n) })
+	eng.At(0.5, func() {
+		if !tracked.Done() {
+			n.Reroute(tracked, pathOf(t, n, tracked.Tuple.SrcHost, tracked.Tuple.DstHost, 1))
+		}
+		checkIndexMatchesScan(t, n)
+	})
+	eng.At(3.0, func() { checkIndexMatchesScan(t, n) })
+	eng.Run()
+	checkIndexMatchesScan(t, n)
+	if len(n.ActiveList()) != 0 {
+		t.Fatal("flows still active after run")
+	}
+}
+
+func TestScanBaselineFullRunIdentical(t *testing.T) {
+	type rec struct {
+		id                FlowID
+		started, finished float64
+	}
+	run := func(scan bool) []rec {
+		eng, n, hosts, _ := testbed()
+		n.SetScanBaseline(scan)
+		k := 0
+		for i := 0; i < 5; i++ {
+			for j := 5; j < 10; j++ {
+				k++
+				i, j, k := i, j, k
+				eng.At(sim.Time(float64(k)*0.05), func() {
+					p := pathOf(t, n, hosts[i], hosts[j], k%2)
+					n.StartFlow(tup(hosts[i], hosts[j], uint16(k), uint16(k)),
+						Shuffle, p, float64(1+k%3)*3e8, 0, i, j, nil)
+				})
+			}
+		}
+		eng.Run()
+		var out []rec
+		for _, f := range n.History() {
+			out = append(out, rec{f.ID, float64(f.Started()), float64(f.Finished())})
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("history lengths differ: indexed %d vs scan %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d diverged: indexed %+v vs scan %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -13,6 +13,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"pythia/internal/sim"
 	"pythia/internal/topology"
@@ -116,6 +117,23 @@ type Network struct {
 	active  map[FlowID]*Flow
 	history []*Flow
 
+	// linkFlows indexes the active flows by every link they traverse and
+	// terminal counts the active flows whose final hop lands on each link
+	// (the incast convergence count). Both are maintained incrementally on
+	// StartFlow/Reroute/completion so that per-link telemetry and the
+	// max-min bottleneck pass cost O(flows-on-link) instead of scanning
+	// every active flow per link. Invariant: a path never crosses the same
+	// link twice (deterministic forwarding cannot revisit a node without
+	// looping forever, which Resolve rejects).
+	linkFlows map[topology.LinkID]map[FlowID]*Flow
+	terminal  map[topology.LinkID]int
+
+	// scanBaseline reverts telemetry and the allocator's bottleneck pass
+	// to the pre-index full-scan implementations. The index is still
+	// maintained, so the mode can be flipped at any instant. It exists for
+	// golden-equivalence tests and benchmark baselines only.
+	scanBaseline bool
+
 	// background CBR load per link, bps.
 	background map[topology.LinkID]float64
 
@@ -178,6 +196,8 @@ func New(eng *sim.Engine, g *topology.Graph) *Network {
 		eng:        eng,
 		g:          g,
 		active:     make(map[FlowID]*Flow),
+		linkFlows:  make(map[topology.LinkID]map[FlowID]*Flow),
+		terminal:   make(map[topology.LinkID]int),
 		background: make(map[topology.LinkID]float64),
 		linkBits:   make(map[topology.LinkID]float64),
 		hostTxBits: make(map[topology.NodeID]float64),
@@ -247,9 +267,50 @@ func (n *Network) StartFlow(tuple FiveTuple, kind FlowKind, path topology.Path, 
 	}
 	n.nextID++
 	n.active[f.ID] = f
+	n.indexFlow(f)
 	n.recompute()
 	return f
 }
+
+// indexFlow adds a flow to the per-link occupancy index.
+func (n *Network) indexFlow(f *Flow) {
+	for _, l := range f.Path.Links {
+		set := n.linkFlows[l]
+		if set == nil {
+			set = make(map[FlowID]*Flow)
+			n.linkFlows[l] = set
+		}
+		set[f.ID] = f
+	}
+	if k := len(f.Path.Links); k > 0 {
+		n.terminal[f.Path.Links[k-1]]++
+	}
+}
+
+// unindexFlow removes a flow from the per-link occupancy index.
+func (n *Network) unindexFlow(f *Flow) {
+	for _, l := range f.Path.Links {
+		if set := n.linkFlows[l]; set != nil {
+			delete(set, f.ID)
+			if len(set) == 0 {
+				delete(n.linkFlows, l)
+			}
+		}
+	}
+	if k := len(f.Path.Links); k > 0 {
+		last := f.Path.Links[k-1]
+		if n.terminal[last]--; n.terminal[last] == 0 {
+			delete(n.terminal, last)
+		}
+	}
+}
+
+// SetScanBaseline toggles the pre-index reference implementations: per-link
+// telemetry and the allocator's bottleneck pass scan every active flow
+// instead of consulting the occupancy index. The index is maintained either
+// way, so the mode can be flipped at any time. Used by golden-equivalence
+// tests and benchmark baselines; production callers never need it.
+func (n *Network) SetScanBaseline(on bool) { n.scanBaseline = on }
 
 // ActiveFlows returns the number of in-flight flows.
 func (n *Network) ActiveFlows() int { return len(n.active) }
@@ -286,18 +347,27 @@ func (n *Network) advance() {
 // recompute performs max-min fair allocation (progressive filling) across
 // all active flows and reschedules the next-completion event.
 func (n *Network) recompute() {
-	// Residual capacity per link after CBR background.
+	// Residual capacity per link after CBR background. Link occupancy
+	// comes straight from the index; the scan baseline rebuilds it from
+	// scratch the way the pre-index implementation did.
 	residual := make(map[topology.LinkID]float64)
-	counts := make(map[topology.LinkID]int)
-	terminal := make(map[topology.LinkID]int) // flows ending on this link
-	for id, f := range n.active {
-		_ = id
-		for _, l := range f.Path.Links {
-			counts[l]++
+	counts := make(map[topology.LinkID]int, len(n.linkFlows))
+	var terminal map[topology.LinkID]int // flows ending on this link
+	if n.scanBaseline {
+		terminal = make(map[topology.LinkID]int)
+		for _, f := range n.active {
+			for _, l := range f.Path.Links {
+				counts[l]++
+			}
+			if k := len(f.Path.Links); k > 0 {
+				terminal[f.Path.Links[k-1]]++
+			}
 		}
-		if k := len(f.Path.Links); k > 0 {
-			terminal[f.Path.Links[k-1]]++
+	} else {
+		for l, fs := range n.linkFlows {
+			counts[l] = len(fs)
 		}
+		terminal = n.terminal
 	}
 	for l, c := range counts {
 		if c == 0 {
@@ -360,17 +430,9 @@ func (n *Network) recompute() {
 			break
 		}
 		// Fix every unfixed flow crossing the bottleneck at bestShare.
-		for id, f := range unfixed {
-			crosses := false
-			for _, l := range f.Path.Links {
-				if l == bottleneck {
-					crosses = true
-					break
-				}
-			}
-			if !crosses {
-				continue
-			}
+		// Every fixed flow subtracts the identical share, so the order the
+		// candidates are visited in cannot change the resulting residuals.
+		fix := func(id FlowID, f *Flow) {
 			f.rate = bestShare
 			delete(unfixed, id)
 			for _, l := range f.Path.Links {
@@ -379,6 +441,22 @@ func (n *Network) recompute() {
 					residual[l] = 0
 				}
 				counts[l]--
+			}
+		}
+		if n.scanBaseline {
+			for id, f := range unfixed {
+				for _, l := range f.Path.Links {
+					if l == bottleneck {
+						fix(id, f)
+						break
+					}
+				}
+			}
+		} else {
+			for id, f := range n.linkFlows[bottleneck] {
+				if _, ok := unfixed[id]; ok {
+					fix(id, f)
+				}
 			}
 		}
 	}
@@ -420,6 +498,7 @@ func (n *Network) completeDue() {
 			f.done = true
 			f.finished = n.eng.Now()
 			delete(n.active, id)
+			n.unindexFlow(f)
 			completed = append(completed, f)
 		}
 	}
@@ -445,63 +524,79 @@ func (n *Network) completeDue() {
 	}
 }
 
+// flowsOnSorted returns the active flows crossing a link in ascending
+// flow-ID order — via the occupancy index, or (scan baseline) by scanning
+// every active flow as the pre-index implementation did. The sorted order
+// makes every telemetry sum independent of map iteration order, so the
+// indexed and scan paths produce bit-identical floats.
+func (n *Network) flowsOnSorted(link topology.LinkID) []*Flow {
+	var fs []*Flow
+	if n.scanBaseline {
+		for _, f := range n.active {
+			for _, l := range f.Path.Links {
+				if l == link {
+					fs = append(fs, f)
+					break
+				}
+			}
+		}
+	} else {
+		set := n.linkFlows[link]
+		if len(set) == 0 {
+			return nil
+		}
+		fs = make([]*Flow, 0, len(set))
+		for _, f := range set {
+			fs = append(fs, f)
+		}
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
+	return fs
+}
+
+// LinkStats returns a link's instantaneous utilization fraction, spare
+// capacity in bps, and summed shuffle-flow rate in one pass over the flows
+// crossing it — the controller's poll reads all three per link per period.
+func (n *Network) LinkStats(link topology.LinkID) (utilization, availableBps, shuffleBps float64) {
+	capBps := n.g.Link(link).CapacityBps
+	used := n.background[link]
+	for _, f := range n.flowsOnSorted(link) {
+		used += f.rate
+		if f.Kind == Shuffle {
+			shuffleBps += f.rate
+		}
+	}
+	utilization = used / capBps
+	if utilization > 1 {
+		utilization = 1
+	}
+	if used < capBps {
+		availableBps = capBps - used
+	}
+	return utilization, availableBps, shuffleBps
+}
+
 // Utilization returns the instantaneous fraction of a link's capacity in
 // use (background + allocated flow rates). This is what the controller's
 // link-load update service reads.
 func (n *Network) Utilization(link topology.LinkID) float64 {
-	capBps := n.g.Link(link).CapacityBps
-	used := n.background[link]
-	for _, f := range n.active {
-		for _, l := range f.Path.Links {
-			if l == link {
-				used += f.rate
-				break
-			}
-		}
-	}
-	u := used / capBps
-	if u > 1 {
-		u = 1
-	}
+	u, _, _ := n.LinkStats(link)
 	return u
 }
 
 // AvailableBps returns the instantaneous spare capacity of a link
 // (capacity - background - allocated flow rates), floored at zero.
 func (n *Network) AvailableBps(link topology.LinkID) float64 {
-	capBps := n.g.Link(link).CapacityBps
-	used := n.background[link]
-	for _, f := range n.active {
-		for _, l := range f.Path.Links {
-			if l == link {
-				used += f.rate
-				break
-			}
-		}
-	}
-	if used >= capBps {
-		return 0
-	}
-	return capBps - used
+	_, a, _ := n.LinkStats(link)
+	return a
 }
 
 // ShuffleRateOn returns the summed instantaneous rate of shuffle-kind flows
 // crossing a link. Pythia uses this to differentiate shuffle load from
 // background traffic when estimating available bandwidth.
 func (n *Network) ShuffleRateOn(link topology.LinkID) float64 {
-	sum := 0.0
-	for _, f := range n.active {
-		if f.Kind != Shuffle {
-			continue
-		}
-		for _, l := range f.Path.Links {
-			if l == link {
-				sum += f.rate
-				break
-			}
-		}
-	}
-	return sum
+	_, _, s := n.LinkStats(link)
+	return s
 }
 
 // HostTxBits returns cumulative shuffle bits sourced by a host up to the
@@ -534,36 +629,14 @@ func (n *Network) ActiveList() []*Flow {
 	for _, f := range n.active {
 		fs = append(fs, f)
 	}
-	for i := 0; i < len(fs); i++ {
-		for j := i + 1; j < len(fs); j++ {
-			if fs[j].ID < fs[i].ID {
-				fs[i], fs[j] = fs[j], fs[i]
-			}
-		}
-	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
 	return fs
 }
 
 // FlowsOn returns the active flows traversing a link, useful for elephant
 // detection in the Hedera-like baseline. Order is by flow ID.
 func (n *Network) FlowsOn(link topology.LinkID) []*Flow {
-	var fs []*Flow
-	for _, f := range n.active {
-		for _, l := range f.Path.Links {
-			if l == link {
-				fs = append(fs, f)
-				break
-			}
-		}
-	}
-	for i := 0; i < len(fs); i++ {
-		for j := i + 1; j < len(fs); j++ {
-			if fs[j].ID < fs[i].ID {
-				fs[i], fs[j] = fs[j], fs[i]
-			}
-		}
-	}
-	return fs
+	return n.flowsOnSorted(link)
 }
 
 // Reroute moves an active flow onto a new path (Hedera-style reallocation).
@@ -580,6 +653,8 @@ func (n *Network) Reroute(f *Flow, path topology.Path) {
 		panic(fmt.Sprintf("netsim: reroute invalid path: %v", err))
 	}
 	n.advance()
+	n.unindexFlow(f)
 	f.Path = path
+	n.indexFlow(f)
 	n.recompute()
 }

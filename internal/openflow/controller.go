@@ -116,11 +116,15 @@ func (c *Controller) SetPollInterval(d sim.Duration) {
 }
 
 func (c *Controller) poll() {
+	// One pass over each link's occupancy-index entry yields all three
+	// quantities, so a poll costs O(links + flows-on-links) instead of the
+	// pre-index O(links × active flows).
 	for _, l := range c.g.Links() {
+		u, avail, shuffle := c.net.LinkStats(l.ID)
 		c.linkLoad[l.ID] = LoadSample{
-			Utilization:  c.net.Utilization(l.ID),
-			AvailableBps: c.net.AvailableBps(l.ID),
-			ShuffleBps:   c.net.ShuffleRateOn(l.ID),
+			Utilization:  u,
+			AvailableBps: avail,
+			ShuffleBps:   shuffle,
 			SampledAt:    c.eng.Now(),
 		}
 	}
@@ -203,8 +207,20 @@ func (c *Controller) install(m Match, path topology.Path, priority int, cookie u
 	}
 	if len(steps) == 0 {
 		if done != nil {
-			// Even a no-op command round-trips the control network.
-			c.eng.After(c.InstallLatency, func() { done(nil) })
+			// Even a no-op command round-trips the control network. With a
+			// management network configured the ack must queue behind the
+			// controller's other control traffic like any FLOW_MOD, not
+			// bypass it through the built-in pipeline delay.
+			if c.mgmt != nil {
+				c.nextXID++
+				wire := ofp10.EchoRequest(c.nextXID, nil)
+				c.ControlBytes += float64(len(wire))
+				c.mgmt.Send(c.ctrlNode, float64(len(wire)), func() {
+					c.eng.After(c.InstallLatency, func() { done(nil) })
+				})
+			} else {
+				c.eng.After(c.InstallLatency, func() { done(nil) })
+			}
 		}
 		return
 	}
@@ -310,8 +326,8 @@ func (c *Controller) Resolve(t netsim.FiveTuple) (topology.Path, error) {
 	at := t.SrcHost
 	maxHops := 4 * c.g.NumNodes()
 	for at != t.DstHost {
-		if len(links) > maxHops {
-			return topology.Path{}, fmt.Errorf("openflow: forwarding loop resolving %v", t)
+		if len(links) >= maxHops {
+			return topology.Path{}, fmt.Errorf("openflow: forwarding loop resolving %v after %d hops", t, len(links))
 		}
 		var next topology.LinkID = -1
 		if sw, ok := c.switches[at]; ok {
