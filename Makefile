@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-paper fuzz figures examples clean
+.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-compare fuzz figures examples clean
 
 all: build vet test
 
@@ -29,6 +29,21 @@ bench:
 # The same benchmarks at the paper's published input sizes.
 bench-paper:
 	$(GO) test -bench=. -benchmem -paperscale .
+
+# Machine-readable scale-benchmark artifact (ns/op + allocs/op for every
+# allocator mode at every fat-tree size). CI uploads this as BENCH_scale.json.
+bench-scale:
+	$(GO) test -bench=ScaleFatTree -benchmem -benchtime=1x -run='^$$' . \
+		| $(GO) run ./cmd/bench2json -o BENCH_scale.json
+	@echo wrote BENCH_scale.json
+
+# Diff the current tree's scale benchmark against a saved artifact:
+#   make bench-scale && git stash / checkout, make bench-compare OLD=path.json
+OLD ?= BENCH_scale_old.json
+bench-compare:
+	$(GO) test -bench=ScaleFatTree -benchmem -benchtime=1x -run='^$$' . \
+		| $(GO) run ./cmd/bench2json -o BENCH_scale.json
+	$(GO) run ./cmd/bench2json -compare $(OLD) BENCH_scale.json
 
 # Quick fuzz pass over the binary index-file codec.
 fuzz:

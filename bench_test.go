@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"pythia/internal/bench"
+	"pythia/internal/netsim"
 )
 
 var paperScale = flag.Bool("paperscale", false, "run benchmarks at the paper's full input sizes")
@@ -253,21 +254,30 @@ func BenchmarkOptimalityGap(b *testing.B) {
 }
 
 // BenchmarkScaleFatTree measures simulator throughput on k-ary fat-trees
-// far beyond the paper's 16-server testbed, with the per-link occupancy
-// indexes on (default) and off (the pre-index full-scan baseline). The
-// determinism tests prove both variants produce bit-identical schedules;
-// this benchmark shows what the indexes buy in wall-clock time.
+// far beyond the paper's 16-server testbed across the three allocator
+// implementations: incremental (coalesced, component-scoped, dense scratch —
+// the default), indexed (PR 1: eager full pass per mutation, occupancy from
+// the per-link index) and scan (the original full-scan reference). The
+// determinism tests prove all three produce bit-identical schedules; this
+// benchmark shows what coalescing + incremental allocation buy in wall-clock
+// time on top of the indexes.
 func BenchmarkScaleFatTree(b *testing.B) {
+	modes := []struct {
+		name  string
+		alloc netsim.AllocMode
+	}{
+		{"incremental", netsim.AllocIncremental},
+		{"indexed", netsim.AllocIndexed},
+		{"scan", netsim.AllocScan},
+	}
 	for _, k := range []int{4, 6, 8} {
-		for _, scan := range []bool{false, true} {
-			name := fmt.Sprintf("k%d/hosts%d/indexed", k, bench.FatTreeHosts(k))
-			if scan {
-				name = fmt.Sprintf("k%d/hosts%d/scan", k, bench.FatTreeHosts(k))
-			}
+		for _, m := range modes {
+			name := fmt.Sprintf("k%d/hosts%d/%s", k, bench.FatTreeHosts(k), m.name)
 			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
 				var res bench.ScaleFatTreeResult
 				for i := 0; i < b.N; i++ {
-					res = bench.RunScaleFatTree(bench.ScaleFatTreeConfig{K: k, DisableIndexes: scan})
+					res = bench.RunScaleFatTree(bench.ScaleFatTreeConfig{K: k, Alloc: m.alloc})
 				}
 				b.ReportMetric(res.JobSec, "sim-job-s")
 				b.ReportMetric(float64(len(res.FlowHistory)), "flows")

@@ -4,12 +4,17 @@
 //
 //	pythia-bench [-experiment all|fig1a|fig1b|fig3|fig4|fig5|overhead|hedera|
 //	              scaleout|flowcomb|partitioner|ablations]
-//	             [-full] [-svg fig1a.svg] [-svgdir DIR] [-json results.json]
+//	             [-full] [-parallel N] [-svg fig1a.svg] [-svgdir DIR]
+//	             [-json results.json]
 //
 // -full runs the paper's published input sizes (240 GB sort, 8 GB Nutch,
 // 60 GB integer sort); the default quick scale divides the sort inputs by 10
 // so the whole suite completes in seconds. -svgdir emits the figure charts;
-// -json emits machine-readable results for downstream analysis.
+// -json emits machine-readable results for downstream analysis. -parallel
+// bounds how many trials run concurrently (default 0 = one per CPU;
+// -parallel 1 restores fully serial execution). Every trial is an
+// independent deterministic simulation and results are reassembled in
+// submission order, so the output is byte-identical at any setting.
 package main
 
 import (
@@ -28,7 +33,10 @@ func main() {
 	svgDir := flag.String("svgdir", "", "write figure SVGs (fig3/fig4/fig5) into this directory")
 	jsonPath := flag.String("json", "", "also write all executed experiments' results as JSON to this path")
 	reportPath := flag.String("report", "", "run the complete suite and write a markdown report to this path")
+	parallel := flag.Int("parallel", 0, "max concurrent trials (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	bench.SetParallelism(*parallel)
 
 	if *reportPath != "" {
 		scale := bench.QuickScale()

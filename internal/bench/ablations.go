@@ -23,23 +23,32 @@ type AblationRow struct {
 // ablationSeeds are averaged over to smooth single-hash artifacts.
 var ablationSeeds = []uint64{9, 1009, 2009}
 
-// meanOver runs fn once per seed and averages the result.
-func meanOver(fn func(seed uint64) float64) float64 {
-	sum := 0.0
-	for _, s := range ablationSeeds {
-		sum += fn(s)
-	}
-	return sum / float64(len(ablationSeeds))
-}
-
 // sweep runs one ablation: the ECMP baseline once per seed, then each
-// parameter setting once per seed via runPythia(param, seed).
+// parameter setting once per seed via runPythia(param, seed). All trials fan
+// out across the worker pool; the averages are accumulated in the fixed
+// (param, seed) order, so the result is identical at any parallelism.
 func sweep(params []string, runECMP func(seed uint64) float64, runPythia func(param string, seed uint64) float64) []AblationRow {
-	base := meanOver(runECMP)
+	ns := len(ablationSeeds)
+	vals := make([]float64, ns*(1+len(params)))
+	forEachIndex(len(vals), func(i int) {
+		seed := ablationSeeds[i%ns]
+		if i < ns {
+			vals[i] = runECMP(seed)
+		} else {
+			vals[i] = runPythia(params[i/ns-1], seed)
+		}
+	})
+	mean := func(off int) float64 {
+		sum := 0.0
+		for i := 0; i < ns; i++ {
+			sum += vals[off+i]
+		}
+		return sum / float64(ns)
+	}
+	base := mean(0)
 	rows := make([]AblationRow, 0, len(params))
-	for _, p := range params {
-		p := p
-		t := meanOver(func(seed uint64) float64 { return runPythia(p, seed) })
+	for pi, p := range params {
+		t := mean(ns * (1 + pi))
 		rows = append(rows, AblationRow{
 			Param:     p,
 			PythiaSec: t,
@@ -207,16 +216,21 @@ func RunAblationTimeliness(scale Scale) []TimelinessRow {
 		{"event-poll=1s", hadoop.Config{EventPollInterval: 1}},
 		{"event-poll=6s", hadoop.Config{EventPollInterval: 6}},
 	}
-	var rows []TimelinessRow
-	for _, s := range settings {
-		res := RunTrial(TrialConfig{
+	cfgs := make([]TrialConfig, len(settings))
+	for i, s := range settings {
+		cfgs[i] = TrialConfig{
 			Spec:              workload.IntegerSort(scale.IntegerSortBytes, 10, 7),
 			Scheduler:         Pythia,
 			Oversub:           lvl,
 			Hadoop:            s.cfg,
 			Seed:              7,
 			CollectPrediction: true,
-		})
+		}
+	}
+	results := RunTrials(cfgs)
+	var rows []TimelinessRow
+	for i, s := range settings {
+		res := results[i]
 		row := TimelinessRow{Param: s.name}
 		first := true
 		var meanSum float64
@@ -259,15 +273,23 @@ type ScopeRow struct {
 // O(rack pairs).
 func RunAblationScope(scale Scale) []ScopeRow {
 	lvl := Oversub{Label: "1:10", Ratio: 10}
-	var rows []ScopeRow
-	for _, sc := range []core.Scope{core.ScopeHostPair, core.ScopeRackPair} {
-		var secs, rules float64
+	scopes := []core.Scope{core.ScopeHostPair, core.ScopeRackPair}
+	var cfgs []TrialConfig
+	for _, sc := range scopes {
 		for _, seed := range ablationSeeds {
-			res := RunTrial(TrialConfig{
+			cfgs = append(cfgs, TrialConfig{
 				Spec:      workload.Sort(scale.SortBytes, 10, seed),
 				Scheduler: Pythia, Oversub: lvl, Seed: seed,
 				PythiaCfg: core.Config{Scope: sc}.EnableAggregation(),
 			})
+		}
+	}
+	results := RunTrials(cfgs)
+	var rows []ScopeRow
+	for si, sc := range scopes {
+		var secs, rules float64
+		for i := range ablationSeeds {
+			res := results[si*len(ablationSeeds)+i]
 			secs += res.JobSec
 			rules += float64(res.RulesInstalled)
 		}

@@ -33,36 +33,37 @@ func flowHistoriesEqual(t *testing.T, indexed, scan []FlowRecord, label string) 
 }
 
 // The Fig. 4 shape — a sort under oversubscription scheduled by Pythia —
-// must produce bit-identical flow completion times with and without the
-// per-link occupancy indexes.
-func TestIndexedMatchesScanOnSortTrial(t *testing.T) {
-	run := func(scan bool) []FlowRecord {
+// must produce bit-identical flow completion times across all three
+// allocator implementations: incremental coalesced (the default), the PR 1
+// eager indexed path, and the full-scan reference.
+func TestAllocatorsMatchOnSortTrial(t *testing.T) {
+	run := func(alloc netsim.AllocMode) []FlowRecord {
 		return RunTrial(TrialConfig{
 			Spec:               workload.Sort(2*workload.GB, 8, 42),
 			Scheduler:          Pythia,
 			Oversub:            Oversub{Label: "1:5", Ratio: 5},
 			Seed:               42,
-			DisableIndexes:     scan,
+			Alloc:              alloc,
 			CollectFlowHistory: true,
 		}).FlowHistory
 	}
-	flowHistoriesEqual(t, run(false), run(true), "sort 1:5")
+	inc := run(netsim.AllocIncremental)
+	flowHistoriesEqual(t, inc, run(netsim.AllocIndexed), "sort 1:5 incremental vs indexed")
+	flowHistoriesEqual(t, inc, run(netsim.AllocScan), "sort 1:5 incremental vs scan")
 }
 
 // Same guarantee under the §IV fault-tolerance scenario: a trunk failure
 // mid-job exercises reroutes, re-placements and the index maintenance on
 // every one of those transitions.
 func TestIndexedMatchesScanUnderLinkFailure(t *testing.T) {
-	run := func(scan bool) []FlowRecord {
+	run := func(alloc netsim.AllocMode) []FlowRecord {
 		eng := sim.NewEngine()
 		g, hosts, trunks := topology.TwoRack(5, 2, topology.Gbps)
 		net := netsim.New(eng, g)
-		if scan {
-			net.SetScanBaseline(true)
-		}
+		net.SetAllocMode(alloc)
 		ofc := openflow.NewController(eng, net, 0)
 		py := core.New(eng, net, ofc, core.Config{}.EnableAggregation())
-		if scan {
+		if alloc == netsim.AllocScan {
 			py.SetScanBaseline(true)
 		}
 		cluster := hadoop.NewCluster(eng, net, hosts, ofc, hadoop.Config{})
@@ -88,19 +89,40 @@ func TestIndexedMatchesScanUnderLinkFailure(t *testing.T) {
 		}
 		return out
 	}
-	flowHistoriesEqual(t, run(false), run(true), "trunk failure")
+	inc := run(netsim.AllocIncremental)
+	flowHistoriesEqual(t, inc, run(netsim.AllocIndexed), "trunk failure incremental vs indexed")
+	flowHistoriesEqual(t, inc, run(netsim.AllocScan), "trunk failure incremental vs scan")
 }
 
 // The scale harness itself must be deterministic across the toggle — this is
 // the correctness side of BenchmarkScaleFatTree's speedup claim.
 func TestScaleFatTreeDeterminism(t *testing.T) {
-	indexed := RunScaleFatTree(ScaleFatTreeConfig{K: 4})
+	inc := RunScaleFatTree(ScaleFatTreeConfig{K: 4})
+	indexed := RunScaleFatTree(ScaleFatTreeConfig{K: 4, Alloc: netsim.AllocIndexed})
 	scan := RunScaleFatTree(ScaleFatTreeConfig{K: 4, DisableIndexes: true})
-	if indexed.Hosts != 16 {
-		t.Fatalf("k=4 fat-tree hosts = %d, want 16", indexed.Hosts)
+	if inc.Hosts != 16 {
+		t.Fatalf("k=4 fat-tree hosts = %d, want 16", inc.Hosts)
 	}
-	if indexed.JobSec != scan.JobSec {
-		t.Fatalf("job time diverged: indexed %v vs scan %v", indexed.JobSec, scan.JobSec)
+	if inc.JobSec != indexed.JobSec || inc.JobSec != scan.JobSec {
+		t.Fatalf("job time diverged: incremental %v, indexed %v, scan %v",
+			inc.JobSec, indexed.JobSec, scan.JobSec)
 	}
-	flowHistoriesEqual(t, indexed.FlowHistory, scan.FlowHistory, "fat-tree k=4")
+	flowHistoriesEqual(t, inc.FlowHistory, indexed.FlowHistory, "fat-tree k=4 incremental vs indexed")
+	flowHistoriesEqual(t, inc.FlowHistory, scan.FlowHistory, "fat-tree k=4 incremental vs scan")
+}
+
+// The trace replay exercises multi-job churn (Poisson arrivals, queueing,
+// overlapping shuffles); its summary statistics must be identical under the
+// coalesced and scan-baseline allocators.
+func TestTraceReplayAllocatorsMatch(t *testing.T) {
+	lvl := Oversub{Label: "1:10", Ratio: 10}
+	tcfg := workload.TraceConfig{Seed: 9}
+	inc := runTraceReplayAlloc(Pythia, lvl, tcfg, netsim.AllocIncremental)
+	scan := runTraceReplayAlloc(Pythia, lvl, tcfg, netsim.AllocScan)
+	if inc != scan {
+		t.Fatalf("trace replay diverged:\nincremental %+v\nscan        %+v", inc, scan)
+	}
+	if inc.Jobs == 0 || inc.MakespanSec <= 0 {
+		t.Fatalf("degenerate trace result: %+v", inc)
+	}
 }

@@ -65,18 +65,30 @@ type SpeedupRow struct {
 // seed, which reshuffles ECMP hashing and workload jitter — the paper
 // reports averages of multiple executions) and average.
 func runSpeedupSweep(mkSpec func(seed uint64) *hadoop.JobSpec, scale Scale, levels []Oversub) []SpeedupRow {
-	rows := make([]SpeedupRow, 0, len(levels))
+	// Every (level, repeat, scheduler) trial is an independent simulation
+	// with its seed fixed here, so the whole sweep fans out across the
+	// worker pool; aggregation below walks the results in the same nested
+	// order the serial loop used, keeping the output byte-identical at any
+	// parallelism.
+	cfgs := make([]TrialConfig, 0, len(levels)*scale.Repeats*2)
 	for _, lvl := range levels {
-		var ecmpTimes, pythiaTimes []float64
 		for rep := 0; rep < scale.Repeats; rep++ {
 			seed := uint64(rep)*1000 + 17
 			spec := mkSpec(seed)
-			ecmpTimes = append(ecmpTimes, RunTrial(TrialConfig{
-				Spec: spec, Scheduler: ECMP, Oversub: lvl, Seed: seed,
-			}).JobSec)
-			pythiaTimes = append(pythiaTimes, RunTrial(TrialConfig{
-				Spec: spec, Scheduler: Pythia, Oversub: lvl, Seed: seed,
-			}).JobSec)
+			cfgs = append(cfgs,
+				TrialConfig{Spec: spec, Scheduler: ECMP, Oversub: lvl, Seed: seed},
+				TrialConfig{Spec: spec, Scheduler: Pythia, Oversub: lvl, Seed: seed})
+		}
+	}
+	results := RunTrials(cfgs)
+	rows := make([]SpeedupRow, 0, len(levels))
+	i := 0
+	for _, lvl := range levels {
+		var ecmpTimes, pythiaTimes []float64
+		for rep := 0; rep < scale.Repeats; rep++ {
+			ecmpTimes = append(ecmpTimes, results[i].JobSec)
+			pythiaTimes = append(pythiaTimes, results[i+1].JobSec)
+			i += 2
 		}
 		e, p := stats.Mean(ecmpTimes), stats.Mean(pythiaTimes)
 		rows = append(rows, SpeedupRow{
@@ -296,17 +308,30 @@ type HederaRow struct {
 // advance knowledge; expect ECMP ≥ Hedera ≥ Pythia at 1:10.
 func RunHederaComparison(scale Scale) []HederaRow {
 	lvl := Oversub{Label: "1:10", Ratio: 10}
-	mk := func(name string, spec *hadoop.JobSpec) HederaRow {
-		row := HederaRow{Workload: name}
-		row.ECMPSec = RunTrial(TrialConfig{Spec: spec, Scheduler: ECMP, Oversub: lvl, Seed: 17}).JobSec
-		row.HederaSec = RunTrial(TrialConfig{Spec: spec, Scheduler: Hedera, Oversub: lvl, Seed: 17}).JobSec
-		row.PythiaSec = RunTrial(TrialConfig{Spec: spec, Scheduler: Pythia, Oversub: lvl, Seed: 17}).JobSec
-		return row
+	jobs := []struct {
+		name string
+		spec *hadoop.JobSpec
+	}{
+		{"sort", workload.Sort(scale.SortBytes, 10, 17)},
+		{"nutch", workload.Nutch(scale.NutchBytes, 12, 17)},
 	}
-	return []HederaRow{
-		mk("sort", workload.Sort(scale.SortBytes, 10, 17)),
-		mk("nutch", workload.Nutch(scale.NutchBytes, 12, 17)),
+	var cfgs []TrialConfig
+	for _, j := range jobs {
+		for _, sch := range []Scheduler{ECMP, Hedera, Pythia} {
+			cfgs = append(cfgs, TrialConfig{Spec: j.spec, Scheduler: sch, Oversub: lvl, Seed: 17})
+		}
 	}
+	results := RunTrials(cfgs)
+	rows := make([]HederaRow, len(jobs))
+	for i, j := range jobs {
+		rows[i] = HederaRow{
+			Workload:  j.name,
+			ECMPSec:   results[3*i].JobSec,
+			HederaSec: results[3*i+1].JobSec,
+			PythiaSec: results[3*i+2].JobSec,
+		}
+	}
+	return rows
 }
 
 // ScaleOutRow is one topology size of the E8 scale-out experiment.
@@ -330,17 +355,23 @@ func RunScaleOut(scale Scale) []ScaleOutRow {
 		{"4x2 leaf-spine", 4, 2},
 		{"4x4 leaf-spine", 4, 4},
 	}
-	var rows []ScaleOutRow
+	var cfgs []TrialConfig
 	for _, sh := range shapes {
 		spec := workload.Sort(scale.SortBytes, 2*sh.leaves, 21)
-		e := RunTrial(TrialConfig{Spec: spec, Scheduler: ECMP, Oversub: lvl,
-			Leaves: sh.leaves, Spines: sh.spines, Seed: 21}).JobSec
-		p := RunTrial(TrialConfig{Spec: spec, Scheduler: Pythia, Oversub: lvl,
-			Leaves: sh.leaves, Spines: sh.spines, Seed: 21}).JobSec
-		rows = append(rows, ScaleOutRow{
+		cfgs = append(cfgs,
+			TrialConfig{Spec: spec, Scheduler: ECMP, Oversub: lvl,
+				Leaves: sh.leaves, Spines: sh.spines, Seed: 21},
+			TrialConfig{Spec: spec, Scheduler: Pythia, Oversub: lvl,
+				Leaves: sh.leaves, Spines: sh.spines, Seed: 21})
+	}
+	results := RunTrials(cfgs)
+	rows := make([]ScaleOutRow, len(shapes))
+	for i, sh := range shapes {
+		e, p := results[2*i].JobSec, results[2*i+1].JobSec
+		rows[i] = ScaleOutRow{
 			Topology: sh.label, ECMPSec: e, PythiaSec: p,
 			Speedup: stats.Speedup(e, p),
-		})
+		}
 	}
 	return rows
 }

@@ -133,8 +133,13 @@ type TrialConfig struct {
 	// DisableIndexes reverts netsim telemetry and Pythia path scoring to
 	// the pre-index full-scan reference implementations (scan baseline).
 	// Results must be bit-identical either way; this knob exists so tests
-	// can prove it and benchmarks can measure the difference.
+	// can prove it and benchmarks can measure the difference. It takes
+	// precedence over Alloc.
 	DisableIndexes bool
+	// Alloc selects the netsim allocator implementation: incremental
+	// coalesced (default), the PR 1 eager indexed path, or the full-scan
+	// reference. All three must produce bit-identical results.
+	Alloc netsim.AllocMode
 }
 
 func (c TrialConfig) defaults() TrialConfig {
@@ -266,9 +271,11 @@ func RunTrial(cfg TrialConfig) TrialResult {
 		g, hosts, trunks = topology.TwoRack(cfg.HostsPerRack, cfg.Trunks, cfg.LinkBps)
 	}
 	net := netsim.New(eng, g)
+	alloc := cfg.Alloc
 	if cfg.DisableIndexes {
-		net.SetScanBaseline(true)
+		alloc = netsim.AllocScan
 	}
+	net.SetAllocMode(alloc)
 
 	applyOversub(net, trunks, cfg)
 
@@ -293,7 +300,7 @@ func RunTrial(cfg TrialConfig) TrialResult {
 			ofc.SetManagementNetwork(mn, topology.NodeID(-1))
 		}
 		py := core.New(eng, net, ofc, cfg.PythiaCfg)
-		if cfg.DisableIndexes {
+		if alloc == netsim.AllocScan {
 			py.SetScanBaseline(true)
 		}
 		resolver = ofc
@@ -343,7 +350,8 @@ func RunTrial(cfg TrialConfig) TrialResult {
 		res.Prediction = buildPredictionCapture(g, cluster, job, tee, nfc)
 	}
 	if cfg.CollectFlowHistory {
-		for _, f := range net.History() {
+		res.FlowHistory = make([]FlowRecord, 0, net.CompletedFlows())
+		net.ForEachCompleted(func(f *netsim.Flow) {
 			res.FlowHistory = append(res.FlowHistory, FlowRecord{
 				ID:       f.ID,
 				Job:      f.Job,
@@ -352,7 +360,7 @@ func RunTrial(cfg TrialConfig) TrialResult {
 				StartSec: float64(f.Started()),
 				EndSec:   float64(f.Finished()),
 			})
-		}
+		})
 	}
 	return res
 }

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the worker-pool width for fanning out independent trials.
+// 0 (the default) means GOMAXPROCS; 1 runs everything serially on the
+// calling goroutine.
+var parallelism int
+
+// SetParallelism sets the number of trials the harness runs concurrently.
+// n <= 0 restores the default (GOMAXPROCS); n == 1 forces serial execution.
+// Each trial is an independent deterministic simulation with its own engine,
+// so fan-out changes wall-clock only: every Run* function assembles results
+// in submission order and produces byte-identical output at any width.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism = n
+}
+
+// Parallelism reports the effective worker count.
+func Parallelism() int {
+	if parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// forEachIndex runs fn(0..n-1) across the harness worker pool and returns
+// when all calls finish. Order of execution is unspecified; callers index
+// into pre-sized result slices so assembly order never depends on it. A
+// panic in any fn is re-raised on the calling goroutine once the pool has
+// drained.
+func forEachIndex(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicV == nil {
+								panicV = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// RunTrials executes every config across the worker pool and returns the
+// results in the same order as the configs. Seeds and specs must be fixed in
+// the configs up front; the function adds no nondeterminism of its own.
+func RunTrials(cfgs []TrialConfig) []TrialResult {
+	out := make([]TrialResult, len(cfgs))
+	forEachIndex(len(cfgs), func(i int) {
+		out[i] = RunTrial(cfgs[i])
+	})
+	return out
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"pythia/internal/netsim"
 	"pythia/internal/workload"
 )
 
@@ -18,9 +19,12 @@ type ScaleFatTreeConfig struct {
 	// poll and recompute crosses the whole fabric).
 	SortBytes float64
 	// DisableIndexes runs the scan-baseline reference implementations
-	// instead of the per-link indexes.
+	// instead of the per-link indexes. It takes precedence over Alloc.
 	DisableIndexes bool
-	Seed           uint64
+	// Alloc selects the netsim allocator (incremental coalesced by
+	// default; AllocIndexed measures the PR 1 eager path).
+	Alloc netsim.AllocMode
+	Seed  uint64
 }
 
 // ScaleFatTreeResult reports the run.
@@ -53,6 +57,7 @@ func RunScaleFatTree(cfg ScaleFatTreeConfig) ScaleFatTreeResult {
 		FatTreeK:           cfg.K,
 		Seed:               seed,
 		DisableIndexes:     cfg.DisableIndexes,
+		Alloc:              cfg.Alloc,
 		CollectFlowHistory: true,
 	})
 	return ScaleFatTreeResult{Hosts: hosts, JobSec: res.JobSec, FlowHistory: res.FlowHistory}

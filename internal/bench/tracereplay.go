@@ -35,9 +35,17 @@ type TraceResult struct {
 // transform / shuffle-heavy class distribution — under the given scheduler
 // and oversubscription level on the paper testbed.
 func RunTraceReplay(scheduler Scheduler, lvl Oversub, tcfg workload.TraceConfig) TraceResult {
+	return runTraceReplayAlloc(scheduler, lvl, tcfg, netsim.AllocIncremental)
+}
+
+// runTraceReplayAlloc is RunTraceReplay with an explicit allocator mode, so
+// the golden tests can replay the same trace under the coalesced and
+// scan-baseline allocators.
+func runTraceReplayAlloc(scheduler Scheduler, lvl Oversub, tcfg workload.TraceConfig, alloc netsim.AllocMode) TraceResult {
 	eng := sim.NewEngine()
 	g, hosts, trunks := topology.TwoRack(5, 2, topology.Gbps)
 	net := netsim.New(eng, g)
+	net.SetAllocMode(alloc)
 	applyOversub(net, trunks, TrialConfig{Oversub: lvl}.defaults())
 
 	var resolver hadoop.PathResolver
@@ -47,7 +55,11 @@ func RunTraceReplay(scheduler Scheduler, lvl Oversub, tcfg workload.TraceConfig)
 		resolver = ecmp.New(g, 2, 1)
 	case Pythia:
 		ofc := openflow.NewController(eng, net, 0)
-		sink = core.New(eng, net, ofc, core.Config{}.EnableAggregation())
+		py := core.New(eng, net, ofc, core.Config{}.EnableAggregation())
+		if alloc == netsim.AllocScan {
+			py.SetScanBaseline(true)
+		}
+		sink = py
 		resolver = ofc
 	case Hedera:
 		resolver = hedera.New(eng, net, 1, hedera.Config{})
@@ -121,11 +133,25 @@ func RunTraceComparison(lvl Oversub, seed uint64) TraceComparison {
 }
 
 // RunTrace (E13) averages the comparison over several trace seeds at 1:10.
+// Every (seed, scheduler) replay is independent, so they all fan out across
+// the worker pool; aggregation keeps the serial seed order so the result is
+// identical at any parallelism.
 func RunTrace() TraceComparison {
+	lvl := Oversub{Label: "1:10", Ratio: 10}
+	results := make([]TraceResult, 2*len(ablationSeeds))
+	forEachIndex(len(results), func(i int) {
+		tcfg := workload.TraceConfig{Seed: ablationSeeds[i/2]}
+		sch := ECMP
+		if i%2 == 1 {
+			sch = Pythia
+		}
+		results[i] = RunTraceReplay(sch, lvl, tcfg)
+	})
 	var agg TraceComparison
 	n := float64(len(ablationSeeds))
-	for _, seed := range ablationSeeds {
-		c := RunTraceComparison(Oversub{Label: "1:10", Ratio: 10}, seed)
+	for i := range ablationSeeds {
+		c := TraceComparison{ECMP: results[2*i], Pythia: results[2*i+1]}
+		c.MeanJobSpeedup = stats.Speedup(c.ECMP.MeanJobSec, c.Pythia.MeanJobSec)
 		agg.ECMP.Jobs = c.ECMP.Jobs
 		agg.Pythia.Jobs = c.Pythia.Jobs
 		agg.ECMP.MakespanSec += c.ECMP.MakespanSec / n

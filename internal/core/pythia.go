@@ -141,8 +141,11 @@ type Pythia struct {
 	// placedOn indexes the placed aggregates by every link of their
 	// installed path, so pathScore shares spare capacity in
 	// O(aggregates-on-link) instead of scanning every aggregate per
-	// candidate link. Kept in lockstep with aggregate.placed.
-	placedOn map[topology.LinkID]map[pairKey]*aggregate
+	// candidate link. Kept in lockstep with aggregate.placed. Each slice
+	// is ordered by ascending pair key (keys are unique — one aggregate
+	// per pair), so demand sums read in deterministic order without
+	// sorting per query.
+	placedOn map[topology.LinkID][]*aggregate
 	// scanBaseline reverts pathScore to the pre-index full-scan pass
 	// (golden-equivalence tests and benchmark baselines only).
 	scanBaseline bool
@@ -182,7 +185,7 @@ func New(eng *sim.Engine, net *netsim.Network, ofc *openflow.Controller, cfg Con
 		paths:      make(map[pairKey][]topology.Path),
 		reducerLoc: make(map[[2]int]topology.NodeID),
 		aggregates: make(map[pairKey]*aggregate),
-		placedOn:   make(map[topology.LinkID]map[pairKey]*aggregate),
+		placedOn:   make(map[topology.LinkID][]*aggregate),
 		booked:     make(map[flowKey]booking),
 		redBacklog: make(map[[2]int]float64),
 		nextCookie: 1,
@@ -211,13 +214,22 @@ func (p *Pythia) indexAgg(a *aggregate) {
 	}
 	for _, l := range a.path.Links {
 		set := p.placedOn[l]
-		if set == nil {
-			set = make(map[pairKey]*aggregate)
-			p.placedOn[l] = set
-		}
-		set[a.key] = a
+		i := sort.Search(len(set), func(i int) bool { return !aggKeyLess(set[i], a) })
+		set = append(set, nil)
+		copy(set[i+1:], set[i:])
+		set[i] = a
+		p.placedOn[l] = set
 	}
 	a.indexed = true
+}
+
+// aggKeyLess orders aggregates by ascending pair key — the fixed summation
+// order bookedDemandOn relies on for bit-identical placement decisions.
+func aggKeyLess(a, b *aggregate) bool {
+	if a.key.src != b.key.src {
+		return a.key.src < b.key.src
+	}
+	return a.key.dst < b.key.dst
 }
 
 // unindexAgg removes an aggregate from the per-link placement index.
@@ -226,10 +238,16 @@ func (p *Pythia) unindexAgg(a *aggregate) {
 		return
 	}
 	for _, l := range a.path.Links {
-		if set := p.placedOn[l]; set != nil {
-			delete(set, a.key)
+		set := p.placedOn[l]
+		i := sort.Search(len(set), func(i int) bool { return !aggKeyLess(set[i], a) })
+		if i < len(set) && set[i] == a {
+			copy(set[i:], set[i+1:])
+			set[len(set)-1] = nil
+			set = set[:len(set)-1]
 			if len(set) == 0 {
 				delete(p.placedOn, l)
+			} else {
+				p.placedOn[l] = set
 			}
 		}
 	}
@@ -451,33 +469,32 @@ func (p *Pythia) pathScore(path topology.Path, self *aggregate) float64 {
 // both the indexed and scan-baseline modes so the float sum — and hence
 // every placement decision — is bit-identical between them.
 func (p *Pythia) bookedDemandOn(l topology.LinkID, self *aggregate) float64 {
-	var others []*aggregate
-	if p.scanBaseline {
-		for _, other := range p.aggregates {
-			if other == self || !other.placed || other.demandBits <= 0 {
-				continue
-			}
-			for _, ol := range other.path.Links {
-				if ol == l {
-					others = append(others, other)
-					break
-				}
-			}
-		}
-	} else {
+	if !p.scanBaseline {
+		// placedOn[l] is maintained in ascending pair-key order, so the
+		// straight walk sums in exactly the order the scan branch sorts
+		// into — no per-query sort or scratch allocation.
+		sum := 0.0
 		for _, other := range p.placedOn[l] {
 			if other == self || other.demandBits <= 0 {
 				continue
 			}
-			others = append(others, other)
+			sum += other.demandBits
+		}
+		return sum
+	}
+	var others []*aggregate
+	for _, other := range p.aggregates {
+		if other == self || !other.placed || other.demandBits <= 0 {
+			continue
+		}
+		for _, ol := range other.path.Links {
+			if ol == l {
+				others = append(others, other)
+				break
+			}
 		}
 	}
-	sort.Slice(others, func(i, j int) bool {
-		if others[i].key.src != others[j].key.src {
-			return others[i].key.src < others[j].key.src
-		}
-		return others[i].key.dst < others[j].key.dst
-	})
+	sort.Slice(others, func(i, j int) bool { return aggKeyLess(others[i], others[j]) })
 	sum := 0.0
 	for _, o := range others {
 		sum += o.demandBits
@@ -628,12 +645,14 @@ func (p *Pythia) onTopologyChange() {
 	p.allocate()
 	// Rescue stranded in-flight flows: move them onto their pair's new
 	// path (or the best current shortest path if the pair has drained).
-	for _, f := range p.net.ActiveList() {
+	// ForEachActive avoids copying the active set; Reroute during the walk
+	// is safe because it does not change active-set membership.
+	p.net.ForEachActive(func(f *netsim.Flow) {
 		if f.Kind != netsim.Shuffle || len(f.Path.Links) == 0 {
-			continue
+			return
 		}
 		if f.Path.Valid(p.g) == nil {
-			continue // still routable
+			return // still routable
 		}
 		var target topology.Path
 		agg := p.aggregates[p.aggKey(f.Tuple.SrcHost, f.Tuple.DstHost)]
@@ -642,9 +661,9 @@ func (p *Pythia) onTopologyChange() {
 		} else if ps := p.kPaths(f.Tuple.SrcHost, f.Tuple.DstHost); len(ps) > 0 {
 			target = ps[0]
 		} else {
-			continue // pair disconnected; flow stays starved
+			return // pair disconnected; flow stays starved
 		}
 		p.net.Reroute(f, target)
 		p.FlowsRescued++
-	}
+	})
 }

@@ -123,12 +123,12 @@ func (s *Scheduler) sweep() {
 func (s *Scheduler) collectElephants() []*netsim.Flow {
 	seen := map[netsim.FlowID]*netsim.Flow{}
 	for _, l := range s.g.Links() {
-		for _, f := range s.net.FlowsOn(l.ID) {
+		s.net.ForEachOn(l.ID, func(f *netsim.Flow) {
 			if f.Kind != netsim.Shuffle || s.planned[f.ID] {
-				continue
+				return
 			}
 			seen[f.ID] = f
-		}
+		})
 	}
 	var out []*netsim.Flow
 	for _, f := range seen {

@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"testing"
+
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// Coalescing invariant: a wave of same-instant mutations pays for exactly
+// one allocation pass; the eager modes pay one per mutation.
+func TestCoalescedWavePaysOnePass(t *testing.T) {
+	start := func(mode AllocMode) *Network {
+		eng, n, hosts, _ := testbed()
+		n.SetAllocMode(mode)
+		for i := 0; i < 4; i++ {
+			for j := 5; j < 9; j++ {
+				p := pathOf(t, n, hosts[i], hosts[j], (i+j)%2)
+				n.StartFlow(tup(hosts[i], hosts[j], uint16(i), uint16(j)),
+					Shuffle, p, 1e9, 0, i, j, nil)
+			}
+		}
+		eng.RunUntil(0.001)
+		return n
+	}
+	inc := start(AllocIncremental)
+	if inc.AllocPasses != 1 {
+		t.Fatalf("incremental: 16 same-instant starts cost %d passes, want 1", inc.AllocPasses)
+	}
+	eager := start(AllocIndexed)
+	if eager.AllocPasses != 16 {
+		t.Fatalf("indexed: 16 starts cost %d passes, want 16", eager.AllocPasses)
+	}
+}
+
+// Reads at the mutation instant observe fresh rates: the pending pass is
+// flushed lazily, before the end-of-instant hook, without double-paying.
+func TestCoalescedFlushOnRead(t *testing.T) {
+	_, n, hosts, _ := testbed()
+	p1 := pathOf(t, n, hosts[0], hosts[5], 0)
+	p2 := pathOf(t, n, hosts[1], hosts[6], 0) // same trunk
+	f1 := n.StartFlow(tup(hosts[0], hosts[5], 1, 1), Shuffle, p1, 1e9, 0, 0, 0, nil)
+	f2 := n.StartFlow(tup(hosts[1], hosts[6], 2, 2), Shuffle, p2, 1e9, 0, 1, 1, nil)
+	// ActiveList (any rate-observing API) forces the coalesced pass.
+	if got := len(n.ActiveList()); got != 2 {
+		t.Fatalf("ActiveList = %d flows, want 2", got)
+	}
+	if f1.Rate() != 0.5e9 || f2.Rate() != 0.5e9 {
+		t.Fatalf("rates after flush-on-read = %v, %v, want 0.5 Gbps each", f1.Rate(), f2.Rate())
+	}
+	if n.AllocPasses != 1 {
+		t.Fatalf("flush-on-read cost %d passes, want 1", n.AllocPasses)
+	}
+}
+
+// Component scoping: a mutation on one trunk must not trigger work that
+// changes flows confined to the other trunk, and the resulting rates must
+// still be exactly what a full pass computes.
+func TestIncrementalComponentScope(t *testing.T) {
+	eng, n, hosts, trunks := testbed()
+	pA := pathOf(t, n, hosts[0], hosts[5], 0) // trunk 0
+	pB := pathOf(t, n, hosts[1], hosts[6], 1) // trunk 1
+	fA := n.StartFlow(tup(hosts[0], hosts[5], 1, 1), Shuffle, pA, 4e9, 0, 0, 0, nil)
+	fB := n.StartFlow(tup(hosts[1], hosts[6], 2, 2), Shuffle, pB, 4e9, 0, 1, 1, nil)
+	eng.RunUntil(0.5)
+	if fA.Rate() != 1e9 || fB.Rate() != 1e9 {
+		t.Fatalf("initial rates %v, %v, want 1 Gbps each", fA.Rate(), fB.Rate())
+	}
+	// Load trunk 0 with background; trunk 1's component is untouched.
+	n.SetBackground(trunks[0], 0.6e9)
+	eng.RunUntil(1.0)
+	if fA.Rate() != 0.4e9 {
+		t.Fatalf("fA rate after background = %v, want 0.4 Gbps", fA.Rate())
+	}
+	if fB.Rate() != 1e9 {
+		t.Fatalf("fB rate after unrelated mutation = %v, want 1 Gbps", fB.Rate())
+	}
+}
+
+// All three allocator modes must produce bit-identical flow histories on a
+// staggered mesh with reroutes, completions and background churn.
+func TestAllocModesBitIdentical(t *testing.T) {
+	type rec struct {
+		id                FlowID
+		started, finished float64
+	}
+	run := func(mode AllocMode) []rec {
+		eng, n, hosts, trunks := testbed()
+		n.SetAllocMode(mode)
+		var tracked *Flow
+		k := 0
+		for i := 0; i < 5; i++ {
+			for j := 5; j < 10; j++ {
+				k++
+				i, j, k := i, j, k
+				eng.At(sim.Time(float64(k%7)*0.05), func() {
+					p := pathOf(t, n, hosts[i], hosts[j], k%2)
+					f := n.StartFlow(tup(hosts[i], hosts[j], uint16(k), uint16(k)),
+						Shuffle, p, float64(1+k%3)*3e8, 0, i, j, nil)
+					if tracked == nil {
+						tracked = f
+					}
+				})
+			}
+		}
+		eng.At(0.2, func() { n.SetBackground(trunks[0], 0.3e9) })
+		eng.At(0.6, func() {
+			if tracked != nil && !tracked.Done() {
+				n.Reroute(tracked, pathOf(t, n, tracked.Tuple.SrcHost, tracked.Tuple.DstHost, 1))
+			}
+		})
+		eng.At(1.1, func() { n.SetBackground(trunks[0], 0) })
+		eng.Run()
+		var out []rec
+		for _, f := range n.History() {
+			out = append(out, rec{f.ID, float64(f.Started()), float64(f.Finished())})
+		}
+		return out
+	}
+	inc := run(AllocIncremental)
+	if len(inc) != 25 {
+		t.Fatalf("incremental run completed %d flows, want 25", len(inc))
+	}
+	for _, m := range []AllocMode{AllocIndexed, AllocScan} {
+		got := run(m)
+		if len(got) != len(inc) {
+			t.Fatalf("%v: history length %d vs incremental %d", m, len(got), len(inc))
+		}
+		for i := range inc {
+			if inc[i] != got[i] {
+				t.Fatalf("%v: flow %d diverged: incremental %+v vs %+v", m, i, inc[i], got[i])
+			}
+		}
+	}
+}
+
+// Link failure and recovery (NotifyTopology → full-pass coalescing) must be
+// identical across modes too — the starvation window shape depends on the
+// allocator honoring down links at the right instants.
+func TestAllocModesIdenticalUnderFailure(t *testing.T) {
+	run := func(mode AllocMode) (done sim.Time) {
+		eng, n, hosts, _ := testbed()
+		n.SetAllocMode(mode)
+		p := pathOf(t, n, hosts[0], hosts[5], 0)
+		trunk := p.Links[1]
+		n.StartFlow(tup(hosts[0], hosts[5], 1, 1), Shuffle, p, 2e9, 0, 0, 0,
+			func(f *Flow) { done = f.Finished() })
+		eng.At(1, func() {
+			n.Graph().SetLinkUp(trunk, false)
+			n.NotifyTopology()
+		})
+		eng.At(5, func() {
+			n.Graph().SetLinkUp(trunk, true)
+			n.NotifyTopology()
+		})
+		eng.Run()
+		return done
+	}
+	inc := run(AllocIncremental)
+	if inc != run(AllocIndexed) || inc != run(AllocScan) {
+		t.Fatalf("failure-window completion diverged across modes (incremental %v)", inc)
+	}
+	if float64(inc) != 6 {
+		t.Fatalf("completion = %v, want 6s", inc)
+	}
+}
+
+// Zero-hop (loopback) flows get localBps immediately under coalescing, and
+// SetLocalBps re-rates them.
+func TestCoalescedLocalFlows(t *testing.T) {
+	eng, n, hosts, _ := testbed()
+	p := topology.Path{Src: hosts[0], Dst: hosts[0]}
+	var done sim.Time
+	n.StartFlow(tup(hosts[0], hosts[0], 1, 1), Shuffle, p, DefaultLocalBps, 0, 0, 0,
+		func(f *Flow) { done = f.Finished() })
+	eng.Run()
+	if float64(done) != 1 {
+		t.Fatalf("local flow finished at %v, want 1s at the 8 Gbps loopback rate", done)
+	}
+}

@@ -54,6 +54,39 @@ func (k FlowKind) String() string {
 	return fmt.Sprintf("FlowKind(%d)", int(k))
 }
 
+// AllocMode selects the max-min allocator implementation. All three modes
+// produce bit-identical flow rates and completion times (proven by golden
+// tests); they differ only in cost.
+type AllocMode int
+
+const (
+	// AllocIncremental (the default) coalesces all mutations at one
+	// simulated instant into a single allocation pass via the engine's
+	// end-of-instant hook, scopes each pass to the link/flow connected
+	// component reachable from the mutated links, and reuses dense
+	// scratch slices so the steady-state pass is allocation-free.
+	AllocIncremental AllocMode = iota
+	// AllocIndexed is the PR 1 implementation: an eager full progressive
+	// filling pass after every mutation, with link occupancy read from
+	// the per-link index but map-based scratch state.
+	AllocIndexed
+	// AllocScan is the original reference implementation: eager full
+	// passes that rebuild occupancy by scanning every active flow.
+	AllocScan
+)
+
+func (m AllocMode) String() string {
+	switch m {
+	case AllocIncremental:
+		return "incremental"
+	case AllocIndexed:
+		return "indexed"
+	case AllocScan:
+		return "scan"
+	}
+	return fmt.Sprintf("AllocMode(%d)", int(m))
+}
+
 // FiveTuple is the classical flow identity. Pythia cannot know DstPort at
 // prediction time (assigned at socket bind), which is why its rules match on
 // host pairs; the ECMP baseline hashes the full tuple.
@@ -83,6 +116,12 @@ type Flow struct {
 	finished    sim.Time
 	done        bool
 	onComplete  func(*Flow)
+
+	// Allocator scratch, meaningful only inside one allocation pass:
+	// mark dedups component collection (compared against Network.epoch)
+	// and unfixed tracks progressive-filling state.
+	mark    uint64
+	unfixed bool
 }
 
 // Rate returns the current max-min allocated rate in bps (valid between
@@ -113,34 +152,38 @@ type Network struct {
 	eng *sim.Engine
 	g   *topology.Graph
 
-	nextID  FlowID
-	active  map[FlowID]*Flow
+	nextID FlowID
+	// active holds the in-flight flows in ascending ID order (StartFlow
+	// appends monotonically increasing IDs; completion preserves order).
+	// Every accumulation over it is therefore deterministic.
+	active  []*Flow
 	history []*Flow
 
-	// linkFlows indexes the active flows by every link they traverse and
-	// terminal counts the active flows whose final hop lands on each link
-	// (the incast convergence count). Both are maintained incrementally on
-	// StartFlow/Reroute/completion so that per-link telemetry and the
-	// max-min bottleneck pass cost O(flows-on-link) instead of scanning
-	// every active flow per link. Invariant: a path never crosses the same
-	// link twice (deterministic forwarding cannot revisit a node without
-	// looping forever, which Resolve rejects).
-	linkFlows map[topology.LinkID]map[FlowID]*Flow
-	terminal  map[topology.LinkID]int
+	// linkFlows indexes the active flows by every link they traverse
+	// (ascending flow-ID order per link) and terminal counts the active
+	// flows whose final hop lands on each link (the incast convergence
+	// count). Both are dense slices keyed by LinkID and maintained
+	// incrementally on StartFlow/Reroute/completion so that per-link
+	// telemetry and the max-min bottleneck pass cost O(flows-on-link)
+	// instead of scanning every active flow per link. Invariant: a path
+	// never crosses the same link twice (deterministic forwarding cannot
+	// revisit a node without looping forever, which Resolve rejects).
+	linkFlows [][]*Flow
+	terminal  []int
 
-	// scanBaseline reverts telemetry and the allocator's bottleneck pass
-	// to the pre-index full-scan implementations. The index is still
-	// maintained, so the mode can be flipped at any instant. It exists for
-	// golden-equivalence tests and benchmark baselines only.
+	// mode selects the allocator; scanBaseline mirrors mode==AllocScan
+	// for the telemetry read paths (kept as a separate bool so the hot
+	// paths branch on one flag, and for SetScanBaseline compatibility).
+	mode         AllocMode
 	scanBaseline bool
 
-	// background CBR load per link, bps.
-	background map[topology.LinkID]float64
+	// background CBR load per link, bps (dense by LinkID).
+	background []float64
 
 	// accounting
 	lastAdvance   sim.Time
-	linkBits      map[topology.LinkID]float64 // data bits carried (excl. background)
-	hostTxBits    map[topology.NodeID]float64 // bits sourced per host (shuffle only)
+	linkBits      []float64 // data bits carried per link (excl. background)
+	hostTxBits    []float64 // bits sourced per host (shuffle only)
 	completionFns []func(*Flow)
 
 	// localBps is the rate for zero-hop flows (source and sink on the
@@ -158,6 +201,32 @@ type Network struct {
 	incastFloor     float64
 
 	completeEvent *sim.Event
+
+	// AllocPasses counts allocation passes (any mode). With coalescing, a
+	// whole wave of same-instant mutations increments it once; the eager
+	// modes increment it once per mutation. Tests assert on it.
+	AllocPasses uint64
+
+	// Coalescing state (AllocIncremental only): dirty means an allocation
+	// pass is owed for the current instant; dirtySeeds accumulates the
+	// links touched by the pending mutations, dirtyAll forces a full
+	// pass. flush() settles the debt — at the engine's end-of-instant
+	// hook at the latest, or earlier if a rate-observing read arrives.
+	dirty      bool
+	dirtyAll   bool
+	dirtySeeds []topology.LinkID
+
+	// Reusable allocator scratch (dense by LinkID unless noted). epoch
+	// versions linkSeen and Flow.mark so nothing needs clearing between
+	// passes.
+	epoch     uint64
+	linkSeen  []uint64
+	residual  []float64
+	counts    []int
+	compLinks []topology.LinkID
+	compFlows []*Flow
+	workLinks []topology.LinkID
+	doneBuf   []*Flow
 }
 
 // EnableIncast turns on the many-to-one goodput-collapse model: beyond
@@ -172,7 +241,7 @@ func (n *Network) EnableIncast(threshold int, factor, floorFrac float64) {
 	n.incastThreshold = threshold
 	n.incastFactor = factor
 	n.incastFloor = floorFrac
-	n.recompute()
+	n.mutatedAll()
 }
 
 // DefaultLocalBps is the default loopback/local-fetch rate (8 Gbps —
@@ -187,22 +256,71 @@ func (n *Network) SetLocalBps(bps float64) {
 	}
 	n.advance()
 	n.localBps = bps
-	n.recompute()
+	n.mutatedAll()
 }
 
 // New creates a network simulator bound to an engine and a topology.
 func New(eng *sim.Engine, g *topology.Graph) *Network {
+	nl := g.NumLinks()
 	return &Network{
 		eng:        eng,
 		g:          g,
-		active:     make(map[FlowID]*Flow),
-		linkFlows:  make(map[topology.LinkID]map[FlowID]*Flow),
-		terminal:   make(map[topology.LinkID]int),
-		background: make(map[topology.LinkID]float64),
-		linkBits:   make(map[topology.LinkID]float64),
-		hostTxBits: make(map[topology.NodeID]float64),
+		linkFlows:  make([][]*Flow, nl),
+		terminal:   make([]int, nl),
+		background: make([]float64, nl),
+		linkBits:   make([]float64, nl),
+		hostTxBits: make([]float64, g.NumNodes()),
+		linkSeen:   make([]uint64, nl),
+		residual:   make([]float64, nl),
+		counts:     make([]int, nl),
 		localBps:   DefaultLocalBps,
 	}
+}
+
+// ensureLink grows the dense per-link state to cover link id (links added to
+// the graph after New).
+func (n *Network) ensureLink(id topology.LinkID) {
+	need := int(id) + 1
+	if need <= len(n.linkFlows) {
+		return
+	}
+	if nl := n.g.NumLinks(); nl > need {
+		need = nl
+	}
+	grow := func(s []float64) []float64 {
+		out := make([]float64, need)
+		copy(out, s)
+		return out
+	}
+	lf := make([][]*Flow, need)
+	copy(lf, n.linkFlows)
+	n.linkFlows = lf
+	ti := make([]int, need)
+	copy(ti, n.terminal)
+	n.terminal = ti
+	ci := make([]int, need)
+	copy(ci, n.counts)
+	n.counts = ci
+	ls := make([]uint64, need)
+	copy(ls, n.linkSeen)
+	n.linkSeen = ls
+	n.background = grow(n.background)
+	n.linkBits = grow(n.linkBits)
+	n.residual = grow(n.residual)
+}
+
+// ensureHost grows the per-host accounting to cover host id.
+func (n *Network) ensureHost(id topology.NodeID) {
+	need := int(id) + 1
+	if need <= len(n.hostTxBits) {
+		return
+	}
+	if nn := n.g.NumNodes(); nn > need {
+		need = nn
+	}
+	out := make([]float64, need)
+	copy(out, n.hostTxBits)
+	n.hostTxBits = out
 }
 
 // Graph returns the underlying topology.
@@ -213,7 +331,7 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 
 // SetBackground sets the CBR background load on a link in bps, clamped to
 // [0, capacity]. Changing background reshapes the fair shares of all active
-// flows immediately.
+// flows sharing capacity with that link.
 func (n *Network) SetBackground(link topology.LinkID, bps float64) {
 	capBps := n.g.Link(link).CapacityBps
 	if bps < 0 {
@@ -223,16 +341,18 @@ func (n *Network) SetBackground(link topology.LinkID, bps float64) {
 		bps = capBps
 	}
 	n.advance()
-	if bps == 0 {
-		delete(n.background, link)
-	} else {
-		n.background[link] = bps
-	}
-	n.recompute()
+	n.ensureLink(link)
+	n.background[link] = bps
+	n.mutated(link)
 }
 
 // BackgroundOn returns the configured CBR load on a link.
-func (n *Network) BackgroundOn(link topology.LinkID) float64 { return n.background[link] }
+func (n *Network) BackgroundOn(link topology.LinkID) float64 {
+	if int(link) >= len(n.background) {
+		return 0
+	}
+	return n.background[link]
+}
 
 // OnFlowComplete registers a callback invoked for every completing flow
 // (after the flow's own callback).
@@ -266,21 +386,30 @@ func (n *Network) StartFlow(tuple FiveTuple, kind FlowKind, path topology.Path, 
 		onComplete: onComplete,
 	}
 	n.nextID++
-	n.active[f.ID] = f
+	n.active = append(n.active, f) // IDs are monotonic: order stays ascending
+	n.ensureHost(tuple.SrcHost)
 	n.indexFlow(f)
-	n.recompute()
+	if len(path.Links) == 0 {
+		// Zero-hop flows never contend on the fabric: the rate is fixed
+		// here so the component-scoped allocator need not visit them.
+		f.rate = n.localBps
+	}
+	n.mutatedLinks(path.Links)
 	return f
 }
 
-// indexFlow adds a flow to the per-link occupancy index.
+// indexFlow adds a flow to the per-link occupancy index, keeping each
+// per-link list in ascending flow-ID order.
 func (n *Network) indexFlow(f *Flow) {
 	for _, l := range f.Path.Links {
-		set := n.linkFlows[l]
-		if set == nil {
-			set = make(map[FlowID]*Flow)
-			n.linkFlows[l] = set
+		n.ensureLink(l)
+		fs := append(n.linkFlows[l], f)
+		// New flows carry the highest ID yet and hit the no-op fast path;
+		// reroutes of older flows insertion-sort backwards.
+		for i := len(fs) - 1; i > 0 && fs[i-1].ID > f.ID; i-- {
+			fs[i], fs[i-1] = fs[i-1], fs[i]
 		}
-		set[f.ID] = f
+		n.linkFlows[l] = fs
 	}
 	if k := len(f.Path.Links); k > 0 {
 		n.terminal[f.Path.Links[k-1]]++
@@ -290,36 +419,73 @@ func (n *Network) indexFlow(f *Flow) {
 // unindexFlow removes a flow from the per-link occupancy index.
 func (n *Network) unindexFlow(f *Flow) {
 	for _, l := range f.Path.Links {
-		if set := n.linkFlows[l]; set != nil {
-			delete(set, f.ID)
-			if len(set) == 0 {
-				delete(n.linkFlows, l)
-			}
+		fs := n.linkFlows[l]
+		i := sort.Search(len(fs), func(i int) bool { return fs[i].ID >= f.ID })
+		if i < len(fs) && fs[i] == f {
+			copy(fs[i:], fs[i+1:])
+			fs[len(fs)-1] = nil
+			n.linkFlows[l] = fs[:len(fs)-1]
 		}
 	}
 	if k := len(f.Path.Links); k > 0 {
-		last := f.Path.Links[k-1]
-		if n.terminal[last]--; n.terminal[last] == 0 {
-			delete(n.terminal, last)
-		}
+		n.terminal[f.Path.Links[k-1]]--
 	}
 }
 
-// SetScanBaseline toggles the pre-index reference implementations: per-link
-// telemetry and the allocator's bottleneck pass scan every active flow
-// instead of consulting the occupancy index. The index is maintained either
-// way, so the mode can be flipped at any time. Used by golden-equivalence
-// tests and benchmark baselines; production callers never need it.
-func (n *Network) SetScanBaseline(on bool) { n.scanBaseline = on }
+// SetAllocMode switches the allocator implementation. Any pending coalesced
+// pass is flushed first, so the switch is safe at any instant; the per-link
+// index is maintained in every mode.
+func (n *Network) SetAllocMode(m AllocMode) {
+	if m == n.mode {
+		return
+	}
+	n.flush()
+	n.mode = m
+	n.scanBaseline = m == AllocScan
+}
+
+// AllocModeSelected returns the active allocator mode.
+func (n *Network) AllocModeSelected() AllocMode { return n.mode }
+
+// SetScanBaseline toggles the original reference implementation: eager
+// full-scan allocation passes and telemetry that scans every active flow
+// instead of consulting the occupancy index. SetScanBaseline(true) is
+// equivalent to SetAllocMode(AllocScan); SetScanBaseline(false) restores the
+// default incremental mode. The index is maintained either way, so the mode
+// can be flipped at any time. Used by golden-equivalence tests and benchmark
+// baselines; production callers never need it.
+func (n *Network) SetScanBaseline(on bool) {
+	if on {
+		n.SetAllocMode(AllocScan)
+	} else {
+		n.SetAllocMode(AllocIncremental)
+	}
+}
 
 // ActiveFlows returns the number of in-flight flows.
 func (n *Network) ActiveFlows() int { return len(n.active) }
 
-// History returns all completed flows in completion order.
+// History returns a copy of all completed flows in completion order. Use
+// ForEachCompleted to iterate without the copy.
 func (n *Network) History() []*Flow { return append([]*Flow(nil), n.history...) }
+
+// CompletedFlows returns the number of completed flows.
+func (n *Network) CompletedFlows() int { return len(n.history) }
+
+// ForEachCompleted calls fn for every completed flow in completion order
+// without copying the history slice. fn must not start, reroute or complete
+// flows.
+func (n *Network) ForEachCompleted(fn func(*Flow)) {
+	for _, f := range n.history {
+		fn(f)
+	}
+}
 
 // advance accrues transfer progress from lastAdvance to now at current
 // rates. It must be called before any change to the active set or rates.
+// Iteration is in ascending flow-ID order (active is sorted), so the
+// hostTxBits/linkBits float accumulations are identical on every run of the
+// same seed.
 func (n *Network) advance() {
 	now := n.eng.Now()
 	dt := float64(now.Sub(n.lastAdvance))
@@ -344,68 +510,270 @@ func (n *Network) advance() {
 	n.lastAdvance = now
 }
 
-// recompute performs max-min fair allocation (progressive filling) across
-// all active flows and reschedules the next-completion event.
+// mutated records that the allocation on (the component of) one link is
+// stale. In the eager modes it recomputes immediately.
+func (n *Network) mutated(link topology.LinkID) {
+	if n.mode != AllocIncremental {
+		n.recompute()
+		return
+	}
+	n.dirtySeeds = append(n.dirtySeeds, link)
+	n.markDirty()
+}
+
+// mutatedLinks is mutated for a whole path worth of links (possibly empty —
+// a zero-hop flow still owes a completion reschedule).
+func (n *Network) mutatedLinks(links []topology.LinkID) {
+	if n.mode != AllocIncremental {
+		n.recompute()
+		return
+	}
+	n.dirtySeeds = append(n.dirtySeeds, links...)
+	n.markDirty()
+}
+
+// mutatedAll marks every allocation stale (topology events, incast/local
+// parameter changes).
+func (n *Network) mutatedAll() {
+	if n.mode != AllocIncremental {
+		n.recompute()
+		return
+	}
+	n.dirtyAll = true
+	n.markDirty()
+}
+
+func (n *Network) markDirty() {
+	if n.dirty {
+		return
+	}
+	n.dirty = true
+	n.eng.OnInstantEnd(n.flush)
+}
+
+// flush settles a pending coalesced allocation: one component-scoped pass
+// covering every mutation recorded at the current instant, then the
+// next-completion reschedule. It is a no-op when nothing is dirty, so it is
+// safe to call from every rate-observing read.
+func (n *Network) flush() {
+	if !n.dirty {
+		return
+	}
+	n.dirty = false
+	all := n.dirtyAll
+	n.dirtyAll = false
+	seeds := n.dirtySeeds
+	n.dirtySeeds = n.dirtySeeds[:0]
+	n.allocateIncremental(seeds, all)
+	n.scheduleNextCompletion()
+}
+
+// recompute performs a full max-min fair allocation pass in the current mode
+// and reschedules the next-completion event. The eager modes call it on
+// every mutation; the incremental mode only via explicit full passes.
 func (n *Network) recompute() {
-	// Residual capacity per link after CBR background. Link occupancy
-	// comes straight from the index; the scan baseline rebuilds it from
-	// scratch the way the pre-index implementation did.
+	if n.mode == AllocIncremental {
+		n.allocateIncremental(nil, true)
+	} else {
+		n.recomputeEager()
+	}
+	n.scheduleNextCompletion()
+}
+
+// linkResidual returns the capacity left for TCP flows on a link: zero when
+// the link is down, else capacity (degraded by the incast model when the
+// link is a convergence point) minus background, floored at zero. The float
+// operation sequence matches the original implementation exactly so all
+// allocator modes produce bit-identical shares.
+func (n *Network) linkResidual(l topology.LinkID, terminalCount int) float64 {
+	if !n.g.LinkUp(l) {
+		// A failed link carries nothing: flows routed across it starve
+		// until rerouted or the link recovers.
+		return 0
+	}
+	capBps := n.g.Link(l).CapacityBps
+	if n.incastThreshold > 0 {
+		if extra := terminalCount - n.incastThreshold; extra > 0 {
+			eff := 1 - n.incastFactor*float64(extra)
+			if eff < n.incastFloor {
+				eff = n.incastFloor
+			}
+			capBps *= eff
+		}
+	}
+	r := capBps - n.background[l]
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// allocateIncremental runs progressive filling over the connected component
+// of links and flows reachable from the seed links (or over everything when
+// all is set). Max-min allocation decomposes over connected components of
+// the link/flow sharing graph, and the component is closed under "shares a
+// link with", so flows outside it keep their rates and the restricted pass
+// computes exactly the floats a global pass would. Scratch state is reused
+// across passes (epoch-stamped, no clearing), so the steady-state pass
+// allocates nothing.
+func (n *Network) allocateIncremental(seeds []topology.LinkID, all bool) {
+	n.AllocPasses++
+	n.epoch++
+	ep := n.epoch
+	n.compLinks = n.compLinks[:0]
+	n.compFlows = n.compFlows[:0]
+
+	if all {
+		for _, f := range n.active {
+			f.mark = ep
+			n.compFlows = append(n.compFlows, f)
+			for _, l := range f.Path.Links {
+				if n.linkSeen[l] != ep {
+					n.linkSeen[l] = ep
+					n.compLinks = append(n.compLinks, l)
+				}
+			}
+		}
+	} else {
+		for _, l := range seeds {
+			n.ensureLink(l)
+			if n.linkSeen[l] != ep {
+				n.linkSeen[l] = ep
+				n.compLinks = append(n.compLinks, l)
+			}
+		}
+		// BFS across the bipartite link/flow sharing graph. compLinks
+		// doubles as the frontier queue.
+		for i := 0; i < len(n.compLinks); i++ {
+			for _, f := range n.linkFlows[n.compLinks[i]] {
+				if f.mark == ep {
+					continue
+				}
+				f.mark = ep
+				n.compFlows = append(n.compFlows, f)
+				for _, l := range f.Path.Links {
+					if n.linkSeen[l] != ep {
+						n.linkSeen[l] = ep
+						n.compLinks = append(n.compLinks, l)
+					}
+				}
+			}
+		}
+	}
+
+	// Component is closed: every flow on a component link is in
+	// compFlows, so occupancy counts come straight off the index.
+	n.workLinks = n.workLinks[:0]
+	for _, l := range n.compLinks {
+		c := len(n.linkFlows[l])
+		n.counts[l] = c
+		n.residual[l] = n.linkResidual(l, n.terminal[l])
+		if c > 0 {
+			n.workLinks = append(n.workLinks, l)
+		}
+	}
+	unfixedCount := 0
+	for _, f := range n.compFlows {
+		if len(f.Path.Links) == 0 {
+			// Local (same-host) transfer: fixed loopback rate, no
+			// fabric contention. Only reachable via a full pass.
+			f.rate = n.localBps
+			f.unfixed = false
+			continue
+		}
+		f.rate = 0
+		f.unfixed = true
+		unfixedCount++
+	}
+
+	for unfixedCount > 0 {
+		// Find the bottleneck link: minimal fair share among the links
+		// still carrying unfixed flows, smallest LinkID on exact ties.
+		// The worklist is compacted in the same sweep so saturated links
+		// drop out of later rounds.
+		bestShare := math.Inf(1)
+		var bottleneck topology.LinkID = -1
+		w := n.workLinks[:0]
+		for _, l := range n.workLinks {
+			c := n.counts[l]
+			if c <= 0 {
+				continue
+			}
+			w = append(w, l)
+			share := n.residual[l] / float64(c)
+			if share < bestShare || (share == bestShare && (bottleneck == -1 || l < bottleneck)) {
+				bestShare = share
+				bottleneck = l
+			}
+		}
+		n.workLinks = w
+		if bottleneck == -1 || math.IsInf(bestShare, 1) {
+			break
+		}
+		// Fix every unfixed flow crossing the bottleneck at bestShare.
+		// Every fixed flow subtracts the identical share, so the order
+		// the candidates are visited in cannot change the residuals.
+		for _, f := range n.linkFlows[bottleneck] {
+			if !f.unfixed {
+				continue
+			}
+			f.unfixed = false
+			unfixedCount--
+			f.rate = bestShare
+			for _, l := range f.Path.Links {
+				n.residual[l] -= bestShare
+				if n.residual[l] < 0 {
+					n.residual[l] = 0
+				}
+				n.counts[l]--
+			}
+		}
+	}
+}
+
+// recomputeEager is the PR 1 allocator: a full progressive-filling pass with
+// map-based scratch, occupancy from the index (AllocIndexed) or from a scan
+// of every active flow (AllocScan). Kept verbatim as the reference the
+// incremental path is tested against.
+func (n *Network) recomputeEager() {
+	n.AllocPasses++
 	residual := make(map[topology.LinkID]float64)
 	counts := make(map[topology.LinkID]int, len(n.linkFlows))
-	var terminal map[topology.LinkID]int // flows ending on this link
+	var terminal func(topology.LinkID) int
 	if n.scanBaseline {
-		terminal = make(map[topology.LinkID]int)
+		tm := make(map[topology.LinkID]int)
 		for _, f := range n.active {
 			for _, l := range f.Path.Links {
 				counts[l]++
 			}
 			if k := len(f.Path.Links); k > 0 {
-				terminal[f.Path.Links[k-1]]++
+				tm[f.Path.Links[k-1]]++
 			}
 		}
+		terminal = func(l topology.LinkID) int { return tm[l] }
 	} else {
 		for l, fs := range n.linkFlows {
-			counts[l] = len(fs)
+			if len(fs) > 0 {
+				counts[topology.LinkID(l)] = len(fs)
+			}
 		}
-		terminal = n.terminal
+		terminal = func(l topology.LinkID) int { return n.terminal[l] }
 	}
 	for l, c := range counts {
 		if c == 0 {
 			continue
 		}
-		if !n.g.LinkUp(l) {
-			// A failed link carries nothing: flows routed across it
-			// starve until rerouted or the link recovers.
-			residual[l] = 0
-			continue
-		}
-		capBps := n.g.Link(l).CapacityBps
-		if n.incastThreshold > 0 {
-			if extra := terminal[l] - n.incastThreshold; extra > 0 {
-				eff := 1 - n.incastFactor*float64(extra)
-				if eff < n.incastFloor {
-					eff = n.incastFloor
-				}
-				capBps *= eff
-			}
-		}
-		r := capBps - n.background[l]
-		if r < 0 {
-			r = 0
-		}
-		residual[l] = r
+		residual[l] = n.linkResidual(l, terminal(l))
 	}
 
 	unfixed := make(map[FlowID]*Flow, len(n.active))
-	for id, f := range n.active {
+	for _, f := range n.active {
 		f.rate = 0
 		if len(f.Path.Links) == 0 {
-			// Local (same-host) transfer: fixed loopback rate, no
-			// fabric contention.
 			f.rate = n.localBps
 			continue
 		}
-		unfixed[id] = f
+		unfixed[f.ID] = f
 	}
 
 	for len(unfixed) > 0 {
@@ -453,15 +821,13 @@ func (n *Network) recompute() {
 				}
 			}
 		} else {
-			for id, f := range n.linkFlows[bottleneck] {
-				if _, ok := unfixed[id]; ok {
-					fix(id, f)
+			for _, f := range n.linkFlows[bottleneck] {
+				if _, ok := unfixed[f.ID]; ok {
+					fix(f.ID, f)
 				}
 			}
 		}
 	}
-
-	n.scheduleNextCompletion()
 }
 
 func (n *Network) scheduleNextCompletion() {
@@ -491,29 +857,32 @@ func (n *Network) completeDue() {
 	n.completeEvent = nil
 	n.advance()
 	const eps = 1.0 // one bit; fluid-model rounding tolerance
-	var completed []*Flow
-	for id, f := range n.active {
+	completed := n.doneBuf[:0]
+	keep := n.active[:0]
+	for _, f := range n.active {
 		if f.remaining <= eps {
 			f.remaining = 0
 			f.done = true
 			f.finished = n.eng.Now()
-			delete(n.active, id)
 			n.unindexFlow(f)
-			completed = append(completed, f)
+			completed = append(completed, f) // ascending ID: active is sorted
+		} else {
+			keep = append(keep, f)
 		}
 	}
-	// Deterministic callback order.
-	for i := 0; i < len(completed); i++ {
-		for j := i + 1; j < len(completed); j++ {
-			if completed[j].ID < completed[i].ID {
-				completed[i], completed[j] = completed[j], completed[i]
-			}
+	for i := len(keep); i < len(n.active); i++ {
+		n.active[i] = nil
+	}
+	n.active = keep
+	n.history = append(n.history, completed...)
+	if n.mode == AllocIncremental {
+		for _, f := range completed {
+			n.dirtySeeds = append(n.dirtySeeds, f.Path.Links...)
 		}
+		n.markDirty()
+	} else {
+		n.recompute()
 	}
-	for _, f := range completed {
-		n.history = append(n.history, f)
-	}
-	n.recompute()
 	for _, f := range completed {
 		if f.onComplete != nil {
 			f.onComplete(f)
@@ -522,17 +891,18 @@ func (n *Network) completeDue() {
 			fn(f)
 		}
 	}
+	n.doneBuf = completed[:0]
 }
 
 // flowsOnSorted returns the active flows crossing a link in ascending
-// flow-ID order — via the occupancy index, or (scan baseline) by scanning
-// every active flow as the pre-index implementation did. The sorted order
-// makes every telemetry sum independent of map iteration order, so the
-// indexed and scan paths produce bit-identical floats.
+// flow-ID order — the occupancy index's slice directly, or (scan baseline) a
+// fresh slice built by scanning every active flow as the pre-index
+// implementation did. The sorted order makes every telemetry sum independent
+// of container iteration order, so all paths produce bit-identical floats.
 func (n *Network) flowsOnSorted(link topology.LinkID) []*Flow {
-	var fs []*Flow
 	if n.scanBaseline {
-		for _, f := range n.active {
+		var fs []*Flow
+		for _, f := range n.active { // ascending ID already
 			for _, l := range f.Path.Links {
 				if l == link {
 					fs = append(fs, f)
@@ -540,26 +910,21 @@ func (n *Network) flowsOnSorted(link topology.LinkID) []*Flow {
 				}
 			}
 		}
-	} else {
-		set := n.linkFlows[link]
-		if len(set) == 0 {
-			return nil
-		}
-		fs = make([]*Flow, 0, len(set))
-		for _, f := range set {
-			fs = append(fs, f)
-		}
+		return fs
 	}
-	sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
-	return fs
+	if int(link) >= len(n.linkFlows) {
+		return nil
+	}
+	return n.linkFlows[link]
 }
 
 // LinkStats returns a link's instantaneous utilization fraction, spare
 // capacity in bps, and summed shuffle-flow rate in one pass over the flows
 // crossing it — the controller's poll reads all three per link per period.
 func (n *Network) LinkStats(link topology.LinkID) (utilization, availableBps, shuffleBps float64) {
+	n.flush()
 	capBps := n.g.Link(link).CapacityBps
-	used := n.background[link]
+	used := n.BackgroundOn(link)
 	for _, f := range n.flowsOnSorted(link) {
 		used += f.rate
 		if f.Kind == Shuffle {
@@ -604,6 +969,9 @@ func (n *Network) ShuffleRateOn(link topology.LinkID) float64 {
 // samples this (Fig. 5 methodology).
 func (n *Network) HostTxBits(host topology.NodeID) float64 {
 	n.advance()
+	if int(host) >= len(n.hostTxBits) {
+		return 0
+	}
 	return n.hostTxBits[host]
 }
 
@@ -611,6 +979,9 @@ func (n *Network) HostTxBits(host topology.NodeID) float64 {
 // link.
 func (n *Network) LinkBits(link topology.LinkID) float64 {
 	n.advance()
+	if int(link) >= len(n.linkBits) {
+		return 0
+	}
 	return n.linkBits[link]
 }
 
@@ -620,23 +991,57 @@ func (n *Network) LinkBits(link topology.LinkID) float64 {
 // do so. Without this call, the change takes effect at the next flow event.
 func (n *Network) NotifyTopology() {
 	n.advance()
-	n.recompute()
+	n.mutatedAll()
 }
 
-// ActiveList returns the in-flight flows ordered by ID.
+// ActiveList returns a copy of the in-flight flows ordered by ID. Use
+// ForEachActive to iterate without the copy.
 func (n *Network) ActiveList() []*Flow {
-	fs := make([]*Flow, 0, len(n.active))
-	for _, f := range n.active {
-		fs = append(fs, f)
-	}
-	sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
-	return fs
+	n.flush()
+	return append([]*Flow(nil), n.active...)
 }
 
-// FlowsOn returns the active flows traversing a link, useful for elephant
-// detection in the Hedera-like baseline. Order is by flow ID.
+// ForEachActive calls fn for every in-flight flow in ascending ID order
+// without copying. fn may reroute flows (membership is untouched) but must
+// not start or complete them.
+func (n *Network) ForEachActive(fn func(*Flow)) {
+	n.flush()
+	for _, f := range n.active {
+		fn(f)
+	}
+}
+
+// FlowsOn returns the active flows traversing a link in ascending flow-ID
+// order, useful for elephant detection in the Hedera-like baseline. The
+// returned slice is the network's internal index entry: callers must not
+// mutate it or hold it across flow starts/completions/reroutes (copy it, or
+// use ForEachOn, if they need to).
 func (n *Network) FlowsOn(link topology.LinkID) []*Flow {
+	n.flush()
 	return n.flowsOnSorted(link)
+}
+
+// ForEachOn calls fn for every active flow crossing a link in ascending ID
+// order without allocating. fn must not start, reroute or complete flows.
+func (n *Network) ForEachOn(link topology.LinkID, fn func(*Flow)) {
+	n.flush()
+	if n.scanBaseline {
+		for _, f := range n.active {
+			for _, l := range f.Path.Links {
+				if l == link {
+					fn(f)
+					break
+				}
+			}
+		}
+		return
+	}
+	if int(link) >= len(n.linkFlows) {
+		return
+	}
+	for _, f := range n.linkFlows[link] {
+		fn(f)
+	}
 }
 
 // Reroute moves an active flow onto a new path (Hedera-style reallocation).
@@ -654,7 +1059,16 @@ func (n *Network) Reroute(f *Flow, path topology.Path) {
 	}
 	n.advance()
 	n.unindexFlow(f)
+	old := f.Path
 	f.Path = path
 	n.indexFlow(f)
-	n.recompute()
+	if len(path.Links) == 0 {
+		f.rate = n.localBps
+	}
+	if n.mode == AllocIncremental {
+		n.dirtySeeds = append(n.dirtySeeds, old.Links...)
+		n.mutatedLinks(path.Links)
+	} else {
+		n.recompute()
+	}
 }

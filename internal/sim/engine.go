@@ -100,6 +100,9 @@ type Engine struct {
 	running   bool
 	stopped   bool
 	nonDaemon int
+	// instantEnd holds end-of-instant hooks registered by OnInstantEnd,
+	// fired FIFO when the current timestamp drains.
+	instantEnd []func()
 	// Processed counts events that have fired.
 	Processed uint64
 }
@@ -174,11 +177,48 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 }
 
-// Step fires the earliest pending event and returns true, or returns false
-// if the queue is empty.
-func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+// OnInstantEnd registers fn to run when the current simulated instant
+// drains: after the last already-queued event at Now() fires and before the
+// clock advances past it (or the run loop returns). Hooks run FIFO, exactly
+// once. A hook may schedule new events — including at the current instant,
+// which are then processed before the clock moves — and may register further
+// hooks, which still fire within the same instant. netsim uses this to
+// coalesce rate recomputation: any number of flow arrivals, departures and
+// reroutes at one timestamp pay for exactly one allocation pass.
+func (e *Engine) OnInstantEnd(fn func()) {
+	e.instantEnd = append(e.instantEnd, fn)
+}
+
+// runInstantEnd fires every pending end-of-instant hook (including hooks
+// registered by hooks) and reports whether any ran.
+func (e *Engine) runInstantEnd() bool {
+	if len(e.instantEnd) == 0 {
 		return false
+	}
+	for i := 0; i < len(e.instantEnd); i++ {
+		fn := e.instantEnd[i]
+		e.instantEnd[i] = nil
+		fn()
+	}
+	e.instantEnd = e.instantEnd[:0]
+	return true
+}
+
+// Step fires the earliest pending event and returns true, or returns false
+// if the queue is empty. End-of-instant hooks fire before the clock would
+// move to a later timestamp (and before reporting an empty queue).
+func (e *Engine) Step() bool {
+	for {
+		if len(e.queue) == 0 {
+			if e.runInstantEnd() {
+				continue // hooks may have scheduled new events
+			}
+			return false
+		}
+		if e.queue[0].at > e.now && e.runInstantEnd() {
+			continue // hooks may have scheduled same-instant events
+		}
+		break
 	}
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.at
@@ -191,22 +231,41 @@ func (e *Engine) Step() bool {
 }
 
 // Run processes events until no non-daemon events remain or Stop is called.
-// Daemon events earlier than the last non-daemon event still fire.
+// Daemon events earlier than the last non-daemon event still fire. When the
+// foreground drains mid-instant, end-of-instant hooks get a chance to
+// schedule follow-up work (e.g. the network's coalesced allocation pass
+// scheduling the next flow completion) before Run decides to return.
 func (e *Engine) Run() {
 	e.running = true
 	e.stopped = false
-	for !e.stopped && e.nonDaemon > 0 && e.Step() {
+	for !e.stopped {
+		if e.nonDaemon == 0 {
+			if e.runInstantEnd() {
+				continue
+			}
+			break
+		}
+		if !e.Step() {
+			break
+		}
 	}
 	e.running = false
 }
 
 // RunUntil processes events with time ≤ deadline. Events scheduled after the
 // deadline remain queued; the clock is advanced to the deadline if the
-// simulation ran dry earlier.
+// simulation ran dry earlier. End-of-instant hooks fire before the clock
+// leaves the last processed instant.
 func (e *Engine) RunUntil(deadline Time) {
 	e.running = true
 	e.stopped = false
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			if e.runInstantEnd() {
+				continue
+			}
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {

@@ -1,0 +1,137 @@
+package sim
+
+import "testing"
+
+// End-of-instant hooks are the engine half of netsim's recompute coalescing:
+// any number of same-instant mutations register one hook, and the engine
+// guarantees it runs after the last event at that timestamp and before the
+// clock moves on.
+
+func TestInstantEndFiresBeforeClockAdvances(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(1, func() {
+		order = append(order, "a@1")
+		e.OnInstantEnd(func() { order = append(order, "hook@1") })
+	})
+	e.At(1, func() { order = append(order, "b@1") })
+	e.At(2, func() { order = append(order, "c@2") })
+	e.Run()
+	want := []string{"a@1", "b@1", "hook@1", "c@2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestInstantEndHookMayScheduleSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.At(1, func() {
+		e.OnInstantEnd(func() {
+			// A flush can schedule a completion due "now".
+			e.At(1, func() { got = append(got, e.Now()) })
+		})
+	})
+	e.At(3, func() { got = append(got, e.Now()) })
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("fire times = %v, want [1 3]", got)
+	}
+}
+
+func TestInstantEndHookChains(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	e.At(1, func() {
+		e.OnInstantEnd(func() {
+			depth = 1
+			e.OnInstantEnd(func() { depth = 2 })
+		})
+	})
+	e.Run()
+	if depth != 2 {
+		t.Fatalf("nested hook did not run in the same instant: depth = %d", depth)
+	}
+}
+
+// A hook registered when the foreground drains must still run — and events
+// it schedules must keep Run alive. This is exactly the netsim shape: the
+// last foreground event at an instant marks the network dirty, and only the
+// flush hook schedules the next (non-daemon) completion event.
+func TestInstantEndKeepsRunAlive(t *testing.T) {
+	e := NewEngine()
+	completed := false
+	e.At(1, func() {
+		e.OnInstantEnd(func() {
+			e.After(5, func() { completed = true })
+		})
+	})
+	e.Run()
+	if !completed {
+		t.Fatal("Run returned before the hook-scheduled event fired")
+	}
+	if e.Now() != 6 {
+		t.Fatalf("clock = %v, want 6", e.Now())
+	}
+}
+
+func TestInstantEndOutsideRun(t *testing.T) {
+	// Mutations before Run (tests and setup code do this): the hook fires
+	// when Run starts draining, before any queued event.
+	e := NewEngine()
+	var order []string
+	e.OnInstantEnd(func() { order = append(order, "hook@0") })
+	e.At(1, func() { order = append(order, "ev@1") })
+	e.Run()
+	if len(order) != 2 || order[0] != "hook@0" || order[1] != "ev@1" {
+		t.Fatalf("order = %v, want [hook@0 ev@1]", order)
+	}
+}
+
+func TestRunUntilDrainsHooks(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(1, func() {
+		e.OnInstantEnd(func() { ran = true })
+	})
+	e.RunUntil(10)
+	if !ran {
+		t.Fatal("RunUntil left the instant-end hook pending")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v, want deadline 10", e.Now())
+	}
+}
+
+func TestRunUntilHookBeforeDeadlineEvents(t *testing.T) {
+	// The hook at t=1 must fire before the event at t=2 even under RunUntil.
+	e := NewEngine()
+	var order []string
+	e.At(1, func() {
+		e.OnInstantEnd(func() { order = append(order, "hook@1") })
+	})
+	e.At(2, func() { order = append(order, "ev@2") })
+	e.RunUntil(5)
+	if len(order) != 2 || order[0] != "hook@1" || order[1] != "ev@2" {
+		t.Fatalf("order = %v, want [hook@1 ev@2]", order)
+	}
+}
+
+func TestStepDrainsHooksAtBoundary(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(1, func() {
+		e.OnInstantEnd(func() { order = append(order, "hook") })
+	})
+	e.At(2, func() { order = append(order, "ev2") })
+	for e.Step() {
+	}
+	if len(order) != 2 || order[0] != "hook" || order[1] != "ev2" {
+		t.Fatalf("order = %v, want [hook ev2]", order)
+	}
+}

@@ -69,8 +69,12 @@ type Graph struct {
 	// entries in parallel[].
 	parallel map[[2]NodeID][]LinkID
 	reverse  map[LinkID]LinkID // duplex pairing
-	down     map[LinkID]bool
-	version  uint64 // bumped on topology change, lets routers cache
+	down     []bool            // indexed by LinkID
+	version  uint64            // bumped on topology change, lets routers cache
+	// sp is reusable shortest-path scratch (see paths.go). It makes the
+	// routing queries allocation-free but means a Graph must not be
+	// shared across goroutines; every simulation builds its own.
+	sp spScratch
 }
 
 // NewGraph returns an empty topology.
@@ -78,7 +82,6 @@ func NewGraph() *Graph {
 	return &Graph{
 		parallel: make(map[[2]NodeID][]LinkID),
 		reverse:  make(map[LinkID]LinkID),
-		down:     make(map[LinkID]bool),
 	}
 }
 
@@ -102,6 +105,7 @@ func (g *Graph) AddLink(from, to NodeID, capacityBps float64, name string) LinkI
 	}
 	id := LinkID(len(g.links))
 	g.links = append(g.links, Link{ID: id, From: from, To: to, CapacityBps: capacityBps, Name: name})
+	g.down = append(g.down, false)
 	g.out[from] = append(g.out[from], id)
 	key := [2]NodeID{from, to}
 	g.parallel[key] = append(g.parallel[key], id)
@@ -203,16 +207,14 @@ func (g *Graph) SetLinkUp(id LinkID, up bool) {
 	if g.down[id] == !up {
 		return
 	}
-	if up {
-		delete(g.down, id)
-	} else {
-		g.down[id] = true
-	}
+	g.down[id] = !up
 	g.version++
 }
 
 // LinkUp reports whether the link is usable.
-func (g *Graph) LinkUp(id LinkID) bool { return !g.down[id] }
+func (g *Graph) LinkUp(id LinkID) bool {
+	return id < 0 || int(id) >= len(g.down) || !g.down[id]
+}
 
 // Version is a counter bumped on every topology mutation; routing caches key
 // off it.

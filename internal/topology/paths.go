@@ -1,7 +1,6 @@
 package topology
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 )
@@ -80,83 +79,108 @@ func (p Path) Valid(g *Graph) error {
 	return nil
 }
 
-type pqItem struct {
-	node NodeID
-	dist int
-	seq  int
+// spScratch is the reusable state behind ShortestPath/KShortestPaths.
+// Visited marks and ban sets are epoch-stamped so queries never pay an
+// O(nodes+links) clear; growing the graph just extends the slices (zero
+// stamps never equal a live epoch).
+type spScratch struct {
+	epoch    uint64
+	visited  []uint64 // visited[n] == epoch: n reached this query
+	dist     []int
+	prev     []LinkID
+	queue    []NodeID
+	banEpoch uint64
+	linkBan  []uint64 // linkBan[l] == banEpoch: l excluded this query
+	nodeBan  []uint64
 }
 
-type nodePQ []pqItem
-
-func (q nodePQ) Len() int { return len(q) }
-func (q nodePQ) Less(i, j int) bool {
-	if q[i].dist != q[j].dist {
-		return q[i].dist < q[j].dist
+func (s *spScratch) grow(nodes, links int) {
+	for len(s.visited) < nodes {
+		s.visited = append(s.visited, 0)
+		s.dist = append(s.dist, 0)
+		s.prev = append(s.prev, -1)
+		s.nodeBan = append(s.nodeBan, 0)
 	}
-	return q[i].seq < q[j].seq
+	for len(s.linkBan) < links {
+		s.linkBan = append(s.linkBan, 0)
+	}
 }
-func (q nodePQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *nodePQ) Push(x any)   { *q = append(*q, x.(pqItem)) }
-func (q *nodePQ) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
 
-// ShortestPath runs Dijkstra with hop-count metric from src to dst,
-// excluding any links in banned and any nodes in bannedNodes. It returns the
-// path and true, or a zero path and false when dst is unreachable. Ties are
-// broken deterministically by link ID so results are stable across runs.
+// ShortestPath finds a minimum-hop path from src to dst, excluding any
+// links in banned and any nodes in bannedNodes. It returns the path and
+// true, or a zero path and false when dst is unreachable. Ties are broken
+// deterministically by link ID so results are stable across runs.
+//
+// The metric is unit hop count, so this is a FIFO breadth-first search —
+// exactly equivalent to Dijkstra ordered by (distance, insertion), which
+// is what earlier revisions ran, but without the heap or any per-call
+// allocation (scratch lives on the Graph; see spScratch).
 func (g *Graph) ShortestPath(src, dst NodeID, banned map[LinkID]bool, bannedNodes map[NodeID]bool) (Path, bool) {
-	const inf = int(^uint(0) >> 1)
-	dist := make([]int, len(g.nodes))
-	prev := make([]LinkID, len(g.nodes))
-	for i := range dist {
-		dist[i] = inf
-		prev[i] = -1
-	}
-	dist[src] = 0
-	pq := &nodePQ{{node: src}}
-	seq := 1
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(pqItem)
-		if it.dist > dist[it.node] {
-			continue
+	s := &g.sp
+	s.grow(len(g.nodes), len(g.links))
+	s.banEpoch++
+	for lid, b := range banned {
+		if b {
+			s.linkBan[lid] = s.banEpoch
 		}
-		if it.node == dst {
+	}
+	for n, b := range bannedNodes {
+		if b {
+			s.nodeBan[n] = s.banEpoch
+		}
+	}
+	return g.shortestPathBFS(src, dst)
+}
+
+// shortestPathBFS runs the search against the current scratch ban epoch.
+func (g *Graph) shortestPathBFS(src, dst NodeID) (Path, bool) {
+	s := &g.sp
+	s.epoch++
+	s.queue = s.queue[:0]
+	s.visited[src] = s.epoch
+	s.dist[src] = 0
+	s.prev[src] = -1
+	s.queue = append(s.queue, src)
+	for qi := 0; qi < len(s.queue); qi++ {
+		u := s.queue[qi]
+		if u == dst {
 			break
 		}
-		for _, lid := range g.out[it.node] {
-			if g.down[lid] || (banned != nil && banned[lid]) {
+		nd := s.dist[u] + 1
+		for _, lid := range g.out[u] {
+			if g.down[lid] || s.linkBan[lid] == s.banEpoch {
 				continue
 			}
-			l := g.links[lid]
-			if bannedNodes != nil && bannedNodes[l.To] && l.To != dst {
+			to := g.links[lid].To
+			if s.nodeBan[to] == s.banEpoch && to != dst {
 				continue
 			}
-			nd := it.dist + 1
-			if nd < dist[l.To] || (nd == dist[l.To] && prev[l.To] > lid && prev[l.To] != -1) {
-				// Strict improvement, or equal-cost with a smaller
-				// link ID: keeps tie-breaks deterministic.
-				if nd < dist[l.To] {
-					dist[l.To] = nd
-					prev[l.To] = lid
-					heap.Push(pq, pqItem{node: l.To, dist: nd, seq: seq})
-					seq++
-				} else {
-					prev[l.To] = lid
-				}
+			if s.visited[to] != s.epoch {
+				// First discovery is final with unit weights.
+				s.visited[to] = s.epoch
+				s.dist[to] = nd
+				s.prev[to] = lid
+				s.queue = append(s.queue, to)
+			} else if nd == s.dist[to] && s.prev[to] > lid && s.prev[to] != -1 {
+				// Equal-cost with a smaller link ID: keeps
+				// tie-breaks deterministic.
+				s.prev[to] = lid
 			}
 		}
 	}
-	if prev[dst] == -1 && src != dst {
+	if src != dst && s.visited[dst] != s.epoch {
 		return Path{}, false
 	}
-	var rev []LinkID
-	for at := dst; at != src; {
-		lid := prev[at]
-		rev = append(rev, lid)
-		at = g.links[lid].From
+	n := 0
+	for at := dst; at != src; n++ {
+		at = g.links[s.prev[at]].From
 	}
-	links := make([]LinkID, len(rev))
-	for i := range rev {
-		links[i] = rev[len(rev)-1-i]
+	links := make([]LinkID, n)
+	for at := dst; at != src; {
+		lid := s.prev[at]
+		n--
+		links[n] = lid
+		at = g.links[lid].From
 	}
 	return Path{Links: links, Src: src, Dst: dst}, true
 }
@@ -184,20 +208,22 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int) []Path {
 		prevNodes := prevPath.Nodes(g)
 		for i := 0; i < len(prevPath.Links); i++ {
 			spurNode := prevNodes[i]
-			rootLinks := append([]LinkID(nil), prevPath.Links[:i]...)
+			rootLinks := prevPath.Links[:i]
 
-			banned := make(map[LinkID]bool)
+			// Stamp the bans straight into the scratch epoch instead of
+			// building throwaway maps for every spur.
+			g.sp.grow(len(g.nodes), len(g.links))
+			g.sp.banEpoch++
 			for _, p := range paths {
 				if hasPrefix(p.Links, rootLinks) && len(p.Links) > i {
-					banned[p.Links[i]] = true
+					g.sp.linkBan[p.Links[i]] = g.sp.banEpoch
 				}
 			}
-			bannedNodes := make(map[NodeID]bool)
 			for _, n := range prevNodes[:i] {
-				bannedNodes[n] = true
+				g.sp.nodeBan[n] = g.sp.banEpoch
 			}
 
-			spur, ok := g.ShortestPath(spurNode, dst, banned, bannedNodes)
+			spur, ok := g.shortestPathBFS(spurNode, dst)
 			if !ok {
 				continue
 			}
