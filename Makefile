@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-compare fuzz figures examples clean
+.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-compare fuzz figures examples api api-check clean
 
 all: build vet test
 
@@ -64,6 +64,14 @@ examples:
 	$(GO) run ./examples/faulttolerance
 	$(GO) run ./examples/multijob
 	$(GO) run ./examples/observability
+
+# Regenerate the committed facade API-surface report (review the diff!).
+api:
+	$(GO) run ./cmd/apireport > api.txt
+
+# Fail if the facade's exported surface drifted from api.txt.
+api-check:
+	$(GO) run ./cmd/apireport -check api.txt
 
 clean:
 	rm -rf out

@@ -16,7 +16,6 @@ import (
 	"testing"
 
 	"pythia/internal/bench"
-	"pythia/internal/netsim"
 )
 
 var paperScale = flag.Bool("paperscale", false, "run benchmarks at the paper's full input sizes")
@@ -264,11 +263,11 @@ func BenchmarkOptimalityGap(b *testing.B) {
 func BenchmarkScaleFatTree(b *testing.B) {
 	modes := []struct {
 		name  string
-		alloc netsim.AllocMode
+		alloc AllocMode
 	}{
-		{"incremental", netsim.AllocIncremental},
-		{"indexed", netsim.AllocIndexed},
-		{"scan", netsim.AllocScan},
+		{"incremental", AllocIncremental},
+		{"indexed", AllocIndexed},
+		{"scan", AllocScan},
 	}
 	for _, k := range []int{4, 6, 8} {
 		for _, m := range modes {

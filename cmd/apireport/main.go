@@ -1,0 +1,200 @@
+// Apireport prints the exported API surface of the root pythia package as a
+// sorted, deterministic signature list — one declaration per line. CI diffs
+// the output against the committed api.txt so that any facade change (adding,
+// removing, or altering an exported name) shows up as an explicit, reviewed
+// diff instead of slipping through.
+//
+// It parses source directly with go/parser rather than shelling out to
+// `go doc`, whose formatting varies across toolchain versions.
+//
+// Usage:
+//
+//	go run ./cmd/apireport [-dir .]        # print the report
+//	go run ./cmd/apireport -check api.txt  # exit 1 if the surface drifted
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to report on")
+	check := flag.String("check", "", "compare against this golden file; exit 1 on drift")
+	flag.Parse()
+
+	report, err := apiReport(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apireport:", err)
+		os.Exit(2)
+	}
+	if *check == "" {
+		fmt.Print(report)
+		return
+	}
+	want, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apireport:", err)
+		os.Exit(2)
+	}
+	if report != string(want) {
+		fmt.Fprintf(os.Stderr, "apireport: API surface drifted from %s\n", *check)
+		diff(string(want), report)
+		fmt.Fprintf(os.Stderr, "regenerate with: go run ./cmd/apireport > %s\n", *check)
+		os.Exit(1)
+	}
+	fmt.Printf("apireport: API surface matches %s\n", *check)
+}
+
+// apiReport renders every exported top-level declaration in dir, sorted.
+func apiReport(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				lines = append(lines, declLines(fset, d)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// declLines returns one rendered line per exported name introduced by d.
+func declLines(fset *token.FileSet, d ast.Decl) []string {
+	var out []string
+	switch d := d.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return nil
+		}
+		fn := *d
+		fn.Doc = nil
+		fn.Body = nil
+		out = append(out, render(fset, &fn))
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				ts := *s
+				ts.Doc, ts.Comment = nil, nil
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					ts.Type = exportedFields(st)
+				}
+				out = append(out, "type "+render(fset, &ts))
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for _, n := range s.Names {
+					if !n.IsExported() {
+						continue
+					}
+					line := kw + " " + n.Name
+					if s.Type != nil {
+						line += " " + render(fset, s.Type)
+					}
+					out = append(out, line)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedFields strips unexported fields so internal layout changes don't
+// churn the report.
+func exportedFields(st *ast.StructType) *ast.StructType {
+	kept := &ast.FieldList{}
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 { // embedded
+			kept.List = append(kept.List, f)
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			g := *f
+			g.Names, g.Doc, g.Comment, g.Tag = names, nil, nil, nil
+			kept.List = append(kept.List, &g)
+		}
+	}
+	return &ast.StructType{Struct: st.Struct, Fields: kept}
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		case *ast.IndexExpr:
+			t = x.X
+		default:
+			return true
+		}
+	}
+}
+
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	// Collapse multi-line struct bodies to one line for a stable diff unit.
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}
+
+// diff prints a minimal line diff (golden vs current) to stderr.
+func diff(want, got string) {
+	wl := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	gl := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	wset := make(map[string]bool, len(wl))
+	for _, l := range wl {
+		wset[l] = true
+	}
+	gset := make(map[string]bool, len(gl))
+	for _, l := range gl {
+		gset[l] = true
+	}
+	for _, l := range wl {
+		if !gset[l] {
+			fmt.Fprintln(os.Stderr, "- "+l)
+		}
+	}
+	for _, l := range gl {
+		if !wset[l] {
+			fmt.Fprintln(os.Stderr, "+ "+l)
+		}
+	}
+}

@@ -23,7 +23,7 @@ func Example() {
 func ExampleCompare() {
 	spec := pythia.ToySortJob()
 	ecmpSec, pythiaSec, _ := pythia.Compare(
-		spec, pythia.SchedulerECMP, pythia.SchedulerPythia, 0, 1)
+		spec, pythia.SchedulerECMP, pythia.SchedulerPythia, pythia.WithSeed(1))
 	// On an uncontended network the toy job ties.
 	fmt.Printf("tie: %v\n", ecmpSec == pythiaSec)
 	// Output:

@@ -1,65 +1,103 @@
-// Faulttolerance exercises the §IV fault-tolerance path: Pythia recomputes
-// its routing graph from topology-update events and re-places booked
-// aggregates when an inter-rack trunk fails mid-job. The job must finish on
-// the surviving trunk with all shuffle flows rerouted.
+// Faulttolerance exercises the §IV fault-tolerance story end to end through
+// the facade's failure plane — no internal packages required. Three
+// scenarios:
 //
-// This example uses the internal packages directly (examples live inside
-// the module), showing how the layers compose when the facade is too
-// coarse.
+//  1. An inter-rack trunk fails mid-shuffle and later recovers; Pythia
+//     re-places booked aggregates off the dead trunk and spreads back when
+//     it returns.
+//  2. A spine switch dies on a leaf-spine fabric, downing every attached
+//     cable at once; the job finishes on the surviving spine.
+//  3. The SDN controller itself loses management connectivity: rule
+//     installs time out, retry with exponential backoff, and past the
+//     budget Pythia degrades affected aggregates to the default ECMP
+//     pipeline, reconciling once the controller returns.
 package main
 
 import (
 	"fmt"
 
-	"pythia/internal/core"
-	"pythia/internal/hadoop"
-	"pythia/internal/instrument"
-	"pythia/internal/netsim"
-	"pythia/internal/openflow"
-	"pythia/internal/sim"
-	"pythia/internal/topology"
-	"pythia/internal/workload"
+	"pythia"
 )
 
 func main() {
-	eng := sim.NewEngine()
-	g, hosts, trunks := topology.TwoRack(5, 2, topology.Gbps)
-	net := netsim.New(eng, g)
-	ofc := openflow.NewController(eng, net, 0)
-	py := core.New(eng, net, ofc, core.Config{}.EnableAggregation())
-	cluster := hadoop.NewCluster(eng, net, hosts, ofc, hadoop.Config{})
-	instrument.Attach(eng, cluster, py, instrument.Config{})
-
-	spec := workload.Sort(8*workload.GB, 8, 5)
-	job, err := cluster.Submit(spec)
-	if err != nil {
-		panic(err)
-	}
-
-	// Fail trunk0 (both directions) 20 simulated seconds in.
-	eng.At(20, func() {
-		fmt.Printf("t=%.1fs: failing trunk0\n", float64(eng.Now()))
-		ofc.FailLink(trunks[0])
-		if rev, ok := g.Reverse(trunks[0]); ok {
-			g.SetLinkUp(rev, false)
-		}
-	})
-
-	eng.Run()
-	if !job.Done {
-		panic("job did not survive the trunk failure")
-	}
-	fmt.Printf("job finished in %.1fs despite losing half the inter-rack capacity\n",
-		float64(job.Duration()))
-	fmt.Printf("trunk0 carried %.2f GB, trunk1 carried %.2f GB of shuffle data\n",
-		linkGB(net, g, trunks[0]), linkGB(net, g, trunks[1]))
-	fmt.Printf("pythia re-placements after topology change: %d\n", py.Reallocations)
+	trunkFailure()
+	switchFailure()
+	controllerOutage()
 }
 
-func linkGB(net *netsim.Network, g *topology.Graph, l topology.LinkID) float64 {
-	bits := net.LinkBits(l)
-	if rev, ok := g.Reverse(l); ok {
-		bits += net.LinkBits(rev)
+// trunkFailure: lose half the inter-rack capacity at t=20s, get it back at
+// t=60s.
+func trunkFailure() {
+	fmt.Println("=== trunk failure + recovery (two-rack, Pythia) ===")
+	cl := pythia.New(pythia.WithScheduler(pythia.SchedulerPythia))
+	trunks := cl.Trunks()
+	cl.At(20, func() {
+		fmt.Printf("t=%.1fs: failing %s\n", cl.Now(), cl.LinkName(trunks[0]))
+		cl.FailLink(trunks[0])
+	})
+	cl.At(60, func() {
+		fmt.Printf("t=%.1fs: recovering %s\n", cl.Now(), cl.LinkName(trunks[0]))
+		cl.RecoverLink(trunks[0])
+	})
+	res := cl.RunJob(pythia.SortJob(8*pythia.GB, 8, 5))
+	fmt.Printf("job finished in %.1fs despite the outage\n", res.DurationSec)
+	for _, tr := range trunks {
+		fmt.Printf("%s carried %.2f GB of shuffle data\n", cl.LinkName(tr), cl.LinkCarriedGB(tr))
 	}
-	return bits / 8 / 1e9
+	fmt.Printf("in-flight flows rescued off dead paths: %d\n\n", cl.Faults().FlowsRescued)
+}
+
+// switchFailure: a whole spine dies, taking all its cables with it.
+func switchFailure() {
+	fmt.Println("=== spine-switch failure (leaf-spine, Pythia) ===")
+	cl := pythia.New(
+		pythia.WithScheduler(pythia.SchedulerPythia),
+		pythia.WithTopology(pythia.LeafSpineTopology(2, 2, 5)),
+	)
+	var spine pythia.SwitchID = -1
+	for _, sw := range cl.Switches() {
+		if sw.Rack < 0 { // spines serve no rack
+			spine = sw.ID
+			break
+		}
+	}
+	cl.At(15, func() {
+		fmt.Printf("t=%.1fs: failing %s (all its cables go down)\n", cl.Now(), cl.SwitchName(spine))
+		cl.FailSwitch(spine)
+	})
+	cl.At(45, func() {
+		fmt.Printf("t=%.1fs: recovering %s\n", cl.Now(), cl.SwitchName(spine))
+		cl.RecoverSwitch(spine)
+	})
+	res := cl.RunJob(pythia.SortJob(8*pythia.GB, 8, 5))
+	fmt.Printf("job finished in %.1fs on the surviving spine\n\n", res.DurationSec)
+}
+
+// controllerOutage: the control plane goes dark mid-job; rule installs
+// retry, fail, and Pythia falls back to the ECMP pipeline until recovery.
+func controllerOutage() {
+	fmt.Println("=== controller outage with retry/backoff (two-rack, Pythia) ===")
+	cl := pythia.New(
+		pythia.WithScheduler(pythia.SchedulerPythia),
+		pythia.WithOversubscription(10),
+		pythia.WithControlPlaneFaults(pythia.ControlPlaneFaults{
+			InstallTimeoutSec: 0.05,
+			MaxRetries:        3,
+			RetryBackoffSec:   0.1,
+		}),
+	)
+	cl.At(2, func() {
+		fmt.Printf("t=%.1fs: controller loses management connectivity\n", cl.Now())
+		cl.FailController()
+	})
+	cl.At(40, func() {
+		fmt.Printf("t=%.1fs: controller back; reconciling degraded aggregates\n", cl.Now())
+		cl.RecoverController()
+	})
+	res := cl.RunJob(pythia.SortJob(8*pythia.GB, 8, 5))
+	f := cl.Faults()
+	fmt.Printf("job finished in %.1fs through the outage\n", res.DurationSec)
+	fmt.Printf("flow-mods dropped %d, retransmissions %d\n", f.DroppedFlowMods, f.Retransmissions)
+	fmt.Printf("aggregates degraded to ECMP %d, reconciled after recovery %d\n",
+		f.AggregatesDegraded, f.Reconciliations)
 }

@@ -19,7 +19,8 @@ func main() {
 
 	fmt.Printf("%-8s %10s %12s %10s\n", "oversub", "ECMP (s)", "Pythia (s)", "speedup")
 	for _, oversub := range []int{0, 2, 5, 10, 20} {
-		e, p, s := pythia.Compare(spec, pythia.SchedulerECMP, pythia.SchedulerPythia, oversub, 17)
+		e, p, s := pythia.Compare(spec, pythia.SchedulerECMP, pythia.SchedulerPythia,
+			pythia.WithOversubscription(oversub), pythia.WithSeed(17))
 		label := "none"
 		if oversub > 0 {
 			label = fmt.Sprintf("1:%d", oversub)

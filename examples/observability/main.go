@@ -1,10 +1,10 @@
-// Observability demonstrates the measurement tooling around the simulator:
-// it runs one sort job under Pythia at 1:10 oversubscription while sampling
-// per-trunk utilization (NetFlow-style link probes), then writes three
-// artifacts into ./out/: the ASCII sequence diagram, a Chrome trace-event
-// JSON (open in chrome://tracing or Perfetto), and per-trunk utilization
-// CSVs showing how Pythia's placement keeps both trunks' shuffle shares
-// within their spare capacities.
+// Observability demonstrates the measurement tooling around the simulator,
+// entirely through the facade: it runs one sort job under Pythia at 1:10
+// oversubscription while sampling per-trunk utilization (NetFlow-style link
+// probes), then writes three artifacts into ./out/: the ASCII sequence
+// diagram, a Chrome trace-event JSON (open in chrome://tracing or
+// Perfetto), and per-trunk utilization CSVs showing how Pythia's placement
+// keeps both trunks' shuffle shares within their spare capacities.
 package main
 
 import (
@@ -12,54 +12,22 @@ import (
 	"os"
 	"strings"
 
-	"pythia/internal/core"
-	"pythia/internal/hadoop"
-	"pythia/internal/instrument"
-	"pythia/internal/netflow"
-	"pythia/internal/netsim"
-	"pythia/internal/openflow"
-	"pythia/internal/sim"
-	"pythia/internal/topology"
-	"pythia/internal/trace"
-	"pythia/internal/workload"
+	"pythia"
 )
 
 func main() {
-	eng := sim.NewEngine()
-	g, hosts, trunks := topology.TwoRack(5, 2, topology.Gbps)
-	net := netsim.New(eng, g)
+	// 1:10 oversubscription with the paper's asymmetric 30/70 spare split.
+	cl := pythia.New(
+		pythia.WithScheduler(pythia.SchedulerPythia),
+		pythia.WithOversubscription(10),
+		pythia.WithSequenceRecording(),
+	)
+	trunks := cl.Trunks()
+	probe := cl.Probe(0.5, trunks...)
 
-	// 1:10 oversubscription, asymmetric (30/70 spare split).
-	for i, spare := range []float64{0.15, 0.35} { // of 0.5 Gbps total spare
-		load := topology.Gbps - spare*1e9
-		net.SetBackground(trunks[i], load)
-		if r, ok := g.Reverse(trunks[i]); ok {
-			net.SetBackground(r, load)
-		}
-	}
-
-	ofc := openflow.NewController(eng, net, 0)
-	py := core.New(eng, net, ofc, core.Config{}.EnableAggregation())
-	cluster := hadoop.NewCluster(eng, net, hosts, ofc, hadoop.Config{})
-	instrument.Attach(eng, cluster, py, instrument.Config{})
-	rec := trace.Attach(eng, cluster)
-
-	var probeLinks []topology.LinkID
-	for _, tr := range trunks {
-		probeLinks = append(probeLinks, tr)
-		if r, ok := g.Reverse(tr); ok {
-			probeLinks = append(probeLinks, r)
-		}
-	}
-	probe := netflow.NewLinkProbe(eng, net, probeLinks, 0.5)
-
-	job, err := cluster.Submit(workload.Sort(8*workload.GB, 8, 3))
-	if err != nil {
-		panic(err)
-	}
-	eng.Run()
-	fmt.Printf("sort finished in %.1fs under Pythia\n\n", float64(job.Duration()))
-	fmt.Println(rec.Render(96))
+	res := cl.RunJob(pythia.SortJob(8*pythia.GB, 8, 3))
+	fmt.Printf("sort finished in %.1fs under Pythia\n\n", res.DurationSec)
+	fmt.Println(cl.SequenceDiagram(96))
 
 	if err := os.MkdirAll("out", 0o755); err != nil {
 		panic(err)
@@ -70,8 +38,8 @@ func main() {
 		}
 		fmt.Printf("wrote out/%s\n", name)
 	}
-	must("seqdiag.svg", []byte(rec.RenderSVG()))
-	chrome, err := rec.ChromeTrace()
+	must("seqdiag.svg", []byte(cl.SequenceDiagramSVG()))
+	chrome, err := cl.ChromeTrace()
 	if err != nil {
 		panic(err)
 	}
@@ -81,10 +49,11 @@ func main() {
 		var b strings.Builder
 		b.WriteString("t_sec,utilization,shuffle_mbps\n")
 		for _, s := range probe.Series(tr) {
-			fmt.Fprintf(&b, "%.1f,%.3f,%.1f\n", float64(s.T), s.Utilization, s.ShuffleBps/1e6)
+			fmt.Fprintf(&b, "%.1f,%.3f,%.1f\n", s.TSec, s.Utilization, s.ShuffleBps/1e6)
 		}
 		must(fmt.Sprintf("trunk%d.csv", i), []byte(b.String()))
-		fmt.Printf("trunk%d: mean utilization %.0f%%, peak shuffle %.0f Mbps\n",
-			i, probe.MeanUtilization(tr)*100, probe.PeakShuffleBps(tr)/1e6)
+		fmt.Printf("%s: mean utilization %.0f%%, peak shuffle %.0f Mbps, carried %.2f GB\n",
+			cl.LinkName(tr), probe.MeanUtilization(tr)*100, probe.PeakShuffleBps(tr)/1e6,
+			cl.LinkCarriedGB(tr))
 	}
 }

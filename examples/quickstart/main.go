@@ -18,8 +18,9 @@ func main() {
 
 	ecmpSec, pythiaSec, speedup := pythia.Compare(
 		spec, pythia.SchedulerECMP, pythia.SchedulerPythia,
-		10, // oversubscription 1:10, emulated with background CBR traffic
-		42,
+		// oversubscription 1:10, emulated with background CBR traffic
+		pythia.WithOversubscription(10),
+		pythia.WithSeed(42),
 	)
 
 	fmt.Printf("ECMP:   %6.1f s\n", ecmpSec)

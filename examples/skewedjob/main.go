@@ -33,7 +33,8 @@ func main() {
 		Seed:         7,
 	})
 	for _, oversub := range []int{5, 10, 20} {
-		e, p, s := pythia.Compare(skewed, pythia.SchedulerECMP, pythia.SchedulerPythia, oversub, 7)
+		e, p, s := pythia.Compare(skewed, pythia.SchedulerECMP, pythia.SchedulerPythia,
+			pythia.WithOversubscription(oversub), pythia.WithSeed(7))
 		fmt.Printf("oversub 1:%-3d  ECMP %6.1fs  Pythia %6.1fs  speedup %5.1f%%\n",
 			oversub, e, p, s*100)
 	}

@@ -1,0 +1,145 @@
+package pythia
+
+import (
+	"pythia/internal/openflow"
+	"pythia/internal/sim"
+)
+
+// The facade's failure plane. Faults are scheduled against virtual time
+// with At and injected through the Fail*/Recover* methods; every scheduler
+// (ECMP, Hedera, Pythia) observes the same netsim event source and reacts —
+// re-hashing, re-polling, or re-placing — without any internal imports.
+
+// At schedules fn to run at tSec simulated seconds, before or during a
+// RunJobs call. Use it to inject faults mid-job:
+//
+//	cl.At(20, func() { cl.FailLink(cl.Trunks()[0]) })
+//	res := cl.RunJob(spec)
+func (c *Cluster) At(tSec float64, fn func()) {
+	c.eng.At(sim.Time(tSec), fn)
+}
+
+// Now returns the current simulated time in seconds.
+func (c *Cluster) Now() float64 { return float64(c.eng.Now()) }
+
+// FailLink fails a duplex cable (both directions). In-flight traffic on it
+// starves until the active scheduler reroutes it or the link recovers.
+func (c *Cluster) FailLink(l LinkID) { c.net.FailLink(l) }
+
+// RecoverLink brings a failed cable back. Schedulers are notified and may
+// spread traffic back onto it.
+func (c *Cluster) RecoverLink(l LinkID) { c.net.RecoverLink(l) }
+
+// FailSwitch fails a switch, downing every cable attached to it. Panics if
+// the node is not a switch (see Switches for valid targets).
+func (c *Cluster) FailSwitch(s SwitchID) { c.net.FailSwitch(s) }
+
+// RecoverSwitch brings a failed switch back; its cables return to service
+// unless individually failed via FailLink.
+func (c *Cluster) RecoverSwitch(s SwitchID) { c.net.RecoverSwitch(s) }
+
+// FailController severs the SDN controller's management connectivity: rule
+// installs are lost and retried until the budget set by
+// WithControlPlaneFaults runs out, at which point Pythia degrades affected
+// aggregates to the default ECMP pipeline. No-op for schedulers without a
+// central controller (ECMP, Hedera).
+func (c *Cluster) FailController() {
+	if c.ofc != nil {
+		c.ofc.FailController()
+	}
+}
+
+// RecoverController restores management connectivity; Pythia reconciles by
+// re-placing the aggregates that degraded during the outage.
+func (c *Cluster) RecoverController() {
+	if c.ofc != nil {
+		c.ofc.RecoverController()
+	}
+}
+
+// ControlPlaneFaults models management-channel unreliability for the SDN
+// control plane (Pythia's rule installs). Zero-valued fields take the
+// defaults noted below.
+type ControlPlaneFaults struct {
+	// InstallTimeoutSec is how long the controller waits for a FLOW_MOD
+	// ack before retransmitting (default 0.05 s).
+	InstallTimeoutSec float64
+	// MaxRetries bounds retransmissions per rule (default 3); past the
+	// budget the install fails and the aggregate degrades to ECMP.
+	MaxRetries int
+	// RetryBackoffSec delays the first retransmission and doubles per
+	// attempt (default 0.1 s).
+	RetryBackoffSec float64
+	// ExtraDelaySec is added to every management-channel delivery.
+	ExtraDelaySec float64
+	// DropEvery loses every Nth FLOW_MOD transmission (0 disables drops);
+	// the schedule is deterministic, so runs stay reproducible.
+	DropEvery int
+}
+
+// WithControlPlaneFaults turns on the fault-aware install path (timeout,
+// bounded exponential-backoff retries, deterministic loss) for the Pythia
+// scheduler's controller. Required for FailController to have effect —
+// without a timeout, installs issued during an outage would wait forever.
+func WithControlPlaneFaults(f ControlPlaneFaults) Option {
+	return func(c *config) { c.cpFaults = &f }
+}
+
+func (f ControlPlaneFaults) toInternal() openflow.FaultConfig {
+	cfg := openflow.FaultConfig{
+		InstallTimeout: sim.Duration(f.InstallTimeoutSec),
+		MaxRetries:     f.MaxRetries,
+		RetryBackoff:   sim.Duration(f.RetryBackoffSec),
+		ExtraDelay:     sim.Duration(f.ExtraDelaySec),
+	}
+	if cfg.InstallTimeout <= 0 {
+		cfg.InstallTimeout = 0.05 * sim.Second
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 0.1 * sim.Second
+	}
+	if f.DropEvery > 0 {
+		n := uint64(f.DropEvery)
+		cfg.Drop = func(seq uint64) bool { return seq%n == 0 }
+	}
+	return cfg
+}
+
+// FaultReport summarizes the failure plane's activity so far.
+type FaultReport struct {
+	// Retransmissions counts timed-out FLOW_MODs that were re-sent and
+	// DroppedFlowMods the transmissions lost to faults or outage.
+	Retransmissions uint64
+	DroppedFlowMods uint64
+	// AggregatesDegraded counts Pythia aggregates that fell back to the
+	// ECMP pipeline; Reconciliations those re-placed after the controller
+	// recovered; FlowsRescued the in-flight flows rerouted off dead paths.
+	AggregatesDegraded int
+	Reconciliations    int
+	FlowsRescued       int
+}
+
+// Faults reports the cluster's fault-plane counters (zero for schedulers
+// without the relevant machinery).
+func (c *Cluster) Faults() FaultReport {
+	var r FaultReport
+	if c.ofc != nil {
+		r.Retransmissions = c.ofc.Retransmissions
+		r.DroppedFlowMods = c.ofc.DroppedFlowMods
+	}
+	if c.py != nil {
+		r.AggregatesDegraded = c.py.AggregatesDegraded
+		r.Reconciliations = c.py.Reconciliations
+		r.FlowsRescued = c.py.FlowsRescued
+	}
+	if c.al != nil {
+		r.FlowsRescued += c.al.FlowsRescued
+	}
+	if c.hed != nil {
+		r.FlowsRescued += c.hed.FlowsRescued
+	}
+	return r
+}

@@ -72,7 +72,7 @@ func TestSpeedupMonotoneInOversubscription(t *testing.T) {
 	spec := SortJob(8*GB, 8, 7)
 	prev := -1.0
 	for _, n := range []int{0, 5, 20} {
-		_, _, speedup := Compare(spec, SchedulerECMP, SchedulerPythia, n, 7)
+		_, _, speedup := Compare(spec, SchedulerECMP, SchedulerPythia, WithOversubscription(n), WithSeed(7))
 		if speedup < prev-0.05 {
 			t.Fatalf("speedup shrank at 1:%d: %.2f after %.2f", n, speedup, prev)
 		}
@@ -125,7 +125,7 @@ func TestHeadlineNumbersStable(t *testing.T) {
 // schedulers must tie — a negative control for the whole pipeline.
 func TestWordCountControl(t *testing.T) {
 	spec := WordCountJob(4*GB, 8, 3)
-	e, p, speedup := Compare(spec, SchedulerECMP, SchedulerPythia, 20, 3)
+	e, p, speedup := Compare(spec, SchedulerECMP, SchedulerPythia, WithOversubscription(20), WithSeed(3))
 	if math.Abs(speedup) > 0.05 {
 		t.Fatalf("wordcount speedup %.1f%% (ecmp %.1fs pythia %.1fs); network scheduling should not matter", speedup*100, e, p)
 	}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -106,6 +107,11 @@ type aggregate struct {
 	demandBits     float64 // outstanding predicted demand
 	placed         bool
 	indexed        bool // member of Pythia.placedOn for path's links
+	// degraded marks an aggregate that fell back to the default ECMP
+	// pipeline after the control plane became unreachable; allocation
+	// skips it until reconciliation (controller recovery or a topology
+	// change) clears the flag.
+	degraded bool
 	// perReducer tracks outstanding demand by (job, reducer), feeding the
 	// criticality criterion.
 	perReducer map[[2]int]float64
@@ -170,6 +176,12 @@ type Pythia struct {
 	// DuplicateIntents counts re-predictions for an already-booked
 	// (job, map, reducer) — e.g. from speculative map attempts.
 	DuplicateIntents int
+	// AggregatesDegraded counts aggregates that fell back to the default
+	// ECMP pipeline after the control plane became unreachable;
+	// Reconciliations counts degraded aggregates re-placed once
+	// connectivity returned.
+	AggregatesDegraded int
+	Reconciliations    int
 }
 
 // New wires a Pythia controller to the SDN substrate. Register it as the
@@ -196,6 +208,9 @@ func New(eng *sim.Engine, net *netsim.Network, ofc *openflow.Controller, cfg Con
 	// Fault tolerance: recompute the routing graph and re-place every
 	// active aggregate on topology change (§IV).
 	ofc.OnTopologyChange(p.onTopologyChange)
+	// Degraded-mode reconciliation: once management connectivity returns,
+	// re-place every aggregate that fell back to the ECMP pipeline.
+	ofc.OnControllerUp(p.onControllerUp)
 	return p
 }
 
@@ -384,7 +399,7 @@ func (p *Pythia) OutstandingDemandBits() float64 {
 func (p *Pythia) allocate() {
 	var todo []*aggregate
 	for _, a := range p.aggregates {
-		if !a.placed && a.demandBits > 0 {
+		if !a.placed && a.demandBits > 0 && !a.degraded {
 			todo = append(todo, a)
 		}
 	}
@@ -531,6 +546,14 @@ func (p *Pythia) place(a *aggregate, path topology.Path) {
 		onDone := func(err error) {
 			if err != nil {
 				p.RuleInstallErrors++
+				if errors.Is(err, openflow.ErrControlPlaneUnreachable) {
+					// Guard against stale acks: only degrade if this
+					// install still backs the aggregate's current
+					// placement.
+					if p.aggregates[a.key] == a && a.cookie == cookie {
+						p.degrade(a)
+					}
+				}
 			}
 		}
 		if p.cfg.Scope == ScopeRackPair {
@@ -541,6 +564,41 @@ func (p *Pythia) place(a *aggregate, path topology.Path) {
 			p.ofc.InstallPath(match, path, p.cfg.RulePriority, cookie, onDone)
 		}
 	}
+}
+
+// degrade drops an aggregate to the default ECMP pipeline: whatever partial
+// rules reached the switches are released (modeling switch-local idle-timeout
+// expiry — switches expire rules autonomously, no control plane needed, so a
+// half-programmed path cannot linger and trap traffic in a forwarding loop),
+// and allocation skips the aggregate until reconciliation. Its traffic still
+// flows — table misses fall back to local ECMP hashing in Resolve.
+func (p *Pythia) degrade(a *aggregate) {
+	if a.cookie != 0 {
+		p.ofc.RemovePath(a.cookie)
+		a.cookie = 0
+	}
+	a.placed = false
+	a.degraded = true
+	p.unindexAgg(a)
+	p.AggregatesDegraded++
+}
+
+// onControllerUp reconciles degraded aggregates once management
+// connectivity returns: clear the flags and run an allocation pass so live
+// demand gets predictive placements again.
+func (p *Pythia) onControllerUp() {
+	n := 0
+	for _, a := range p.aggregates {
+		if a.degraded {
+			a.degraded = false
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	p.Reconciliations += n
+	p.allocate()
 }
 
 // onFlowComplete drains delivered demand and releases rules for pairs whose
@@ -638,8 +696,11 @@ func (p *Pythia) onTopologyChange() {
 			continue
 		}
 		// Invalid paths (through failed links) must move; valid ones are
-		// re-scored too, since spare capacity shifted.
+		// re-scored too, since spare capacity shifted. Degraded aggregates
+		// get another chance: the fabric changed, so retry placement (they
+		// re-degrade if the control plane is still dark).
 		a.placed = false
+		a.degraded = false
 		p.unindexAgg(a)
 	}
 	p.allocate()

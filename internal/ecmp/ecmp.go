@@ -26,6 +26,10 @@ type Allocator struct {
 	seed  uint64
 	cache map[[2]topology.NodeID][]topology.Path
 	ver   uint64
+
+	// FlowsRescued counts in-flight flows re-hashed off failed paths by
+	// RescueStranded (fault-plane subscription via AttachNetwork).
+	FlowsRescued int
 }
 
 // New returns an ECMP allocator over the k shortest paths per pair. The
@@ -112,4 +116,51 @@ func (a *Allocator) ResolveShuffle(t netsim.FiveTuple) (topology.Path, error) {
 		return topology.Path{}, fmt.Errorf("ecmp: no path %d -> %d", t.SrcHost, t.DstHost)
 	}
 	return p, nil
+}
+
+// AttachNetwork subscribes the allocator to the network's fault plane:
+// every link/switch failure or recovery re-hashes the in-flight flows of
+// the given kinds whose paths died. ECMP has no controller, so this models
+// each switch's local hash simply re-spreading over the surviving
+// equal-cost next hops. Attach one allocator per flow kind it owns (the
+// shuffle allocator must not move another allocator's storage flows).
+func (a *Allocator) AttachNetwork(net *netsim.Network, kinds ...netsim.FlowKind) {
+	net.SubscribeTopology(func(netsim.TopoEvent) {
+		a.RescueStranded(net, kinds...)
+	})
+}
+
+// RescueStranded walks the active flows of the given kinds and re-resolves
+// any whose path crosses a dead link, returning how many moved. Flows whose
+// pair is fully disconnected stay put and starve until connectivity
+// returns (there is nowhere to move them). Recovery events matter too:
+// re-hashing on recovery is what puts traffic back onto restored trunks.
+func (a *Allocator) RescueStranded(net *netsim.Network, kinds ...netsim.FlowKind) int {
+	moved := 0
+	net.ForEachActive(func(f *netsim.Flow) {
+		if len(f.Path.Links) == 0 {
+			return // zero-hop local flow, nothing to rescue
+		}
+		match := false
+		for _, k := range kinds {
+			if f.Kind == k {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return
+		}
+		if f.Path.Valid(a.g) == nil {
+			return // still routable
+		}
+		p, ok := a.Resolve(f.Tuple)
+		if !ok {
+			return // disconnected: starve until recovery
+		}
+		net.Reroute(f, p)
+		moved++
+	})
+	a.FlowsRescued += moved
+	return moved
 }

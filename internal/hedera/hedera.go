@@ -92,6 +92,14 @@ func New(eng *sim.Engine, net *netsim.Network, seed uint64, cfg Config) *Schedul
 		planned:   make(map[netsim.FlowID]bool),
 	}
 	eng.AfterDaemon(cfg.PollInterval, s.sweep)
+	// Fault plane: re-hash stranded shuffle flows immediately on topology
+	// events rather than waiting for the next sweep — Hedera still pays
+	// its reactive poll before *optimizing* placement, but basic
+	// connectivity recovery is the fabric's ECMP behavior, not the
+	// scheduler's.
+	net.SubscribeTopology(func(netsim.TopoEvent) {
+		s.RescueStranded(net, netsim.Shuffle)
+	})
 	return s
 }
 

@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"fmt"
+
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// The fault plane makes links and switches first-class failable entities.
+// Every fault or recovery flows through one pipeline: mutate the graph,
+// resettle the max-min allocation (NotifyTopology), then fan a TopoEvent out
+// to subscribers — schedulers (ECMP rescue, Hedera re-place, Pythia
+// re-placement via the OpenFlow controller) all observe the same event
+// source instead of keeping controller-private failure state.
+
+// TopoEventKind classifies a topology-change notification.
+type TopoEventKind int
+
+const (
+	// LinkFailed: a duplex cable was administratively failed.
+	LinkFailed TopoEventKind = iota
+	// LinkRecovered: a previously failed cable came back.
+	LinkRecovered
+	// SwitchFailed: a switch went down, taking all incident links with it.
+	SwitchFailed
+	// SwitchRecovered: a switch came back; incident links return to their
+	// administrative state.
+	SwitchRecovered
+)
+
+func (k TopoEventKind) String() string {
+	switch k {
+	case LinkFailed:
+		return "link-failed"
+	case LinkRecovered:
+		return "link-recovered"
+	case SwitchFailed:
+		return "switch-failed"
+	case SwitchRecovered:
+		return "switch-recovered"
+	}
+	return fmt.Sprintf("TopoEventKind(%d)", int(k))
+}
+
+// TopoEvent is a topology-change notification delivered synchronously to
+// subscribers at the virtual instant of the fault.
+type TopoEvent struct {
+	Kind TopoEventKind
+	// Link is the forward link of the affected duplex pair for Link*
+	// events, -1 otherwise.
+	Link topology.LinkID
+	// Node is the affected switch for Switch* events, -1 otherwise.
+	Node topology.NodeID
+	// At is the virtual time of the event.
+	At sim.Time
+}
+
+// SubscribeTopology registers fn to be called on every fault-plane event.
+// Subscribers are invoked in registration order, synchronously, after the
+// graph mutation and allocation resettle — a subscriber sees the
+// post-fault network. Subscription order is part of the deterministic
+// schedule; register at setup time, not mid-run.
+func (n *Network) SubscribeTopology(fn func(TopoEvent)) {
+	n.topoSubs = append(n.topoSubs, fn)
+}
+
+func (n *Network) publishTopo(ev TopoEvent) {
+	ev.At = n.eng.Now()
+	for _, fn := range n.topoSubs {
+		fn(ev)
+	}
+}
+
+// FailLink administratively fails a duplex cable: the given link and its
+// reverse direction both go down. Flows crossing it starve (their
+// bottleneck rate is zero) until a scheduler reroutes them or the link
+// recovers. No-op if the cable is already administratively down.
+func (n *Network) FailLink(l topology.LinkID) {
+	if !n.setLinkAdmin(l, false) {
+		return
+	}
+	n.publishTopo(TopoEvent{Kind: LinkFailed, Link: l, Node: -1})
+}
+
+// RecoverLink reverses FailLink. The cable stays effectively down while an
+// endpoint switch is down. No-op if the cable is administratively up.
+func (n *Network) RecoverLink(l topology.LinkID) {
+	if !n.setLinkAdmin(l, true) {
+		return
+	}
+	n.publishTopo(TopoEvent{Kind: LinkRecovered, Link: l, Node: -1})
+}
+
+// setLinkAdmin flips the administrative state of a duplex pair and reports
+// whether anything changed.
+func (n *Network) setLinkAdmin(l topology.LinkID, up bool) bool {
+	if n.g.LinkAdminUp(l) == up {
+		return false
+	}
+	n.g.SetLinkUp(l, up)
+	if r, ok := n.g.Reverse(l); ok {
+		n.g.SetLinkUp(r, up)
+	}
+	n.NotifyTopology()
+	return true
+}
+
+// FailSwitch takes a switch down, downing every incident link in both
+// directions. It panics when the node is a host (hosts are workload
+// endpoints, not failable fabric elements) and no-ops when the switch is
+// already down.
+func (n *Network) FailSwitch(s topology.NodeID) {
+	if n.g.Node(s).Kind != topology.Switch {
+		panic(fmt.Sprintf("netsim: FailSwitch on non-switch node %d (%s)", s, n.g.Node(s).Name))
+	}
+	if !n.g.NodeUp(s) {
+		return
+	}
+	n.g.SetNodeUp(s, false)
+	n.NotifyTopology()
+	n.publishTopo(TopoEvent{Kind: SwitchFailed, Link: -1, Node: s})
+}
+
+// RecoverSwitch reverses FailSwitch. Incident links come back only if they
+// are administratively up (an explicitly failed cable stays failed). No-op
+// if the switch is up.
+func (n *Network) RecoverSwitch(s topology.NodeID) {
+	if n.g.Node(s).Kind != topology.Switch {
+		panic(fmt.Sprintf("netsim: RecoverSwitch on non-switch node %d (%s)", s, n.g.Node(s).Name))
+	}
+	if n.g.NodeUp(s) {
+		return
+	}
+	n.g.SetNodeUp(s, true)
+	n.NotifyTopology()
+	n.publishTopo(TopoEvent{Kind: SwitchRecovered, Link: -1, Node: s})
+}

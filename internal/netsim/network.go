@@ -180,6 +180,9 @@ type Network struct {
 	// background CBR load per link, bps (dense by LinkID).
 	background []float64
 
+	// topoSubs are the fault-plane subscribers (see faults.go).
+	topoSubs []func(TopoEvent)
+
 	// accounting
 	lastAdvance   sim.Time
 	linkBits      []float64 // data bits carried per link (excl. background)
@@ -454,6 +457,9 @@ func (n *Network) AllocModeSelected() AllocMode { return n.mode }
 // default incremental mode. The index is maintained either way, so the mode
 // can be flipped at any time. Used by golden-equivalence tests and benchmark
 // baselines; production callers never need it.
+//
+// Deprecated: call SetAllocMode directly (or pythia.WithAllocMode from the
+// facade). Kept as a thin wrapper for older harness code.
 func (n *Network) SetScanBaseline(on bool) {
 	if on {
 		n.SetAllocMode(AllocScan)

@@ -53,6 +53,19 @@ type Controller struct {
 	mgmt     *mgmtnet.Network
 	ctrlNode topology.NodeID
 	nextXID  uint32
+
+	// Control-plane fault model (see faults.go).
+	faults   FaultConfig
+	ctrlDown bool
+	txSeq    uint64
+	ctrlUpLs []func()
+	// Retransmissions counts timed-out FLOW_MODs that were re-sent,
+	// DroppedFlowMods the transmissions lost to injected faults or
+	// controller outage, and InstallFailures the rules abandoned after the
+	// retry budget ran out.
+	Retransmissions uint64
+	DroppedFlowMods uint64
+	InstallFailures uint64
 }
 
 // LoadSample is one link's state as of the last poll.
@@ -89,6 +102,19 @@ func NewController(eng *sim.Engine, net *netsim.Network, tableCapacity int) *Con
 		c.ControlBytes += float64(len(ofp10.Hello(0))) * 2
 		c.ControlBytes += float64(len(ofp10.PortStatsRequest(0)))
 	}
+	// Fault-plane events (netsim.FailLink/FailSwitch and recoveries) reach
+	// the controller immediately — they model the switch's asynchronous
+	// PORT_STATUS notification — while raw graph mutations are still only
+	// seen at poll granularity, like LLDP-driven discovery. Updating
+	// lastVer here keeps the next poll from double-firing the listeners.
+	net.SubscribeTopology(func(netsim.TopoEvent) {
+		if v := c.g.Version(); v != c.lastVer {
+			c.lastVer = v
+			for _, fn := range c.topoLs {
+				fn()
+			}
+		}
+	})
 	c.poll()
 	return c
 }
@@ -161,12 +187,18 @@ func (c *Controller) OnTopologyChange(fn func()) { c.topoLs = append(c.topoLs, f
 // FailLink takes a link down (fault injection). Traffic on the link starves
 // immediately; control-plane listeners hear about it at the next poll, as
 // with LLDP-driven discovery.
+//
+// Deprecated: use Network.FailLink, which downs the whole duplex pair and
+// notifies every fault-plane subscriber immediately. This single-direction,
+// poll-granularity variant remains for tests that exercise discovery lag.
 func (c *Controller) FailLink(l topology.LinkID) {
 	c.g.SetLinkUp(l, false)
 	c.net.NotifyTopology()
 }
 
 // RestoreLink brings a link back up.
+//
+// Deprecated: use Network.RecoverLink (see FailLink).
 func (c *Controller) RestoreLink(l topology.LinkID) {
 	c.g.SetLinkUp(l, true)
 	c.net.NotifyTopology()
@@ -190,20 +222,27 @@ func (c *Controller) InstallSteering(m Match, path topology.Path, priority int, 
 	c.install(m, path, priority, cookie, true, done)
 }
 
+// installStep is one rule installation on one switch along a path; a nil
+// switch marks a pure-ack round trip (no rule-bearing hops).
+type installStep struct {
+	sw  *Switch
+	out topology.LinkID
+}
+
 func (c *Controller) install(m Match, path topology.Path, priority int, cookie uint64, interSwitchOnly bool, done func(error)) {
-	type step struct {
-		sw  *Switch
-		out topology.LinkID
-	}
-	var steps []step
+	var steps []installStep
 	for _, lid := range path.Links {
 		l := c.g.Link(lid)
 		if sw, ok := c.switches[l.From]; ok {
 			if interSwitchOnly && c.g.Node(l.To).Kind != topology.Switch {
 				continue
 			}
-			steps = append(steps, step{sw, lid})
+			steps = append(steps, installStep{sw, lid})
 		}
+	}
+	if c.faults.InstallTimeout > 0 {
+		c.installFaulty(m, steps, priority, cookie, done)
+		return
 	}
 	if len(steps) == 0 {
 		if done != nil {
@@ -225,7 +264,7 @@ func (c *Controller) install(m Match, path topology.Path, priority int, cookie u
 		return
 	}
 	var firstErr error
-	apply := func(st step, last bool) {
+	apply := func(st installStep, last bool) {
 		err := st.sw.Install(FlowRule{Match: m, Out: st.out, Priority: priority, Cookie: cookie})
 		if err != nil && firstErr == nil {
 			firstErr = err

@@ -69,8 +69,15 @@ type Graph struct {
 	// entries in parallel[].
 	parallel map[[2]NodeID][]LinkID
 	reverse  map[LinkID]LinkID // duplex pairing
-	down     []bool            // indexed by LinkID
-	version  uint64            // bumped on topology change, lets routers cache
+	// down is the *effective* link state consulted by every routing query:
+	// a link is down when it was administratively failed (adminDown) or when
+	// either endpoint node is down (nodeDown). The split keeps the common
+	// read path a single []bool lookup while letting switch recovery avoid
+	// resurrecting links that were failed independently.
+	down      []bool // indexed by LinkID, effective state
+	adminDown []bool // indexed by LinkID, explicit SetLinkUp state
+	nodeDown  []bool // indexed by NodeID, SetNodeUp state
+	version   uint64 // bumped on topology change, lets routers cache
 	// sp is reusable shortest-path scratch (see paths.go). It makes the
 	// routing queries allocation-free but means a Graph must not be
 	// shared across goroutines; every simulation builds its own.
@@ -90,6 +97,7 @@ func (g *Graph) AddNode(kind NodeKind, name string, rack int) NodeID {
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Name: name, Rack: rack})
 	g.out = append(g.out, nil)
+	g.nodeDown = append(g.nodeDown, false)
 	g.version++
 	return id
 }
@@ -105,7 +113,8 @@ func (g *Graph) AddLink(from, to NodeID, capacityBps float64, name string) LinkI
 	}
 	id := LinkID(len(g.links))
 	g.links = append(g.links, Link{ID: id, From: from, To: to, CapacityBps: capacityBps, Name: name})
-	g.down = append(g.down, false)
+	g.down = append(g.down, g.nodeDown[from] || g.nodeDown[to])
+	g.adminDown = append(g.adminDown, false)
 	g.out[from] = append(g.out[from], id)
 	key := [2]NodeID{from, to}
 	g.parallel[key] = append(g.parallel[key], id)
@@ -196,24 +205,73 @@ func (g *Graph) Out(n NodeID) []LinkID {
 	return ls
 }
 
-// SetLinkUp marks a link up (true) or down (false). Downed links are
-// excluded from routing; the version counter is bumped so cached routing
-// graphs are invalidated, mirroring the paper's reliance on OpenDaylight
-// topology-update events for fault tolerance.
+// SetLinkUp marks a link administratively up (true) or down (false). Downed
+// links are excluded from routing; the version counter is bumped so cached
+// routing graphs are invalidated, mirroring the paper's reliance on
+// OpenDaylight topology-update events for fault tolerance. A link whose
+// endpoint switch is down stays effectively down regardless of its
+// administrative state.
 func (g *Graph) SetLinkUp(id LinkID, up bool) {
 	if id < 0 || int(id) >= len(g.links) {
 		panic(fmt.Sprintf("topology: unknown link %d", id))
 	}
-	if g.down[id] == !up {
+	if g.adminDown[id] == !up {
 		return
 	}
-	g.down[id] = !up
+	g.adminDown[id] = !up
+	if g.refreshLink(id) {
+		g.version++
+	}
+}
+
+// refreshLink recomputes the effective down state of one link and reports
+// whether it changed.
+func (g *Graph) refreshLink(id LinkID) bool {
+	l := g.links[id]
+	eff := g.adminDown[id] || g.nodeDown[l.From] || g.nodeDown[l.To]
+	if g.down[id] == eff {
+		return false
+	}
+	g.down[id] = eff
+	return true
+}
+
+// SetNodeUp marks a node up (true) or down (false). A down node takes every
+// incident link (both directions) effectively down with it; recovery brings
+// back only links that are not administratively failed. The version counter
+// is bumped on any state change so routing caches are invalidated.
+func (g *Graph) SetNodeUp(id NodeID, up bool) {
+	if !g.valid(id) {
+		panic(fmt.Sprintf("topology: unknown node %d", id))
+	}
+	if g.nodeDown[id] == !up {
+		return
+	}
+	g.nodeDown[id] = !up
+	for _, l := range g.links {
+		if l.From == id || l.To == id {
+			g.refreshLink(l.ID)
+		}
+	}
 	g.version++
 }
 
-// LinkUp reports whether the link is usable.
+// NodeUp reports whether the node is up.
+func (g *Graph) NodeUp(id NodeID) bool {
+	return !g.valid(id) || !g.nodeDown[id]
+}
+
+// LinkUp reports whether the link is usable (administratively up and both
+// endpoints up).
 func (g *Graph) LinkUp(id LinkID) bool {
 	return id < 0 || int(id) >= len(g.down) || !g.down[id]
+}
+
+// LinkAdminUp reports the administrative state alone, ignoring endpoint
+// node failures. Fault injectors use it to distinguish "down because the
+// switch died" from "down because this cable was failed".
+func (g *Graph) LinkAdminUp(id LinkID) bool {
+	return id < 0 || int(id) >= len(g.adminDown) || !g.adminDown[id]
 }
 
 // Version is a counter bumped on every topology mutation; routing caches key

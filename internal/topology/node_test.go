@@ -1,0 +1,93 @@
+package topology
+
+import "testing"
+
+// TestSetNodeUp: a down switch takes every incident link down with it, and
+// recovery restores only links that are administratively up.
+func TestSetNodeUp(t *testing.T) {
+	g := NewGraph()
+	h := g.AddNode(Host, "h0", 0)
+	s1 := g.AddNode(Switch, "s1", 0)
+	s2 := g.AddNode(Switch, "s2", 1)
+	hf, hr := g.AddDuplex(h, s1, Gbps, "host")
+	tf, tr := g.AddDuplex(s1, s2, Gbps, "trunk")
+
+	if !g.NodeUp(s1) {
+		t.Fatal("fresh node reports down")
+	}
+	v0 := g.Version()
+	g.SetNodeUp(s1, false)
+	if g.Version() == v0 {
+		t.Fatal("node failure did not bump the version")
+	}
+	for _, l := range []LinkID{hf, hr, tf, tr} {
+		if g.LinkUp(l) {
+			t.Fatalf("link %d still up with endpoint switch down", l)
+		}
+		if !g.LinkAdminUp(l) {
+			t.Fatalf("link %d admin state corrupted by node failure", l)
+		}
+	}
+
+	// Fail the trunk explicitly while the switch is down; recovery of the
+	// switch must not resurrect it.
+	g.SetLinkUp(tf, false)
+	g.SetNodeUp(s1, true)
+	if !g.LinkUp(hf) || !g.LinkUp(hr) || !g.LinkUp(tr) {
+		t.Fatal("switch recovery did not restore admin-up links")
+	}
+	if g.LinkUp(tf) {
+		t.Fatal("switch recovery resurrected an admin-down link")
+	}
+	g.SetLinkUp(tf, true)
+	if !g.LinkUp(tf) {
+		t.Fatal("link recovery failed")
+	}
+}
+
+// TestSetNodeUpNoOpAndRouting: redundant transitions do not bump the
+// version, and shortest paths route around a down switch.
+func TestSetNodeUpNoOpAndRouting(t *testing.T) {
+	g, hosts := LeafSpine(2, 2, 1, Gbps)
+	spines := []NodeID{}
+	for _, n := range g.Nodes() {
+		if n.Kind == Switch && n.Rack < 0 {
+			spines = append(spines, n.ID)
+		}
+	}
+	if len(spines) != 2 {
+		t.Fatalf("expected 2 spines, got %d", len(spines))
+	}
+	g.SetNodeUp(spines[0], false)
+	v := g.Version()
+	g.SetNodeUp(spines[0], false) // no-op
+	if g.Version() != v {
+		t.Fatal("redundant SetNodeUp bumped the version")
+	}
+	p, ok := g.ShortestPath(hosts[0], hosts[1], nil, nil)
+	if !ok {
+		t.Fatal("no path despite a surviving spine")
+	}
+	for _, l := range p.Links {
+		lk := g.Link(l)
+		if lk.From == spines[0] || lk.To == spines[0] {
+			t.Fatal("path routed through the failed spine")
+		}
+	}
+	// Admin-down link state survives a node bounce in the SetLinkUp
+	// no-version-change case: admin change under a node-down link must not
+	// bump the version (effective state unchanged).
+	var inc LinkID = -1
+	for _, l := range g.Links() {
+		if l.From == spines[1] || l.To == spines[1] {
+			inc = l.ID
+			break
+		}
+	}
+	g.SetNodeUp(spines[1], false)
+	v = g.Version()
+	g.SetLinkUp(inc, false) // effectively down already
+	if g.Version() != v {
+		t.Fatal("admin change with unchanged effective state bumped the version")
+	}
+}

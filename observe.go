@@ -1,0 +1,103 @@
+package pythia
+
+import (
+	"pythia/internal/netflow"
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// Fabric introspection: enough surface to target faults and read link-level
+// telemetry without importing internal packages.
+
+// Trunks returns the fail-candidate cables of the fabric (forward-direction
+// link IDs): the designated inter-rack trunks on the two-rack shape, or
+// every switch-to-switch cable on other topologies, in ID order.
+func (c *Cluster) Trunks() []LinkID {
+	if len(c.trunks) > 0 {
+		return append([]LinkID(nil), c.trunks...)
+	}
+	var out []LinkID
+	for _, l := range c.g.Links() {
+		if c.g.Node(l.From).Kind != topology.Switch || c.g.Node(l.To).Kind != topology.Switch {
+			continue
+		}
+		// One entry per duplex cable: keep the lower-ID direction.
+		if r, ok := c.g.Reverse(l.ID); ok && r < l.ID {
+			continue
+		}
+		out = append(out, l.ID)
+	}
+	return out
+}
+
+// Switches lists the fabric's switches in ID order — the valid targets for
+// FailSwitch.
+func (c *Cluster) Switches() []SwitchInfo {
+	var out []SwitchInfo
+	for _, id := range c.g.Switches() {
+		n := c.g.Node(id)
+		out = append(out, SwitchInfo{ID: id, Name: n.Name, Rack: n.Rack})
+	}
+	return out
+}
+
+// LinkName returns the cable's human-readable name.
+func (c *Cluster) LinkName(l LinkID) string { return c.g.Link(l).Name }
+
+// SwitchName returns the switch's human-readable name.
+func (c *Cluster) SwitchName(s SwitchID) string { return c.g.Node(s).Name }
+
+// LinkCarriedGB reports the data gigabytes a cable carried so far, summing
+// both directions and excluding background traffic.
+func (c *Cluster) LinkCarriedGB(l LinkID) float64 {
+	bits := c.net.LinkBits(l)
+	if r, ok := c.g.Reverse(l); ok {
+		bits += c.net.LinkBits(r)
+	}
+	return bits / 8 / 1e9
+}
+
+// ProbeSample is one link-load observation.
+type ProbeSample struct {
+	// TSec is the sample time in simulated seconds.
+	TSec float64
+	// Utilization is the fraction of capacity in use (background + flows).
+	Utilization float64
+	// ShuffleBps is the shuffle-flow portion of the load in bits/s.
+	ShuffleBps float64
+}
+
+// Probe samples selected links periodically (NetFlow-style telemetry).
+type Probe struct {
+	p *netflow.LinkProbe
+	g *topology.Graph
+}
+
+// Probe starts sampling the given cables (both directions of each) every
+// periodSec simulated seconds. Start probes before RunJobs.
+func (c *Cluster) Probe(periodSec float64, links ...LinkID) *Probe {
+	var ls []topology.LinkID
+	for _, l := range links {
+		ls = append(ls, l)
+		if r, ok := c.g.Reverse(l); ok {
+			ls = append(ls, r)
+		}
+	}
+	return &Probe{p: netflow.NewLinkProbe(c.eng, c.net, ls, sim.Duration(periodSec)), g: c.g}
+}
+
+// Series returns the samples recorded for one direction of a cable (pass
+// the ID given to Probe for the forward direction).
+func (p *Probe) Series(l LinkID) []ProbeSample {
+	var out []ProbeSample
+	for _, s := range p.p.Series(l) {
+		out = append(out, ProbeSample{TSec: float64(s.T), Utilization: s.Utilization, ShuffleBps: s.ShuffleBps})
+	}
+	return out
+}
+
+// MeanUtilization averages a link's sampled utilization.
+func (p *Probe) MeanUtilization(l LinkID) float64 { return p.p.MeanUtilization(l) }
+
+// PeakShuffleBps returns the largest sampled shuffle rate on a link.
+func (p *Probe) PeakShuffleBps(l LinkID) float64 { return p.p.PeakShuffleBps(l) }

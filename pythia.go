@@ -86,6 +86,11 @@ type config struct {
 	incastThreshold int
 	incastFactor    float64
 	incastFloor     float64
+
+	topo      *TopologySpec
+	allocMode *AllocMode
+	cpFaults  *ControlPlaneFaults
+	deadline  float64
 }
 
 // Option customizes a Cluster.
@@ -154,6 +159,13 @@ func WithHDFS() Option { return func(c *config) { c.hdfs = true } }
 // latencies — the complete §III architecture.
 func WithExplicitControlPlane() Option { return func(c *config) { c.explicitCP = true } }
 
+// WithDeadline bounds a TryRunJobs run to the given simulated seconds.
+// Without it, a run that cannot make progress — e.g. a partitioned network
+// with a reducer forever retrying an unroutable fetch — would loop in
+// virtual time; with it, TryRunJobs stops at the deadline and reports the
+// incomplete jobs as an error.
+func WithDeadline(sec float64) Option { return func(c *config) { c.deadline = sec } }
+
 // WithIncast enables the TCP many-to-one goodput-collapse model at receiver
 // edge links: beyond threshold concurrent incoming flows, capacity degrades
 // by factor per extra flow, floored at floorFrac of nominal. Models the
@@ -172,13 +184,25 @@ func WithIncast(threshold int, factor, floorFrac float64) Option {
 type Cluster struct {
 	eng      *sim.Engine
 	net      *netsim.Network
+	g        *topology.Graph
+	hosts    []topology.NodeID
+	trunks   []topology.LinkID
 	cluster  *hadoop.Cluster
 	mw       *instrument.Middleware
 	ofc      *openflow.Controller
 	py       *core.Pythia
+	al       *ecmp.Allocator // plain-ECMP scheduler only
+	hed      *hedera.Scheduler
 	recorder *trace.Recorder
 	fs       *hdfs.FileSystem
 	kind     SchedulerKind
+	deadline float64
+
+	// Per-job rule accounting: rules installed between two job
+	// completions are attributed to the later job, so JobResult reports
+	// deltas instead of the controller's cumulative counter.
+	jobRules  map[int]uint64
+	rulesSeen uint64
 }
 
 // New builds a cluster on the paper's two-rack testbed topology.
@@ -194,14 +218,31 @@ func New(opts ...Option) *Cluster {
 		o(&cfg)
 	}
 	eng := sim.NewEngine()
-	g, hosts, trunks := topology.TwoRack(cfg.hostsPerRack, cfg.trunks, cfg.linkBps)
+	var (
+		g      *topology.Graph
+		hosts  []topology.NodeID
+		trunks []topology.LinkID
+	)
+	if cfg.topo != nil {
+		g, hosts, trunks = cfg.topo.build(cfg.linkBps)
+		cfg.hostsPerRack = cfg.topo.hostsPerRack
+	} else {
+		g, hosts, trunks = topology.TwoRack(cfg.hostsPerRack, cfg.trunks, cfg.linkBps)
+	}
 	net := netsim.New(eng, g)
+	if cfg.allocMode != nil {
+		net.SetAllocMode(*cfg.allocMode)
+	}
 	applyBackground(net, trunks, cfg)
 	if cfg.incastThreshold > 0 {
 		net.EnableIncast(cfg.incastThreshold, cfg.incastFactor, cfg.incastFloor)
 	}
 
-	c := &Cluster{eng: eng, net: net, kind: cfg.scheduler}
+	c := &Cluster{
+		eng: eng, net: net, g: g, hosts: hosts, trunks: trunks,
+		kind: cfg.scheduler, deadline: cfg.deadline,
+		jobRules: make(map[int]uint64),
+	}
 	var resolver hadoop.PathResolver
 	var sink instrument.Sink = dropSink{}
 	var mn *mgmtnet.Network
@@ -210,31 +251,54 @@ func New(opts ...Option) *Cluster {
 		mn = mgmtnet.New(eng, mgmtnet.Config{})
 		icfg.Mgmt = mn
 	}
+	// Richer fabrics have more equal-cost diversity than the two trunks of
+	// the default testbed; let ECMP spread across it.
+	ecmpK := 2
+	if cfg.topo != nil {
+		ecmpK = 4
+	}
 	switch cfg.scheduler {
 	case SchedulerECMP:
-		resolver = ecmp.New(g, 2, cfg.seed)
+		c.al = ecmp.New(g, ecmpK, cfg.seed)
+		// Fault plane: re-hash in-flight shuffle flows off dead paths.
+		c.al.AttachNetwork(net, netsim.Shuffle)
+		resolver = c.al
 	case SchedulerPythia:
 		c.ofc = openflow.NewController(eng, net, 0)
 		if mn != nil {
 			c.ofc.SetManagementNetwork(mn, topology.NodeID(-1))
 		}
+		if cfg.cpFaults != nil {
+			c.ofc.SetFaults(cfg.cpFaults.toInternal())
+		}
 		c.py = core.New(eng, net, c.ofc, cfg.pythiaCfg.EnableAggregation())
 		resolver = c.ofc
 		sink = c.py
 	case SchedulerHedera:
-		resolver = hedera.New(eng, net, cfg.seed, hedera.Config{})
+		c.hed = hedera.New(eng, net, cfg.seed, hedera.Config{})
+		resolver = c.hed
 	default:
 		panic(fmt.Sprintf("pythia: unknown scheduler %v", cfg.scheduler))
 	}
 	c.cluster = hadoop.NewCluster(eng, net, hosts, resolver, cfg.hadoopCfg)
+	c.cluster.OnJobDone(func(j *hadoop.Job) {
+		if c.ofc == nil {
+			return
+		}
+		c.jobRules[j.ID] = c.ofc.RulesInstalled - c.rulesSeen
+		c.rulesSeen = c.ofc.RulesInstalled
+	})
 	c.mw = instrument.Attach(eng, c.cluster, sink, icfg)
 	if cfg.record {
 		c.recorder = trace.Attach(eng, c.cluster)
 	}
 	if cfg.hdfs {
 		// HDFS traffic always rides the default pipeline (distinct hash
-		// salt so it does not mirror the shuffle's ECMP draws).
-		c.fs = hdfs.New(eng, net, hosts, ecmp.New(g, 2, cfg.seed^0xD47A), hdfs.Config{}, cfg.seed)
+		// salt so it does not mirror the shuffle's ECMP draws); its own
+		// allocator rescues stranded storage flows on topology events.
+		hal := ecmp.New(g, ecmpK, cfg.seed^0xD47A)
+		hal.AttachNetwork(net, netsim.Storage)
+		c.fs = hdfs.New(eng, net, hosts, hal, hdfs.Config{}, cfg.seed)
 		c.cluster.SetOutputSink(c.fs)
 	}
 	return c
@@ -305,43 +369,74 @@ type JobResult struct {
 	RulesInstalled uint64
 }
 
-// RunJob submits the spec and drives the simulation until it completes.
+// RunJob submits the spec and drives the simulation until it completes. It
+// panics on submission errors and starved jobs; use TryRunJob when
+// injecting faults that may legitimately prevent completion.
 func (c *Cluster) RunJob(spec *JobSpec) JobResult {
 	rs := c.RunJobs(spec)
 	return rs[0]
 }
 
-// RunJobs submits several jobs at once (they contend for task slots and
+// RunJobs is TryRunJobs with the legacy panic-on-failure contract.
+func (c *Cluster) RunJobs(specs ...*JobSpec) []JobResult {
+	out, err := c.TryRunJobs(specs...)
+	if err != nil {
+		panic(fmt.Sprintf("pythia: %v", err))
+	}
+	return out
+}
+
+// TryRunJob is RunJob returning an error instead of panicking.
+func (c *Cluster) TryRunJob(spec *JobSpec) (JobResult, error) {
+	rs, err := c.TryRunJobs(spec)
+	if len(rs) == 0 {
+		return JobResult{}, err
+	}
+	return rs[0], err
+}
+
+// TryRunJobs submits several jobs at once (they contend for task slots and
 // network like co-scheduled production jobs — Pythia's collector tracks
 // each job's predictions independently) and runs the simulation until all
-// complete. Results are returned in submission order.
-func (c *Cluster) RunJobs(specs ...*JobSpec) []JobResult {
+// complete or the WithDeadline bound is hit. Results are returned in
+// submission order; jobs that did not finish are reported in the error and
+// have a zero JobResult. Each result's RulesInstalled is the job's own
+// delta of controller rule installs, not the cumulative counter.
+func (c *Cluster) TryRunJobs(specs ...*JobSpec) ([]JobResult, error) {
 	jobs := make([]*hadoop.Job, len(specs))
 	for i, spec := range specs {
 		job, err := c.cluster.Submit(spec)
 		if err != nil {
-			panic(fmt.Sprintf("pythia: %v", err))
+			return nil, fmt.Errorf("submit %q: %w", spec.Name, err)
 		}
 		jobs[i] = job
 	}
-	c.eng.Run()
+	if c.deadline > 0 {
+		c.eng.RunUntil(sim.Time(c.deadline))
+	} else {
+		c.eng.Run()
+	}
 	out := make([]JobResult, len(specs))
+	var starved []string
 	for i, job := range jobs {
 		if !job.Done {
-			panic("pythia: job did not complete (starved network?)")
+			starved = append(starved, specs[i].Name)
+			continue
 		}
 		out[i] = JobResult{
-			Name:         specs[i].Name,
-			DurationSec:  float64(job.Duration()),
-			MapPhaseSec:  float64(job.MapPhaseEnd.Sub(job.Submitted)),
-			ShuffleSec:   float64(job.ShuffleEnd.Sub(job.Submitted)),
-			ShuffleBytes: specs[i].TotalShuffleBytes(),
-		}
-		if c.ofc != nil {
-			out[i].RulesInstalled = c.ofc.RulesInstalled
+			Name:           specs[i].Name,
+			DurationSec:    float64(job.Duration()),
+			MapPhaseSec:    float64(job.MapPhaseEnd.Sub(job.Submitted)),
+			ShuffleSec:     float64(job.ShuffleEnd.Sub(job.Submitted)),
+			ShuffleBytes:   specs[i].TotalShuffleBytes(),
+			RulesInstalled: c.jobRules[job.ID],
 		}
 	}
-	return out
+	if len(starved) > 0 {
+		return out, fmt.Errorf("%d of %d jobs did not complete (starved network or deadline hit): %v",
+			len(starved), len(jobs), starved)
+	}
+	return out, nil
 }
 
 // SequenceDiagram renders the recorded job as an ASCII Gantt chart, width
@@ -429,11 +524,16 @@ func SaveJobSpec(spec *JobSpec) ([]byte, error) { return workload.MarshalSpec(sp
 // LoadJobSpec parses and validates a serialized job spec.
 func LoadJobSpec(data []byte) (*JobSpec, error) { return workload.UnmarshalSpec(data) }
 
-// Compare runs the same job spec under two schedulers on identical clusters
-// and returns (timeA, timeB, speedupOfBOverA).
-func Compare(spec *JobSpec, a, b SchedulerKind, oversub int, seed uint64) (float64, float64, float64) {
+// Compare runs the same job spec under two schedulers on identically
+// configured clusters and returns (timeA, timeB, speedupOfBOverA). Any
+// Option applies to both runs — topology, oversubscription, seed, faults —
+// so comparisons are no longer limited to the default two-rack shape:
+//
+//	ta, tb, sp := pythia.Compare(spec, pythia.SchedulerECMP, pythia.SchedulerPythia,
+//	    pythia.WithOversubscription(10), pythia.WithSeed(7))
+func Compare(spec *JobSpec, a, b SchedulerKind, opts ...Option) (float64, float64, float64) {
 	run := func(k SchedulerKind) float64 {
-		cl := New(WithScheduler(k), WithOversubscription(oversub), WithSeed(seed))
+		cl := New(append(append([]Option(nil), opts...), WithScheduler(k))...)
 		return cl.RunJob(spec).DurationSec
 	}
 	ta, tb := run(a), run(b)
@@ -442,4 +542,11 @@ func Compare(spec *JobSpec, a, b SchedulerKind, oversub int, seed uint64) (float
 		speedup = (ta - tb) / tb
 	}
 	return ta, tb, speedup
+}
+
+// CompareOversub is the pre-variadic Compare signature.
+//
+// Deprecated: call Compare with WithOversubscription and WithSeed options.
+func CompareOversub(spec *JobSpec, a, b SchedulerKind, oversub int, seed uint64) (float64, float64, float64) {
+	return Compare(spec, a, b, WithOversubscription(oversub), WithSeed(seed))
 }

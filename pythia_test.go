@@ -42,7 +42,7 @@ func TestRunJobAllSchedulers(t *testing.T) {
 
 func TestPythiaFasterUnderLoad(t *testing.T) {
 	spec := SortJob(4*GB, 8, 3)
-	ecmpT, pyT, speedup := Compare(spec, SchedulerECMP, SchedulerPythia, 20, 3)
+	ecmpT, pyT, speedup := Compare(spec, SchedulerECMP, SchedulerPythia, WithOversubscription(20), WithSeed(3))
 	if pyT >= ecmpT {
 		t.Fatalf("Pythia (%.1fs) not faster than ECMP (%.1fs)", pyT, ecmpT)
 	}

@@ -1,0 +1,103 @@
+package pythia
+
+import (
+	"fmt"
+
+	"pythia/internal/netsim"
+	"pythia/internal/topology"
+)
+
+// LinkID identifies a directed fabric link on the facade. Duplex cables are
+// two directed links; facade fault methods operate on whole cables, so
+// either direction's ID names the cable.
+type LinkID = topology.LinkID
+
+// SwitchID identifies a switch node on the facade.
+type SwitchID = topology.NodeID
+
+// SwitchInfo describes one switch of the cluster fabric.
+type SwitchInfo struct {
+	ID   SwitchID
+	Name string
+	// Rack is the rack a ToR switch serves; -1 for spine/core switches.
+	Rack int
+}
+
+// AllocMode selects the network's max-min allocation engine. All modes
+// produce bit-identical schedules (golden-tested); they differ only in
+// asymptotic cost, which matters for large-fabric benchmarks.
+type AllocMode = netsim.AllocMode
+
+const (
+	// AllocIncremental (the default) coalesces each simulated instant's
+	// mutations into one component-scoped allocation pass.
+	AllocIncremental = netsim.AllocIncremental
+	// AllocIndexed runs an eager indexed full pass after every mutation.
+	AllocIndexed = netsim.AllocIndexed
+	// AllocScan is the original reference implementation (full rescans).
+	AllocScan = netsim.AllocScan
+)
+
+// WithAllocMode selects the allocation engine (default AllocIncremental).
+// Benchmarks use it to compare allocator generations without reaching into
+// internal packages.
+func WithAllocMode(m AllocMode) Option { return func(c *config) { c.allocMode = &m } }
+
+// TopologySpec names a fabric shape for WithTopology. Build one with
+// TwoRackTopology, LeafSpineTopology or FatTreeTopology.
+type TopologySpec struct {
+	name         string
+	hostsPerRack int
+	build        func(linkBps float64) (*topology.Graph, []topology.NodeID, []topology.LinkID)
+}
+
+// Name returns a human-readable description of the shape.
+func (t TopologySpec) Name() string { return t.name }
+
+// TwoRackTopology is the paper's evaluation fabric: two ToR switches, each
+// serving hostsPerRack servers, joined by trunks parallel cables. This is
+// the default (hostsPerRack=5, trunks=2) and the only shape
+// WithOversubscription's background-traffic model applies to.
+func TwoRackTopology(hostsPerRack, trunks int) TopologySpec {
+	return TopologySpec{
+		name:         fmt.Sprintf("two-rack(%d hosts/rack, %d trunks)", hostsPerRack, trunks),
+		hostsPerRack: hostsPerRack,
+		build: func(linkBps float64) (*topology.Graph, []topology.NodeID, []topology.LinkID) {
+			return topology.TwoRack(hostsPerRack, trunks, linkBps)
+		},
+	}
+}
+
+// LeafSpineTopology is a two-tier Clos fabric: leaves ToR switches, each
+// serving hostsPerRack servers, with every leaf cabled to every one of
+// spines spine switches. Spine redundancy makes it the natural shape for
+// switch-failure experiments.
+func LeafSpineTopology(leaves, spines, hostsPerRack int) TopologySpec {
+	return TopologySpec{
+		name:         fmt.Sprintf("leaf-spine(%d leaves, %d spines, %d hosts/rack)", leaves, spines, hostsPerRack),
+		hostsPerRack: hostsPerRack,
+		build: func(linkBps float64) (*topology.Graph, []topology.NodeID, []topology.LinkID) {
+			g, hosts := topology.LeafSpine(leaves, spines, hostsPerRack, linkBps)
+			return g, hosts, nil
+		},
+	}
+}
+
+// FatTreeTopology is a k-ary fat-tree (k even) with hostsPerEdge servers
+// per edge switch — the scale shape of the benchmark suite.
+func FatTreeTopology(k, hostsPerEdge int) TopologySpec {
+	return TopologySpec{
+		name:         fmt.Sprintf("fat-tree(k=%d, %d hosts/edge)", k, hostsPerEdge),
+		hostsPerRack: hostsPerEdge,
+		build: func(linkBps float64) (*topology.Graph, []topology.NodeID, []topology.LinkID) {
+			g, hosts := topology.FatTree(k, hostsPerEdge, linkBps)
+			return g, hosts, nil
+		},
+	}
+}
+
+// WithTopology replaces the default two-rack fabric. It overrides
+// WithHostsPerRack and WithTrunks; WithLinkRateGbps still applies.
+// WithOversubscription's trunk background model only applies to two-rack
+// shapes (other fabrics have no designated trunk pair to load).
+func WithTopology(t TopologySpec) Option { return func(c *config) { c.topo = &t } }
