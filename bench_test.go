@@ -280,6 +280,15 @@ func BenchmarkScaleFatTree(b *testing.B) {
 				}
 				b.ReportMetric(res.JobSec, "sim-job-s")
 				b.ReportMetric(float64(len(res.FlowHistory)), "flows")
+				// Prediction-plane robustness counters ride along in the
+				// artifact; a healthy scale run must keep them at zero.
+				f := res.Faults
+				b.ReportMetric(float64(f.DedupHits+f.DuplicateIntents), "dup-intents")
+				b.ReportMetric(float64(f.ExpiredBookings+f.ExpiredIntents), "expired-bookings")
+				b.ReportMetric(float64(f.LateIntents+f.InFlightDropped), "late-intents")
+				if f != (bench.FaultCounters{}) {
+					b.Fatalf("healthy scale run recorded faults: %+v", f)
+				}
 			})
 		}
 	}

@@ -1,6 +1,8 @@
 package pythia
 
 import (
+	"pythia/internal/instrument"
+	"pythia/internal/mgmtnet"
 	"pythia/internal/openflow"
 	"pythia/internal/sim"
 )
@@ -108,6 +110,134 @@ func (f ControlPlaneFaults) toInternal() openflow.FaultConfig {
 	return cfg
 }
 
+// MgmtFaults models the management star's unreliability — the prediction
+// plane's transport. Faults are drawn from a dedicated seeded stream, so
+// runs stay bit-identical per seed; the zero value is the perfectly
+// reliable legacy fabric.
+type MgmtFaults struct {
+	// DropProb is the per-message loss probability; DupProb the probability
+	// a message is delivered twice (the retransmit-storm shape the
+	// collector's idempotence guards against).
+	DropProb float64
+	DupProb  float64
+	// ExtraDelaySec is added to every delivery; JitterMaxSec adds a uniform
+	// [0, JitterMaxSec) per-delivery delay on top.
+	ExtraDelaySec float64
+	JitterMaxSec  float64
+	// Seed fixes the fault stream (0 is a valid seed).
+	Seed uint64
+	// DeferDuringOutage queues sends attempted while the star is down
+	// (FailMgmt) and releases them FIFO on RecoverMgmt; by default such
+	// sends are dropped, as with a rebooting management switch.
+	DeferDuringOutage bool
+}
+
+func (f MgmtFaults) toInternal() mgmtnet.FaultConfig {
+	return mgmtnet.FaultConfig{
+		DropProb:          f.DropProb,
+		DupProb:           f.DupProb,
+		ExtraDelay:        sim.Duration(f.ExtraDelaySec),
+		JitterMax:         sim.Duration(f.JitterMaxSec),
+		Seed:              f.Seed,
+		DeferDuringOutage: f.DeferDuringOutage,
+	}
+}
+
+// WithMgmtFaults installs the management-network fault model. It implies
+// WithExplicitControlPlane: there is no management network to fault under
+// the fixed-latency shortcut.
+func WithMgmtFaults(f MgmtFaults) Option {
+	return func(c *config) { c.mgmtFaults = &f }
+}
+
+// MonitorFaults models per-host instrumentation-monitor crashes. While a
+// monitor is down its host's spill notifications and reducer starts are
+// missed; on restart the monitor re-scans the spill directory and emits the
+// backlog as late, batched intents.
+type MonitorFaults struct {
+	// CrashProb is drawn once per spill notification: on a hit, the host's
+	// monitor dies just before processing it.
+	CrashProb float64
+	// DowntimeSec is how long a crashed monitor stays down before its
+	// supervisor restarts it (default 10 s).
+	DowntimeSec float64
+	// Seed fixes the crash stream.
+	Seed uint64
+}
+
+func (f MonitorFaults) toInternal() instrument.MonitorFaultConfig {
+	return instrument.MonitorFaultConfig{
+		CrashProb: f.CrashProb,
+		Downtime:  sim.Duration(f.DowntimeSec),
+		Seed:      f.Seed,
+	}
+}
+
+// WithMonitorFaults enables seeded per-host monitor crash/restart.
+func WithMonitorFaults(f MonitorFaults) Option {
+	return func(c *config) { c.monFaults = &f }
+}
+
+// WithPredictionError injects seeded multiplicative noise into every
+// per-reducer predicted wire size: each positive prediction is scaled by a
+// uniform factor in [1-f, 1+f). The paper's Fig. 5 regime is a systematic
+// 3–7% overestimate; this knob measures how scheduling quality degrades as
+// estimates get noisier. factor 0 disables the noise entirely (bit-identical
+// to the exact pipeline).
+func WithPredictionError(factor float64, seed uint64) Option {
+	return func(c *config) {
+		c.predErrFactor = factor
+		c.predErrSeed = seed
+	}
+}
+
+// WithBookingTTL garbage-collects Pythia bookings and deferred intents whose
+// flows never materialize — a lost ReducerUp, a dead job, a JobDone dropped
+// on the management network — releasing their path reservations after sec
+// simulated seconds. 0 disables the sweep. Only meaningful under
+// SchedulerPythia.
+func WithBookingTTL(sec float64) Option {
+	return func(c *config) { c.bookingTTLSec = sec }
+}
+
+// FailMgmt downs the whole management star (the management switch reboots):
+// prediction notifications, reducer-up events, job-done messages and — under
+// the explicit control plane — FLOW_MODs sent during the outage are dropped,
+// or deferred under MgmtFaults.DeferDuringOutage. Messages already on the
+// wire still arrive. No-op unless the cluster has a management network
+// (WithExplicitControlPlane or WithMgmtFaults).
+func (c *Cluster) FailMgmt() {
+	if c.mn != nil {
+		c.mn.Fail()
+	}
+}
+
+// RecoverMgmt brings the management star back, releasing any deferred sends
+// in FIFO order.
+func (c *Cluster) RecoverMgmt() {
+	if c.mn != nil {
+		c.mn.Recover()
+	}
+}
+
+// CrashMonitor kills the instrumentation monitor on the i-th host (scripted
+// fault injection). If WithMonitorFaults configured a downtime the
+// supervisor restarts it automatically; otherwise call RestartMonitor.
+func (c *Cluster) CrashMonitor(hostIndex int) {
+	c.mw.CrashMonitor(c.hosts[hostIndex])
+}
+
+// RestartMonitor restarts the i-th host's monitor: the fresh process
+// re-scans the spill directory and emits missed predictions as late,
+// batched intents.
+func (c *Cluster) RestartMonitor(hostIndex int) {
+	c.mw.RestartMonitor(c.hosts[hostIndex])
+}
+
+// NumHosts reports the cluster's server count (valid CrashMonitor indices
+// are [0, NumHosts)).
+func (c *Cluster) NumHosts() int { return len(c.hosts) }
+
 // FaultReport summarizes the failure plane's activity so far.
 type FaultReport struct {
 	// Retransmissions counts timed-out FLOW_MODs that were re-sent and
@@ -120,6 +250,39 @@ type FaultReport struct {
 	AggregatesDegraded int
 	Reconciliations    int
 	FlowsRescued       int
+
+	// Management-network telemetry (explicit control plane only):
+	// MgmtMessages/MgmtBytes count traffic put on the wire toward delivery,
+	// MgmtMaxQueueDelaySec is the worst per-sender serialization wait, and
+	// MgmtDropped/MgmtDuplicated/MgmtDeferred count injected-fault and
+	// outage casualties.
+	MgmtMessages         uint64
+	MgmtBytes            float64
+	MgmtMaxQueueDelaySec float64
+	MgmtDropped          uint64
+	MgmtDuplicated       uint64
+	MgmtDeferred         uint64
+
+	// Prediction-plane fault counters: monitor deaths, spill notifications
+	// lost while down, predictions recovered by restart re-scans, and
+	// control messages discarded because their job finished while they were
+	// in flight.
+	MonitorCrashes  int
+	MissedSpills    int
+	LateIntents     int
+	InFlightDropped int
+
+	// Collector defenses: DedupHits counts exact duplicate intents dropped
+	// by the (job, map, attempt) idempotence set, DuplicateIntents the
+	// cross-attempt re-predictions absorbed by booking replacement, and
+	// ExpiredBookings/ExpiredIntents the reservations reclaimed by the
+	// booking TTL. LeakedBookings is the number of reservations still held
+	// for completed jobs — zero in a healthy or TTL-protected run.
+	DedupHits        int
+	DuplicateIntents int
+	ExpiredBookings  int
+	ExpiredIntents   int
+	LeakedBookings   int
 }
 
 // Faults reports the cluster's fault-plane counters (zero for schedulers
@@ -134,7 +297,26 @@ func (c *Cluster) Faults() FaultReport {
 		r.AggregatesDegraded = c.py.AggregatesDegraded
 		r.Reconciliations = c.py.Reconciliations
 		r.FlowsRescued = c.py.FlowsRescued
+		r.DedupHits = c.py.DedupHits
+		r.DuplicateIntents = c.py.DuplicateIntents
+		r.ExpiredBookings = c.py.ExpiredBookings
+		r.ExpiredIntents = c.py.ExpiredIntents
+		for _, job := range c.doneJobs {
+			r.LeakedBookings += c.py.OutstandingBookings(job)
+		}
 	}
+	if c.mn != nil {
+		r.MgmtMessages = c.mn.Messages
+		r.MgmtBytes = c.mn.Bytes
+		r.MgmtMaxQueueDelaySec = float64(c.mn.MaxQueueDelay)
+		r.MgmtDropped = c.mn.Dropped
+		r.MgmtDuplicated = c.mn.Duplicated
+		r.MgmtDeferred = c.mn.Deferred
+	}
+	r.MonitorCrashes = c.mw.MonitorCrashes
+	r.MissedSpills = c.mw.MissedSpills
+	r.LateIntents = c.mw.LateIntents
+	r.InFlightDropped = c.mw.InFlightDropped
 	if c.al != nil {
 		r.FlowsRescued += c.al.FlowsRescued
 	}

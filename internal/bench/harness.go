@@ -171,11 +171,33 @@ type TrialResult struct {
 	RulesInstalled uint64
 	HederaMoves    int
 	Overhead       instrument.OverheadReport
+	// Faults carries the prediction-plane robustness counters; all zero on
+	// a healthy run.
+	Faults FaultCounters
 	// Fig. 5 capture (CollectPrediction only).
 	Prediction *PredictionCapture
 	// FlowHistory lists every completed flow in completion order
 	// (CollectFlowHistory only).
 	FlowHistory []FlowRecord
+}
+
+// FaultCounters aggregates one trial's prediction-plane fault and recovery
+// accounting: collector dedup and TTL reclamation, monitor crash recovery,
+// and management-network message faults. The scale-benchmark artifact
+// includes these so the robustness trajectory stays comparable across
+// revisions — a healthy run must keep them all at zero.
+type FaultCounters struct {
+	DedupHits        int
+	DuplicateIntents int
+	ExpiredBookings  int
+	ExpiredIntents   int
+	MonitorCrashes   int
+	MissedSpills     int
+	LateIntents      int
+	InFlightDropped  int
+	MgmtDropped      uint64
+	MgmtDuplicated   uint64
+	MgmtDeferred     uint64
 }
 
 // FlowRecord is one completed flow's identity and exact timing, used to
@@ -282,6 +304,7 @@ func RunTrial(cfg TrialConfig) TrialResult {
 	var resolver hadoop.PathResolver
 	var ofc *openflow.Controller
 	var hed *hedera.Scheduler
+	var py *core.Pythia
 	var sink instrument.Sink = nullSink{}
 	var mn *mgmtnet.Network
 	if cfg.ExplicitControlPlane {
@@ -299,7 +322,7 @@ func RunTrial(cfg TrialConfig) TrialResult {
 		if mn != nil {
 			ofc.SetManagementNetwork(mn, topology.NodeID(-1))
 		}
-		py := core.New(eng, net, ofc, cfg.PythiaCfg)
+		py = core.New(eng, net, ofc, cfg.PythiaCfg)
 		if alloc == netsim.AllocScan {
 			py.SetScanBaseline(true)
 		}
@@ -342,6 +365,23 @@ func RunTrial(cfg TrialConfig) TrialResult {
 	}
 	if ofc != nil {
 		res.RulesInstalled = ofc.RulesInstalled
+	}
+	res.Faults = FaultCounters{
+		MonitorCrashes:  mw.MonitorCrashes,
+		MissedSpills:    mw.MissedSpills,
+		LateIntents:     mw.LateIntents,
+		InFlightDropped: mw.InFlightDropped,
+	}
+	if py != nil {
+		res.Faults.DedupHits = py.DedupHits
+		res.Faults.DuplicateIntents = py.DuplicateIntents
+		res.Faults.ExpiredBookings = py.ExpiredBookings
+		res.Faults.ExpiredIntents = py.ExpiredIntents
+	}
+	if mn != nil {
+		res.Faults.MgmtDropped = mn.Dropped
+		res.Faults.MgmtDuplicated = mn.Duplicated
+		res.Faults.MgmtDeferred = mn.Deferred
 	}
 	if hed != nil {
 		res.HederaMoves = hed.Moves

@@ -32,6 +32,10 @@ type ScaleFatTreeResult struct {
 	Hosts       int
 	JobSec      float64
 	FlowHistory []FlowRecord
+	// Faults are the prediction-plane robustness counters, carried into the
+	// BENCH_scale artifact so the trajectory stays comparable; the scale run
+	// is healthy, so they must all read zero.
+	Faults FaultCounters
 }
 
 // FatTreeHosts returns the host count of the k-ary fat-tree used by
@@ -60,5 +64,5 @@ func RunScaleFatTree(cfg ScaleFatTreeConfig) ScaleFatTreeResult {
 		Alloc:              cfg.Alloc,
 		CollectFlowHistory: true,
 	})
-	return ScaleFatTreeResult{Hosts: hosts, JobSec: res.JobSec, FlowHistory: res.FlowHistory}
+	return ScaleFatTreeResult{Hosts: hosts, JobSec: res.JobSec, FlowHistory: res.FlowHistory, Faults: res.Faults}
 }

@@ -165,15 +165,20 @@ func TestSpeculativeDuplicateIntentsDeduped(t *testing.T) {
 }
 
 func TestDirectDuplicateIntentReplaced(t *testing.T) {
-	// Inject a duplicate by hand: same (job, map, reducer) from two
-	// different source hosts. Booking must move, not double.
+	// Inject a cross-attempt duplicate by hand: same (job, map, reducer)
+	// from two different attempts on two different source hosts — the
+	// speculative-backup shape. Booking must move, not double.
 	s := newStack(Config{Aggregate: true}, hadoop.Config{})
 	s.py.ReducerUp(up(0, 0, s.hosts[5]))
-	s.py.ShuffleIntent(intent(0, 0, s.hosts[0], []float64{100e6}))
+	first := intent(0, 0, s.hosts[0], []float64{100e6})
+	first.Attempt = 1
+	s.py.ShuffleIntent(first)
 	if got := s.py.OutstandingDemandBits(); got != 100e6*8 {
 		t.Fatalf("first booking = %v bits", got)
 	}
-	s.py.ShuffleIntent(intent(0, 0, s.hosts[1], []float64{100e6}))
+	second := intent(0, 0, s.hosts[1], []float64{100e6})
+	second.Attempt = 2
+	s.py.ShuffleIntent(second)
 	if got := s.py.OutstandingDemandBits(); got != 100e6*8 {
 		t.Fatalf("after duplicate = %v bits, want unchanged total", got)
 	}
@@ -186,6 +191,36 @@ func TestDirectDuplicateIntentReplaced(t *testing.T) {
 	}
 	if agg := s.py.aggregates[pairKey{s.hosts[0], s.hosts[5]}]; agg != nil {
 		t.Fatal("stale booking left on the old attempt's host")
+	}
+}
+
+// TestExactDuplicateIntentDropped pins the idempotence key: an identical
+// (job, map, attempt) message — a management-network duplication or a
+// restart re-scan re-emission — is dropped before any bookkeeping, while a
+// different attempt goes through the replace path. This is the collector
+// half of the speculative-execution audit.
+func TestExactDuplicateIntentDropped(t *testing.T) {
+	s := newStack(Config{Aggregate: true}, hadoop.Config{})
+	s.py.ReducerUp(up(0, 0, s.hosts[5]))
+	in := intent(0, 0, s.hosts[0], []float64{100e6})
+	in.Attempt = 1
+	s.py.ShuffleIntent(in)
+	s.py.ShuffleIntent(in) // exact duplicate: same attempt
+	if s.py.DedupHits != 1 {
+		t.Fatalf("DedupHits = %d, want 1", s.py.DedupHits)
+	}
+	if s.py.DuplicateIntents != 0 {
+		t.Fatalf("exact duplicate took the replace path: DuplicateIntents = %d", s.py.DuplicateIntents)
+	}
+	if s.py.IntentsReceived != 1 {
+		t.Fatalf("IntentsReceived = %d, want 1", s.py.IntentsReceived)
+	}
+	if got := s.py.OutstandingDemandBits(); got != 100e6*8 {
+		t.Fatalf("demand after exact duplicate = %v bits, want single booking", got)
+	}
+	// The booking stays on the original attempt's host.
+	if agg := s.py.aggregates[pairKey{s.hosts[0], s.hosts[5]}]; agg == nil || agg.demandBits != 100e6*8 {
+		t.Fatal("original booking disturbed by the duplicate")
 	}
 }
 

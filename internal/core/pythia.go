@@ -67,6 +67,12 @@ type Config struct {
 	// HorizonSec converts outstanding booked bytes into an equivalent
 	// rate when estimating residual path capacity during packing.
 	HorizonSec float64
+	// BookingTTL garbage-collects bookings and deferred intents whose
+	// flows never materialize — a dropped intent's sibling, a lost
+	// ReducerUp, a job whose JobDone died on the management network —
+	// releasing their path reservations. Zero disables the sweep (the
+	// legacy trust-the-messages behavior).
+	BookingTTL sim.Duration
 }
 
 // Defaults fills unset fields.
@@ -121,6 +127,7 @@ type aggregate struct {
 type pendingIntent struct {
 	intent     instrument.Intent
 	unresolved map[int]float64 // reducer ID -> predicted bytes
+	at         sim.Time        // arrival, for TTL expiry
 }
 
 // booking records one (job, map, reducer) demand reservation and the
@@ -128,6 +135,7 @@ type pendingIntent struct {
 type booking struct {
 	bits     float64
 	src, dst topology.NodeID
+	at       sim.Time // reservation instant, for TTL expiry
 }
 
 // Pythia is the controller. It implements instrument.Sink.
@@ -161,6 +169,15 @@ type Pythia struct {
 	redBacklog map[[2]int]float64
 	nextCookie uint64
 
+	// seen is the idempotence set: one entry per (job, map, attempt)
+	// intent already ingested, so a duplicated management-network message
+	// (or a restart re-scan re-emission) is dropped rather than re-booked.
+	seen map[[3]int]bool
+	// jobLastSeen timestamps each job's latest control message, letting the
+	// TTL sweep purge residual state of jobs that went silent (JobDone lost
+	// on the management network).
+	jobLastSeen map[int]sim.Time
+
 	// Metrics.
 	IntentsReceived int
 	IntentsDeferred int // had at least one unknown destination
@@ -182,6 +199,13 @@ type Pythia struct {
 	// connectivity returned.
 	AggregatesDegraded int
 	Reconciliations    int
+	// DedupHits counts exact duplicate intents — same (job, map, attempt)
+	// — dropped by the idempotence set.
+	DedupHits int
+	// ExpiredBookings and ExpiredIntents count reservations and deferred
+	// intents reclaimed by the booking-TTL sweep.
+	ExpiredBookings int
+	ExpiredIntents  int
 }
 
 // New wires a Pythia controller to the SDN substrate. Register it as the
@@ -201,8 +225,15 @@ func New(eng *sim.Engine, net *netsim.Network, ofc *openflow.Controller, cfg Con
 		booked:     make(map[flowKey]booking),
 		redBacklog: make(map[[2]int]float64),
 		nextCookie: 1,
+		seen:       make(map[[3]int]bool),
 	}
 	p.pathsVer = p.g.Version()
+	if p.cfg.BookingTTL > 0 {
+		p.jobLastSeen = make(map[int]sim.Time)
+		// Sweep at half the TTL so nothing outlives ~1.5×TTL. The ticker is
+		// a daemon: it never keeps the simulation alive on its own.
+		eng.Every(p.cfg.BookingTTL/2, p.sweepExpired)
+	}
 	// Outstanding demand drains as the actual flows complete.
 	net.OnFlowComplete(p.onFlowComplete)
 	// Fault tolerance: recompute the routing graph and re-place every
@@ -294,9 +325,21 @@ func (p *Pythia) kPaths(src, dst topology.NodeID) []topology.Path {
 }
 
 // ShuffleIntent ingests one prediction message (instrument.Sink).
+// Ingestion is idempotent on (job, map, attempt): a duplicated
+// management-network delivery or a restart re-scan re-emission of an
+// already-received intent is dropped outright. A *different* attempt of the
+// same map (speculative backup) still flows through — the per-(job, map,
+// reducer) booking replace keeps it from double-counting.
 func (p *Pythia) ShuffleIntent(in instrument.Intent) {
+	k := [3]int{in.Job, in.Map, in.Attempt}
+	if p.seen[k] {
+		p.DedupHits++
+		return
+	}
+	p.seen[k] = true
+	p.touch(in.Job)
 	p.IntentsReceived++
-	pi := &pendingIntent{intent: in, unresolved: make(map[int]float64)}
+	pi := &pendingIntent{intent: in, unresolved: make(map[int]float64), at: p.eng.Now()}
 	for r, bytes := range in.PredictedWireBytes {
 		if bytes <= 0 {
 			continue
@@ -314,6 +357,7 @@ func (p *Pythia) ShuffleIntent(in instrument.Intent) {
 // ReducerUp records a reducer's server placement and drains any deferred
 // demand now resolvable (instrument.Sink).
 func (p *Pythia) ReducerUp(up instrument.ReducerUp) {
+	p.touch(up.Job)
 	p.reducerLoc[[2]int{up.Job, up.Reduce}] = up.Host
 	remaining := p.pending[:0]
 	for _, pi := range p.pending {
@@ -355,7 +399,7 @@ func (p *Pythia) resolveIntent(pi *pendingIntent) {
 			p.DuplicateIntents++
 			p.unbook(fk, prev)
 		}
-		p.booked[fk] = booking{bits: bits, src: in.SrcHost, dst: dst}
+		p.booked[fk] = booking{bits: bits, src: in.SrcHost, dst: dst, at: p.eng.Now()}
 		p.redBacklog[[2]int{in.Job, r}] += bits
 		key := p.aggKey(in.SrcHost, dst)
 		agg := p.aggregates[key]
@@ -382,6 +426,121 @@ func (p *Pythia) resolveIntent(pi *pendingIntent) {
 // PendingUnknownDestinations reports intents still awaiting reducer
 // placement.
 func (p *Pythia) PendingUnknownDestinations() int { return len(p.pending) }
+
+// touch records job activity for the dead-job purge (TTL mode only).
+func (p *Pythia) touch(job int) {
+	if p.jobLastSeen != nil {
+		p.jobLastSeen[job] = p.eng.Now()
+	}
+}
+
+// sweepExpired is the booking-TTL garbage collector (daemon ticker, period
+// BookingTTL/2). It releases reservations whose flows never materialized,
+// drops deferred intents that never resolved, and purges residual per-job
+// state for jobs silent past the TTL — the backstop that keeps collector
+// state bounded when JobDone itself is lost on the management network.
+// Expiry walks keys in sorted order so runs stay bit-identical per seed.
+func (p *Pythia) sweepExpired() {
+	now := p.eng.Now()
+	ttl := p.cfg.BookingTTL
+
+	var keys []flowKey
+	for fk, b := range p.booked {
+		if now.Sub(b.at) >= ttl {
+			keys = append(keys, fk)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].job != keys[j].job {
+			return keys[i].job < keys[j].job
+		}
+		if keys[i].mapID != keys[j].mapID {
+			return keys[i].mapID < keys[j].mapID
+		}
+		return keys[i].reduce < keys[j].reduce
+	})
+	for _, fk := range keys {
+		b := p.booked[fk]
+		delete(p.booked, fk)
+		p.unbook(fk, b)
+		p.ExpiredBookings++
+	}
+
+	remaining := p.pending[:0]
+	for _, pi := range p.pending {
+		if now.Sub(pi.at) >= ttl {
+			p.ExpiredIntents++
+			continue
+		}
+		remaining = append(remaining, pi)
+	}
+	for i := len(remaining); i < len(p.pending); i++ {
+		p.pending[i] = nil
+	}
+	p.pending = remaining
+
+	// Dead-job purge: a job with no bookings, no pending intents, and no
+	// control message for a full TTL is gone — drop its reducer map and
+	// idempotence entries so collector memory stays bounded.
+	live := make(map[int]bool)
+	for fk := range p.booked {
+		live[fk.job] = true
+	}
+	for _, pi := range p.pending {
+		live[pi.intent.Job] = true
+	}
+	var dead []int
+	for job, last := range p.jobLastSeen {
+		if !live[job] && now.Sub(last) >= ttl {
+			dead = append(dead, job)
+		}
+	}
+	sort.Ints(dead)
+	for _, job := range dead {
+		p.purgeJob(job)
+	}
+}
+
+// purgeJob drops a job's residual non-booking state (reducer placements,
+// backlog, idempotence entries, activity stamp).
+func (p *Pythia) purgeJob(job int) {
+	for jr := range p.reducerLoc {
+		if jr[0] == job {
+			delete(p.reducerLoc, jr)
+		}
+	}
+	for jr := range p.redBacklog {
+		if jr[0] == job {
+			delete(p.redBacklog, jr)
+		}
+	}
+	for k := range p.seen {
+		if k[0] == job {
+			delete(p.seen, k)
+		}
+	}
+	if p.jobLastSeen != nil {
+		delete(p.jobLastSeen, job)
+	}
+}
+
+// OutstandingBookings reports the job's live reservations plus deferred
+// intents — the quantity that must be zero after the job is done (leak
+// detection).
+func (p *Pythia) OutstandingBookings(job int) int {
+	n := 0
+	for fk := range p.booked {
+		if fk.job == job {
+			n++
+		}
+	}
+	for _, pi := range p.pending {
+		if pi.intent.Job == job {
+			n++
+		}
+	}
+	return n
+}
 
 // OutstandingDemandBits sums booked-but-undelivered predicted demand.
 func (p *Pythia) OutstandingDemandBits() float64 {
@@ -673,16 +832,7 @@ func (p *Pythia) JobDone(job int) {
 		delete(p.booked, fk)
 		p.unbook(fk, b)
 	}
-	for jr := range p.reducerLoc {
-		if jr[0] == job {
-			delete(p.reducerLoc, jr)
-		}
-	}
-	for jr := range p.redBacklog {
-		if jr[0] == job {
-			delete(p.redBacklog, jr)
-		}
-	}
+	p.purgeJob(job)
 }
 
 // onTopologyChange recomputes routing, re-places every live aggregate, and

@@ -117,6 +117,21 @@ type mapAttempt struct {
 	ev *sim.Event
 	tr *taskTracker
 	at sim.Time
+	id int // 1-based attempt number
+}
+
+// Spill describes one map attempt's on-disk output at the instant it lands.
+// Unlike MapTask.Tracker — which always points at the winning attempt — it
+// names the attempt and tracker that actually produced this spill, so
+// instrumentation can attribute a losing speculative attempt's output to the
+// server it really lives on.
+type Spill struct {
+	// Attempt is the 1-based attempt number that spilled.
+	Attempt int
+	// Tracker is the tasktracker index that ran the spilling attempt.
+	Tracker int
+	// Partitions is the per-reducer payload byte vector of the spill.
+	Partitions []float64
 }
 
 // taskTracker is the per-server agent controlling local task slots.
@@ -159,6 +174,7 @@ type Cluster struct {
 
 	// listeners (instrumentation middleware, trace recorder, tests)
 	onMapScheduled    []func(*Job, *MapTask)
+	onMapSpilled      []func(*Job, *MapTask, Spill)
 	onMapFinished     []func(*Job, *MapTask, []float64)
 	onReduceScheduled []func(*Job, *ReduceTask)
 	onFetchStart      []func(*Job, int, int, *netsim.Flow)
@@ -207,6 +223,14 @@ func (c *Cluster) HostOf(tracker int) topology.NodeID { return c.trackers[tracke
 // OnMapScheduled registers a listener for map task placement.
 func (c *Cluster) OnMapScheduled(fn func(*Job, *MapTask)) {
 	c.onMapScheduled = append(c.onMapScheduled, fn)
+}
+
+// OnMapSpilled registers a listener for spill events, carrying the attempt
+// identity (the dedup key Pythia's collector relies on) and the tracker the
+// spill actually landed on. Spill listeners fire before OnMapFinished
+// listeners for the same event.
+func (c *Cluster) OnMapSpilled(fn func(*Job, *MapTask, Spill)) {
+	c.onMapSpilled = append(c.onMapSpilled, fn)
 }
 
 // OnMapFinished registers a listener for map completion; partitions is the
@@ -398,9 +422,9 @@ func (c *Cluster) startMap(j *Job, m *MapTask, tr *taskTracker, local bool) {
 	}
 	compute := func() {
 		d := sim.Duration(j.Spec.MapDurations[m.ID])
-		ev := c.eng.After(d, func() { c.finishMap(j, m, tr) })
+		ev := c.eng.After(d, func() { c.finishMap(j, m, tr, 1) })
 		c.attempts[[2]int{j.ID, m.ID}] = append(c.attempts[[2]int{j.ID, m.ID}],
-			&mapAttempt{ev: ev, tr: tr, at: c.eng.Now().Add(d)})
+			&mapAttempt{ev: ev, tr: tr, at: c.eng.Now().Add(d), id: 1})
 	}
 	if local || c.input == nil || j.Spec.InputFile == "" {
 		if c.input != nil && j.Spec.InputFile != "" {
@@ -449,22 +473,26 @@ func (c *Cluster) maybeSpeculate(j *Job) {
 		}
 		m.speculating = true
 		m.Attempts++
+		attempt := m.Attempts
 		backup.freeMap--
 		c.SpeculativeLaunched++
 		// A healthy rerun takes about the median duration.
-		ev := c.eng.After(sim.Duration(median), func() { c.finishMap(j, m, backup) })
+		ev := c.eng.After(sim.Duration(median), func() { c.finishMap(j, m, backup, attempt) })
 		c.attempts[[2]int{j.ID, m.ID}] = append(c.attempts[[2]int{j.ID, m.ID}],
-			&mapAttempt{ev: ev, tr: backup, at: now.Add(sim.Duration(median))})
+			&mapAttempt{ev: ev, tr: backup, at: now.Add(sim.Duration(median)), id: attempt})
 	}
 }
 
-func (c *Cluster) finishMap(j *Job, m *MapTask, tr *taskTracker) {
+func (c *Cluster) finishMap(j *Job, m *MapTask, tr *taskTracker, attempt int) {
 	if m.State == Completed {
 		// The losing attempt of a speculated map: it still spilled its
 		// output before the kill reached it, so the spill listeners
 		// (and therefore Pythia's instrumentation) see a duplicate.
 		tr.freeMap++
 		partitions := append([]float64(nil), j.Spec.MapOutputs[m.ID]...)
+		for _, fn := range c.onMapSpilled {
+			fn(j, m, Spill{Attempt: attempt, Tracker: tr.index, Partitions: partitions})
+		}
 		for _, fn := range c.onMapFinished {
 			fn(j, m, partitions)
 		}
@@ -505,6 +533,9 @@ func (c *Cluster) finishMap(j *Job, m *MapTask, tr *taskTracker) {
 	// Spill: the intermediate output (and its index) now exists on disk.
 	// This is the instant Pythia's filesystem notification fires.
 	partitions := append([]float64(nil), j.Spec.MapOutputs[m.ID]...)
+	for _, fn := range c.onMapSpilled {
+		fn(j, m, Spill{Attempt: attempt, Tracker: tr.index, Partitions: partitions})
+	}
 	for _, fn := range c.onMapFinished {
 		fn(j, m, partitions)
 	}

@@ -144,6 +144,65 @@ func TestNearTieProducesDuplicateSpill(t *testing.T) {
 	}
 }
 
+// TestSpillAttributionPerAttempt pins the OnMapSpilled contract: every spill
+// carries the 1-based attempt that produced it and that attempt's own
+// tracker — a speculative loser's duplicate spill must not be attributed to
+// the winner's host (the bug the prediction plane inherited from routing
+// spill events through OnMapFinished's task.Tracker).
+func TestSpillAttributionPerAttempt(t *testing.T) {
+	eng, cl := specRig(Config{Speculative: true, SpeculativeLagFactor: 1.1})
+	spec := uniformSpec(12, 2, 2, 2e6)
+	spec.MapDurations[11] = 6 // near-tie: both attempts spill
+	j, _ := cl.Submit(spec)
+	type rec struct {
+		attempt, tracker int
+	}
+	spills := map[int][]rec{}
+	cl.OnMapSpilled(func(job *Job, m *MapTask, sp Spill) {
+		if sp.Attempt < 1 {
+			t.Fatalf("map %d spill with attempt %d", m.ID, sp.Attempt)
+		}
+		if len(sp.Partitions) != spec.NumReduces {
+			t.Fatalf("map %d spill has %d partitions", m.ID, len(sp.Partitions))
+		}
+		spills[m.ID] = append(spills[m.ID], rec{sp.Attempt, sp.Tracker})
+	})
+	eng.Run()
+	if !j.Done {
+		t.Fatal("job did not finish")
+	}
+	for id, rs := range spills {
+		if len(rs) == 1 {
+			if rs[0].attempt != 1 {
+				t.Fatalf("map %d single spill from attempt %d", id, rs[0].attempt)
+			}
+			continue
+		}
+		// A duplicate spill: the two attempts are distinct and ran on
+		// distinct trackers (speculation never co-locates the backup).
+		if len(rs) != 2 {
+			t.Fatalf("map %d spilled %d times", id, len(rs))
+		}
+		if rs[0].attempt == rs[1].attempt {
+			t.Fatalf("map %d: duplicate spills share attempt %d", id, rs[0].attempt)
+		}
+		if rs[0].tracker == rs[1].tracker {
+			t.Fatalf("map %d: duplicate spills share tracker %d", id, rs[0].tracker)
+		}
+	}
+	if cl.SpeculativeLaunched > 0 {
+		dup := false
+		for _, rs := range spills {
+			if len(rs) == 2 {
+				dup = true
+			}
+		}
+		if !dup && cl.SpeculativeKilled == 0 {
+			t.Fatal("speculation ran but produced neither a kill nor a duplicate spill")
+		}
+	}
+}
+
 func TestDuplicateIntentsHandledByPythia(t *testing.T) {
 	// End-to-end: speculative duplicates must not corrupt Pythia's
 	// bookkeeping (outstanding demand must drain to zero).

@@ -6,6 +6,7 @@ import (
 	"pythia/internal/hadoop"
 	"pythia/internal/mgmtnet"
 	"pythia/internal/sim"
+	"pythia/internal/stats"
 	"pythia/internal/topology"
 )
 
@@ -15,8 +16,13 @@ import (
 // the message — the collector resolves them, possibly later (destination
 // back-fill).
 type Intent struct {
-	Job     int
-	Map     int
+	Job int
+	Map int
+	// Attempt is the 1-based map attempt that spilled. Together with
+	// (Job, Map) it is the collector's idempotence key: a duplicated
+	// message carries the same attempt, a speculative re-execution a new
+	// one.
+	Attempt int
 	SrcHost topology.NodeID
 	// PredictedWireBytes is indexed by reducer ID.
 	PredictedWireBytes []float64
@@ -25,6 +31,9 @@ type Intent struct {
 	// instrumentation latency.
 	MapFinishedAt sim.Time
 	EmittedAt     sim.Time
+	// Late marks an intent recovered by a restarted monitor's spill-
+	// directory re-scan rather than a live filesystem notification.
+	Late bool
 }
 
 // ReducerUp announces that reducer Reduce of job Job was started on Host —
@@ -75,6 +84,39 @@ type Config struct {
 	// 2–5% CPU).
 	DCCPUFraction float64
 	SpikeCPUSec   float64
+	// PredictionErrorFactor injects seeded multiplicative noise into every
+	// per-reducer prediction: each positive predicted value is scaled by a
+	// uniform factor in [1-f, 1+f). The paper's Fig. 5 regime is a 3–7%
+	// systematic overestimate; this knob explores how scheduling quality
+	// degrades as the estimates get noisier. Zero disables the noise (and
+	// its RNG draws), keeping results bit-identical to the exact pipeline.
+	PredictionErrorFactor float64
+	// PredictionErrorSeed fixes the noise stream.
+	PredictionErrorSeed uint64
+	// MonitorFaults, when non-nil, enables seeded per-host monitor
+	// crash/restart.
+	MonitorFaults *MonitorFaultConfig
+}
+
+// MonitorFaultConfig models per-host monitor process failures.
+type MonitorFaultConfig struct {
+	// CrashProb is drawn once per spill notification: on a hit, the host's
+	// monitor dies just before processing it, missing that spill and every
+	// later one until restart.
+	CrashProb float64
+	// Downtime is how long a crashed monitor stays down before its
+	// supervisor restarts it (default 10 s).
+	Downtime sim.Duration
+	// Seed fixes the crash stream.
+	Seed uint64
+}
+
+// defaults fills unset monitor-fault fields.
+func (c MonitorFaultConfig) defaults() MonitorFaultConfig {
+	if c.Downtime == 0 {
+		c.Downtime = 10 * sim.Second
+	}
+	return c
 }
 
 // Defaults fills unset fields.
@@ -103,6 +145,21 @@ func (c Config) Defaults() Config {
 	return c
 }
 
+// missedSpill is one spill that landed while its host's monitor was down —
+// the on-disk state a restarted monitor recovers by re-scanning the spill
+// directory.
+type missedSpill struct {
+	job, mapID, attempt int
+	partitions          []float64
+	finished            sim.Time
+}
+
+// missedUp is a reducer start the crashed monitor's tasktracker watch never
+// saw; the restart re-scan re-detects the running reducer.
+type missedUp struct {
+	job, reduce int
+}
+
 // Middleware is the fleet of per-server monitors. One Middleware instance
 // serves a whole simulated cluster (monitors share no state in the real
 // system; here the aggregation is just bookkeeping).
@@ -116,10 +173,33 @@ type Middleware struct {
 	spills     map[topology.NodeID]int
 	hosts      []topology.NodeID
 
+	// Monitor fault state: crashed monitors, the spills and reducer starts
+	// they missed, and the seeded crash stream.
+	down         map[topology.NodeID]bool
+	missedSpills map[topology.NodeID][]missedSpill
+	missedUps    map[topology.NodeID][]missedUp
+	mfaults      MonitorFaultConfig
+	crashRNG     *stats.RNG
+	predErr      *stats.RNG
+
+	// jobDone tracks cluster-side job completion so control messages still
+	// in flight on the management network when their job ends are dropped
+	// at delivery instead of resurrecting collector state.
+	jobDone map[int]bool
+
 	// IntentsSent counts prediction messages (network overhead analysis).
 	IntentsSent int
 	// BytesOnMgmt estimates control bytes on the management network.
 	BytesOnMgmt float64
+	// MonitorCrashes counts monitor deaths, MissedSpills the spill
+	// notifications lost while down, and LateIntents the predictions
+	// recovered by restart re-scans.
+	MonitorCrashes int
+	MissedSpills   int
+	LateIntents    int
+	// InFlightDropped counts control messages discarded at delivery
+	// because their job finished while they were on the wire.
+	InFlightDropped int
 }
 
 // Attach wires a middleware onto a cluster: every tasktracker host gets a
@@ -130,32 +210,95 @@ func Attach(eng *sim.Engine, cluster *hadoop.Cluster, sink Sink, cfg Config) *Mi
 		panic("instrument: nil sink")
 	}
 	m := &Middleware{
-		eng:        eng,
-		cfg:        cfg.Defaults(),
-		sink:       sink,
-		attachedAt: eng.Now(),
-		spills:     make(map[topology.NodeID]int),
-		hosts:      cluster.Hosts(),
+		eng:          eng,
+		cfg:          cfg.Defaults(),
+		sink:         sink,
+		attachedAt:   eng.Now(),
+		spills:       make(map[topology.NodeID]int),
+		hosts:        cluster.Hosts(),
+		down:         make(map[topology.NodeID]bool),
+		missedSpills: make(map[topology.NodeID][]missedSpill),
+		missedUps:    make(map[topology.NodeID][]missedUp),
+		jobDone:      make(map[int]bool),
 	}
-	cluster.OnMapFinished(func(j *hadoop.Job, task *hadoop.MapTask, partitions []float64) {
-		m.onSpill(cluster, j, task, partitions)
+	if cfg.MonitorFaults != nil {
+		m.mfaults = cfg.MonitorFaults.defaults()
+		m.crashRNG = stats.NewRNG(m.mfaults.Seed)
+	}
+	if cfg.PredictionErrorFactor > 0 {
+		m.predErr = stats.NewRNG(cfg.PredictionErrorSeed)
+	}
+	cluster.OnMapSpilled(func(j *hadoop.Job, task *hadoop.MapTask, sp hadoop.Spill) {
+		m.onSpill(cluster, j, task, sp)
 	})
 	cluster.OnReduceScheduled(func(j *hadoop.Job, r *hadoop.ReduceTask) {
 		host := cluster.HostOf(r.Tracker)
-		// Reducer-init detection rides the monitor's tasktracker watch;
-		// delivery to the collector costs one management-network hop.
-		up := ReducerUp{Job: j.ID, Reduce: r.ID, Host: host, At: eng.Now()}
-		m.send(host, 64, func() { m.sink.ReducerUp(up) })
+		if m.down[host] {
+			// Reducer-init detection rides the monitor's tasktracker
+			// watch; a dead monitor misses the start until its restart
+			// re-scan finds the reducer already running.
+			m.missedUps[host] = append(m.missedUps[host], missedUp{job: j.ID, reduce: r.ID})
+			return
+		}
+		m.sendReducerUp(j.ID, r.ID, host)
 	})
-	if jd, ok := sink.(JobDoneSink); ok {
-		cluster.OnJobDone(func(j *hadoop.Job) {
+	jd, _ := sink.(JobDoneSink)
+	cluster.OnJobDone(func(j *hadoop.Job) {
+		// Mark completion cluster-side first: anything still in flight for
+		// this job is dropped at delivery, and restart re-scans skip its
+		// residual spills.
+		m.jobDone[j.ID] = true
+		for h := range m.missedSpills {
+			m.missedSpills[h] = pruneSpills(m.missedSpills[h], j.ID)
+		}
+		for h := range m.missedUps {
+			m.missedUps[h] = pruneUps(m.missedUps[h], j.ID)
+		}
+		if jd != nil {
 			// The jobtracker already knows completion; one mgmt hop tells
-			// the collector to drop the job's residual state.
+			// the collector to drop the job's residual state. (This rides
+			// the jobtracker's own management port, not a monitor, so
+			// monitor crashes cannot lose it — only management faults can,
+			// which the collector's booking TTL backstops.)
 			job := j.ID
 			m.send(cluster.Hosts()[0], 32, func() { jd.JobDone(job) })
-		})
-	}
+		}
+	})
 	return m
+}
+
+// pruneSpills drops a finished job's entries from a missed-spill list.
+func pruneSpills(in []missedSpill, job int) []missedSpill {
+	out := in[:0]
+	for _, sp := range in {
+		if sp.job != job {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// pruneUps drops a finished job's entries from a missed-reducer-up list.
+func pruneUps(in []missedUp, job int) []missedUp {
+	out := in[:0]
+	for _, u := range in {
+		if u.job != job {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// sendReducerUp delivers one reducer-up detection to the collector.
+func (m *Middleware) sendReducerUp(job, reduce int, host topology.NodeID) {
+	up := ReducerUp{Job: job, Reduce: reduce, Host: host, At: m.eng.Now()}
+	m.send(host, 64, func() {
+		if m.jobDone[job] {
+			m.InFlightDropped++
+			return
+		}
+		m.sink.ReducerUp(up)
+	})
 }
 
 // send delivers a control message to the collector over the configured
@@ -169,20 +312,52 @@ func (m *Middleware) send(from topology.NodeID, bytes float64, deliver func()) {
 	m.eng.After(m.cfg.MgmtLatency, deliver)
 }
 
-// onSpill models the full prediction pipeline for one finished map:
-// FS notification → index decode → predict → send.
-func (m *Middleware) onSpill(cluster *hadoop.Cluster, j *hadoop.Job, task *hadoop.MapTask, partitions []float64) {
-	host := cluster.HostOf(task.Tracker)
+// onSpill models the full prediction pipeline for one finished map attempt:
+// FS notification → index decode → predict → send. The spill carries the
+// attempt that actually produced it, so speculative losers are attributed to
+// their own host, not the winner's.
+func (m *Middleware) onSpill(cluster *hadoop.Cluster, j *hadoop.Job, task *hadoop.MapTask, sp hadoop.Spill) {
+	host := cluster.HostOf(sp.Tracker)
 	finished := m.eng.Now()
+
+	if m.down[host] {
+		// The spill file hit the disk, but nobody is watching the
+		// directory: the notification is lost until a restart re-scan.
+		m.MissedSpills++
+		m.missedSpills[host] = append(m.missedSpills[host], missedSpill{
+			job: j.ID, mapID: task.ID, attempt: sp.Attempt,
+			partitions: sp.Partitions, finished: finished,
+		})
+		return
+	}
+	if m.crashRNG != nil && m.mfaults.CrashProb > 0 && m.crashRNG.Float64() < m.mfaults.CrashProb {
+		// The monitor dies right as the notification fires; the spill joins
+		// the backlog its successor will recover, and a supervisor restarts
+		// the process after the configured downtime.
+		m.crash(host)
+		m.MissedSpills++
+		m.missedSpills[host] = append(m.missedSpills[host], missedSpill{
+			job: j.ID, mapID: task.ID, attempt: sp.Attempt,
+			partitions: sp.Partitions, finished: finished,
+		})
+		return
+	}
+
+	delay := m.cfg.FSNotifyDelay +
+		m.cfg.DecodeBase +
+		sim.Duration(float64(m.cfg.DecodePerPartition)*float64(len(sp.Partitions)))
+	m.emitIntent(host, j.ID, task.ID, sp.Attempt, sp.Partitions, finished, delay, false)
+}
+
+// emitIntent runs the decode→predict→send tail of the pipeline after delay.
+// Late intents are the ones recovered by a restart re-scan.
+func (m *Middleware) emitIntent(host topology.NodeID, job, mapID, attempt int, partitions []float64, finished sim.Time, delay sim.Duration, late bool) {
 	m.spills[host]++
 
 	// The Hadoop runtime wrote the spill and its index; encode the real
 	// bytes the monitor will read.
 	encoded := BuildIndex(partitions).Encode()
 
-	delay := m.cfg.FSNotifyDelay +
-		m.cfg.DecodeBase +
-		sim.Duration(float64(m.cfg.DecodePerPartition)*float64(len(partitions)))
 	m.eng.After(delay, func() {
 		idx, err := DecodeIndex(encoded)
 		if err != nil {
@@ -194,20 +369,100 @@ func (m *Middleware) onSpill(cluster *hadoop.Cluster, j *hadoop.Job, task *hadoo
 		for r, seg := range idx.Segments {
 			pred[r] = float64(seg.PartLength) * m.cfg.PredictOverheadFactor
 		}
+		if m.predErr != nil {
+			// Seeded multiplicative noise: each positive prediction scaled
+			// by a uniform factor in [1-f, 1+f), clamped at zero.
+			f := m.cfg.PredictionErrorFactor
+			for r := range pred {
+				if pred[r] <= 0 {
+					continue
+				}
+				pred[r] *= 1 + m.predErr.Range(-f, f)
+				if pred[r] < 0 {
+					pred[r] = 0
+				}
+			}
+		}
 		intent := Intent{
-			Job:                j.ID,
-			Map:                task.ID,
+			Job:                job,
+			Map:                mapID,
+			Attempt:            attempt,
 			SrcHost:            host,
 			PredictedWireBytes: pred,
 			MapFinishedAt:      finished,
+			Late:               late,
 		}
 		m.IntentsSent++
+		if late {
+			m.LateIntents++
+		}
 		m.send(host, float64(32+8*len(pred)), func() {
+			if m.jobDone[job] {
+				m.InFlightDropped++
+				return
+			}
 			intent.EmittedAt = m.eng.Now()
 			m.sink.ShuffleIntent(intent)
 		})
 	})
 }
+
+// crash marks a host's monitor dead and, when monitor faults are configured
+// with a downtime, schedules its supervised restart.
+func (m *Middleware) crash(host topology.NodeID) {
+	if m.down[host] {
+		return
+	}
+	m.down[host] = true
+	m.MonitorCrashes++
+	if m.mfaults.Downtime > 0 {
+		h := host
+		m.eng.AfterDaemon(m.mfaults.Downtime, func() { m.RestartMonitor(h) })
+	}
+}
+
+// CrashMonitor kills one host's monitor process immediately (scripted fault
+// injection). While down, spill notifications and reducer starts on that host
+// are missed; if monitor faults are configured with a nonzero Downtime the
+// supervisor restarts it automatically, otherwise call RestartMonitor.
+func (m *Middleware) CrashMonitor(host topology.NodeID) { m.crash(host) }
+
+// RestartMonitor brings a crashed monitor back up. The fresh process
+// re-scans the spill directory and re-emits every backlogged prediction as a
+// late, batched intent (decode times accumulate — one process works through
+// the backlog sequentially), and re-detects reducers that started while it
+// was down. Spills belonging to already-finished jobs were cleaned up with
+// the job and are skipped.
+func (m *Middleware) RestartMonitor(host topology.NodeID) {
+	if !m.down[host] {
+		return
+	}
+	m.down[host] = false
+
+	backlog := m.missedSpills[host]
+	m.missedSpills[host] = nil
+	var delay sim.Duration
+	for _, sp := range backlog {
+		if m.jobDone[sp.job] {
+			continue
+		}
+		delay += m.cfg.DecodeBase +
+			sim.Duration(float64(m.cfg.DecodePerPartition)*float64(len(sp.partitions)))
+		m.emitIntent(host, sp.job, sp.mapID, sp.attempt, sp.partitions, sp.finished, delay, true)
+	}
+
+	ups := m.missedUps[host]
+	m.missedUps[host] = nil
+	for _, u := range ups {
+		if m.jobDone[u.job] {
+			continue
+		}
+		m.sendReducerUp(u.job, u.reduce, host)
+	}
+}
+
+// MonitorDown reports whether a host's monitor is currently crashed.
+func (m *Middleware) MonitorDown(host topology.NodeID) bool { return m.down[host] }
 
 // OverheadReport summarizes the §V-C instrumentation cost model.
 type OverheadReport struct {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"pythia/internal/sim"
+	"pythia/internal/stats"
 	"pythia/internal/topology"
 )
 
@@ -41,6 +42,37 @@ func (c Config) Defaults() Config {
 	return c
 }
 
+// FaultConfig models the management star's unreliability. The zero value is
+// the legacy perfectly-reliable fabric; per-message faults are drawn from a
+// dedicated splitmix64 stream so runs are exactly reproducible from Seed.
+type FaultConfig struct {
+	// DropProb is the per-message loss probability (message transmitted,
+	// then lost in the star; the sender's port time is still consumed).
+	DropProb float64
+	// DupProb is the per-message duplication probability: a second copy of
+	// the message is delivered right after the first (the retransmit-storm
+	// failure mode that motivates collector-side idempotence).
+	DupProb float64
+	// ExtraDelay is added to every delivery, modeling a congested or
+	// distant management network.
+	ExtraDelay sim.Duration
+	// JitterMax adds a uniform [0, JitterMax) per-delivery delay.
+	JitterMax sim.Duration
+	// Seed fixes the fault stream (0 is a valid seed).
+	Seed uint64
+	// DeferDuringOutage queues sends attempted while the star is down
+	// (Fail) and releases them FIFO on Recover; by default such sends are
+	// dropped on the floor, as with a rebooting management switch.
+	DeferDuringOutage bool
+}
+
+// deferredSend is one message held back by an outage under the defer policy.
+type deferredSend struct {
+	from    topology.NodeID
+	bytes   float64
+	deliver func()
+}
+
 // Network is the management fabric.
 type Network struct {
 	eng *sim.Engine
@@ -49,11 +81,26 @@ type Network struct {
 	// busyUntil serializes each sender's management port.
 	busyUntil map[topology.NodeID]sim.Time
 
-	// Messages and Bytes count delivered traffic.
+	// faults is the injected unreliability model; rng is nil until
+	// SetFaults installs one, keeping the fault-free path bit-identical to
+	// the pre-fault implementation.
+	faults   FaultConfig
+	rng      *stats.RNG
+	down     bool
+	deferred []deferredSend
+
+	// Messages and Bytes count traffic put on the wire toward delivery
+	// (duplicate copies included, dropped transmissions excluded).
 	Messages uint64
 	Bytes    float64
 	// MaxQueueDelay tracks the worst serialization wait observed.
 	MaxQueueDelay sim.Duration
+	// Dropped counts messages lost to injected faults or outage, Duplicated
+	// the extra copies delivered, and Deferred the sends parked during an
+	// outage under the defer policy.
+	Dropped    uint64
+	Duplicated uint64
+	Deferred   uint64
 }
 
 // New builds a management network on the engine.
@@ -65,14 +112,62 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	}
 }
 
+// SetFaults installs the fault model. Call before traffic starts; changing
+// it mid-run only affects future sends.
+func (n *Network) SetFaults(cfg FaultConfig) {
+	n.faults = cfg
+	n.rng = stats.NewRNG(cfg.Seed)
+}
+
+// Fail takes the whole management star down (the management switch reboots
+// or loses power). Messages already on the wire still arrive; sends
+// attempted while down are dropped, or parked until Recover under the
+// DeferDuringOutage policy.
+func (n *Network) Fail() { n.down = true }
+
+// Recover brings the star back and releases any deferred sends in FIFO
+// order, re-serializing them through their senders' ports from now.
+func (n *Network) Recover() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	pending := n.deferred
+	n.deferred = nil
+	for _, d := range pending {
+		n.transmit(d.from, d.bytes, d.deliver)
+	}
+}
+
+// Down reports whether the star is failed.
+func (n *Network) Down() bool { return n.down }
+
 // Send transmits a control message of the given size from the sender's
 // management port, invoking deliver when it arrives at the collector /
 // controller. Messages from one sender serialize FIFO; bytes must be
-// positive.
+// positive. Injected faults (SetFaults) may drop, delay or duplicate the
+// message; during an outage (Fail) the send is dropped or deferred per the
+// configured policy and deliver may never run.
 func (n *Network) Send(from topology.NodeID, bytes float64, deliver func()) {
 	if bytes <= 0 {
 		panic(fmt.Sprintf("mgmtnet: message of %v bytes", bytes))
 	}
+	if n.down {
+		if n.faults.DeferDuringOutage {
+			n.Deferred++
+			n.deferred = append(n.deferred, deferredSend{from, bytes, deliver})
+		} else {
+			n.Dropped++
+		}
+		return
+	}
+	n.transmit(from, bytes, deliver)
+}
+
+// transmit serializes one message out the sender's port and schedules its
+// delivery (or loss). Fault draws happen in transmission order, so runs are
+// deterministic for a fixed seed.
+func (n *Network) transmit(from topology.NodeID, bytes float64, deliver func()) {
 	now := n.eng.Now()
 	start := n.busyUntil[from]
 	if start < now {
@@ -85,9 +180,31 @@ func (n *Network) Send(from topology.NodeID, bytes float64, deliver func()) {
 	txTime := sim.Duration(bytes * 8 / n.cfg.LinkBps)
 	done := start.Add(txTime)
 	n.busyUntil[from] = done
+	if n.rng != nil && n.faults.DropProb > 0 && n.rng.Float64() < n.faults.DropProb {
+		// The bits left the port and died in the star: port time is spent,
+		// nothing arrives.
+		n.Dropped++
+		return
+	}
 	n.Messages++
 	n.Bytes += bytes
-	n.eng.At(done.Add(n.cfg.PropagationDelay), deliver)
+	n.eng.At(done.Add(n.deliveryDelay()), deliver)
+	if n.rng != nil && n.faults.DupProb > 0 && n.rng.Float64() < n.faults.DupProb {
+		n.Duplicated++
+		n.Messages++
+		n.Bytes += bytes
+		n.eng.At(done.Add(n.deliveryDelay()), deliver)
+	}
+}
+
+// deliveryDelay is the post-transmission latency of one delivery:
+// propagation plus any configured extra delay and jitter.
+func (n *Network) deliveryDelay() sim.Duration {
+	d := n.cfg.PropagationDelay + n.faults.ExtraDelay
+	if n.rng != nil && n.faults.JitterMax > 0 {
+		d += sim.Duration(n.rng.Float64() * float64(n.faults.JitterMax))
+	}
+	return d
 }
 
 // Latency reports the no-queue delivery latency for a message size — handy

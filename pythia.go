@@ -91,6 +91,12 @@ type config struct {
 	allocMode *AllocMode
 	cpFaults  *ControlPlaneFaults
 	deadline  float64
+
+	mgmtFaults    *MgmtFaults
+	monFaults     *MonitorFaults
+	predErrFactor float64
+	predErrSeed   uint64
+	bookingTTLSec float64
 }
 
 // Option customizes a Cluster.
@@ -189,6 +195,7 @@ type Cluster struct {
 	trunks   []topology.LinkID
 	cluster  *hadoop.Cluster
 	mw       *instrument.Middleware
+	mn       *mgmtnet.Network
 	ofc      *openflow.Controller
 	py       *core.Pythia
 	al       *ecmp.Allocator // plain-ECMP scheduler only
@@ -203,6 +210,10 @@ type Cluster struct {
 	// deltas instead of the controller's cumulative counter.
 	jobRules  map[int]uint64
 	rulesSeen uint64
+
+	// doneJobs records completed job IDs for post-run leak detection
+	// (FaultReport.LeakedBookings).
+	doneJobs []int
 }
 
 // New builds a cluster on the paper's two-rack testbed topology.
@@ -247,10 +258,22 @@ func New(opts ...Option) *Cluster {
 	var sink instrument.Sink = dropSink{}
 	var mn *mgmtnet.Network
 	icfg := instrument.Config{}
-	if cfg.explicitCP {
+	if cfg.explicitCP || cfg.mgmtFaults != nil {
+		// Management faults need a management network to fault.
 		mn = mgmtnet.New(eng, mgmtnet.Config{})
 		icfg.Mgmt = mn
+		c.mn = mn
 	}
+	if cfg.mgmtFaults != nil {
+		mn.SetFaults(cfg.mgmtFaults.toInternal())
+	}
+	if cfg.monFaults != nil {
+		mf := cfg.monFaults.toInternal()
+		icfg.MonitorFaults = &mf
+	}
+	icfg.PredictionErrorFactor = cfg.predErrFactor
+	icfg.PredictionErrorSeed = cfg.predErrSeed
+	cfg.pythiaCfg.BookingTTL = sim.Duration(cfg.bookingTTLSec)
 	// Richer fabrics have more equal-cost diversity than the two trunks of
 	// the default testbed; let ECMP spread across it.
 	ecmpK := 2
@@ -282,6 +305,7 @@ func New(opts ...Option) *Cluster {
 	}
 	c.cluster = hadoop.NewCluster(eng, net, hosts, resolver, cfg.hadoopCfg)
 	c.cluster.OnJobDone(func(j *hadoop.Job) {
+		c.doneJobs = append(c.doneJobs, j.ID)
 		if c.ofc == nil {
 			return
 		}
