@@ -289,6 +289,16 @@ func BenchmarkScaleFatTree(b *testing.B) {
 				if f != (bench.FaultCounters{}) {
 					b.Fatalf("healthy scale run recorded faults: %+v", f)
 				}
+				// Flight-recorder prediction-quality scores: how far ahead
+				// of each shuffle flow its rules landed, and how far the
+				// predicted bytes missed the wire bytes.
+				if q := res.Quality; q != nil {
+					b.ReportMetric(q.LeadP50Sec, "lead-p50-s")
+					b.ReportMetric(q.LeadP95Sec, "lead-p95-s")
+					b.ReportMetric(q.LeadMaxSec, "lead-max-s")
+					b.ReportMetric(q.LateFraction*100, "late-frac-%")
+					b.ReportMetric(q.ByteErrMeanAbsFrac*100, "byte-err-%")
+				}
 			})
 		}
 	}

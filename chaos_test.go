@@ -17,7 +17,16 @@ type chaosOutcome struct {
 // through the storm.
 func runChaos(t *testing.T, k SchedulerKind) chaosOutcome {
 	t.Helper()
-	cl := New(
+	cl, results := runChaosCluster(t, k)
+	return chaosOutcome{results: results, faults: cl.Faults()}
+}
+
+// runChaosCluster is the storm itself, returning the cluster for callers
+// that inspect more than results and fault counters (the flight-recorder
+// golden tests). Extra options ride on top of the standard fault stack.
+func runChaosCluster(t *testing.T, k SchedulerKind, extra ...Option) (*Cluster, []JobResult) {
+	t.Helper()
+	cl := New(append([]Option{
 		WithScheduler(k),
 		WithOversubscription(10),
 		WithSeed(13),
@@ -36,7 +45,7 @@ func runChaos(t *testing.T, k SchedulerKind) chaosOutcome {
 			MaxRetries:        2,
 			RetryBackoffSec:   0.1,
 		}),
-	)
+	}, extra...)...)
 	// Data plane: lose a trunk mid-shuffle, recover later.
 	trunks := cl.Trunks()
 	cl.At(5, func() { cl.FailLink(trunks[0]) })
@@ -63,7 +72,7 @@ func runChaos(t *testing.T, k SchedulerKind) chaosOutcome {
 			t.Fatalf("%v: job %q reports nonpositive duration", k, r.Name)
 		}
 	}
-	return chaosOutcome{results: results, faults: cl.Faults()}
+	return cl, results
 }
 
 func TestChaosAllPlanesAllSchedulers(t *testing.T) {

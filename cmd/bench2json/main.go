@@ -27,13 +27,16 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Custom b.ReportMetric units (anything
+// beyond the standard ns/op, B/op, allocs/op triple — e.g. sim-job-s,
+// lead-p50-s, late-frac-%) land in Metrics keyed by unit.
 type Result struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
-	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -107,11 +110,16 @@ func parseBench(r *os.File) ([]Result, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "B/op":
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
 			}
 		}
 		results = append(results, res)

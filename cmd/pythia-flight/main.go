@@ -1,0 +1,164 @@
+// Command pythia-flight inspects cross-plane flight-recorder logs: it
+// renders per-job critical-path summaries from a JSONL event log, or runs
+// the built-in chaos scenario (the seeded all-planes fault storm from the
+// test suite) and captures its flight log.
+//
+// Usage:
+//
+//	pythia-flight -i flight.jsonl              # summarize an existing log
+//	pythia-flight -run chaos [-seed N]         # run the storm, print summary
+//	              [-scheduler ecmp|pythia|hedera]
+//	              [-o flight.jsonl] [-prom metrics.prom]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pythia"
+	"pythia/internal/flight"
+)
+
+func main() {
+	input := flag.String("i", "", "summarize this flight-recorder JSONL file")
+	run := flag.String("run", "", "run a built-in scenario instead of reading a file (only: chaos)")
+	scheduler := flag.String("scheduler", "pythia", "scheduler for -run: ecmp, pythia or hedera")
+	seed := flag.Uint64("seed", 13, "seed for -run")
+	out := flag.String("o", "", "write the scenario's JSONL log to this path")
+	prom := flag.String("prom", "", "write a Prometheus text snapshot to this path")
+	flag.Parse()
+
+	switch {
+	case *input != "" && *run != "":
+		fmt.Fprintln(os.Stderr, "pass either -i or -run, not both")
+		os.Exit(2)
+	case *input != "":
+		summarizeFile(*input, *prom)
+	case *run == "chaos":
+		runChaos(*scheduler, *seed, *out, *prom)
+	case *run != "":
+		fmt.Fprintf(os.Stderr, "unknown scenario %q (only: chaos)\n", *run)
+		os.Exit(2)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// summarizeFile renders the per-job critical-path digest of a saved log.
+func summarizeFile(path, promPath string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	events, err := flight.ParseJSONL(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	if err := flight.VerifyChains(events); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+	}
+	fmt.Print(flight.Summarize(events))
+	printQuality(flight.ComputeQuality(events))
+	if promPath != "" {
+		writeFile(promPath, []byte(flight.BuildMetrics(events).PrometheusText()))
+	}
+}
+
+// runChaos mirrors the test suite's all-planes fault storm — trunk failure,
+// controller outage, management-star outage, monitor crash, per-message
+// drops/dups/jitter and noisy predictions — with the flight recorder on.
+func runChaos(scheduler string, seed uint64, outPath, promPath string) {
+	var kind pythia.SchedulerKind
+	switch scheduler {
+	case "ecmp":
+		kind = pythia.SchedulerECMP
+	case "pythia":
+		kind = pythia.SchedulerPythia
+	case "hedera":
+		kind = pythia.SchedulerHedera
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", scheduler)
+		os.Exit(2)
+	}
+	cl := pythia.New(
+		pythia.WithScheduler(kind),
+		pythia.WithOversubscription(10),
+		pythia.WithSeed(seed),
+		pythia.WithDeadline(600),
+		pythia.WithFlightRecorder(),
+		pythia.WithMgmtFaults(pythia.MgmtFaults{
+			DropProb:     0.10,
+			DupProb:      0.15,
+			JitterMaxSec: 0.002,
+			Seed:         99,
+		}),
+		pythia.WithMonitorFaults(pythia.MonitorFaults{CrashProb: 0.10, DowntimeSec: 4, Seed: 7}),
+		pythia.WithPredictionError(0.25, 3),
+		pythia.WithBookingTTL(30),
+		pythia.WithControlPlaneFaults(pythia.ControlPlaneFaults{
+			InstallTimeoutSec: 0.05,
+			MaxRetries:        2,
+			RetryBackoffSec:   0.1,
+		}),
+	)
+	trunks := cl.Trunks()
+	cl.At(5, func() { cl.FailLink(trunks[0]) })
+	cl.At(25, func() { cl.RecoverLink(trunks[0]) })
+	cl.At(8, func() { cl.FailController() })
+	cl.At(18, func() { cl.RecoverController() })
+	cl.At(10, func() { cl.FailMgmt() })
+	cl.At(14, func() { cl.RecoverMgmt() })
+	cl.At(3, func() { cl.CrashMonitor(1) })
+
+	results, err := cl.TryRunJobs(
+		pythia.SortJob(4*pythia.GB, 8, 5),
+		pythia.NutchJob(1*pythia.GB, 4, 6),
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos run: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		fmt.Printf("job %-12s %.1fs (maps %.1fs, shuffle barrier %.1fs)\n",
+			r.Name, r.DurationSec, r.MapPhaseSec, r.ShuffleSec)
+	}
+	events, err := flight.ParseJSONL(cl.FlightJSONL())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "re-parsing own log: %v\n", err)
+		os.Exit(1)
+	}
+	if err := flight.VerifyChains(events); err != nil {
+		fmt.Fprintf(os.Stderr, "span-chain check failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d flight events, span chains verified\n", len(events))
+	fmt.Print(cl.FlightSummary())
+	printQuality(cl.PredictionQuality())
+	if outPath != "" {
+		writeFile(outPath, cl.FlightJSONL())
+	}
+	if promPath != "" {
+		writeFile(promPath, []byte(cl.PrometheusSnapshot()))
+	}
+}
+
+func printQuality(q pythia.PredictionQuality) {
+	if q.CoveredFlows == 0 {
+		return
+	}
+	fmt.Printf("prediction quality: lead p50/p95/max %.3f/%.3f/%.3f s, late %.1f%% of %d covered flows, |byte err| mean %.1f%%\n",
+		q.LeadP50Sec, q.LeadP95Sec, q.LeadMaxSec,
+		q.LateFraction*100, q.CoveredFlows, q.ByteErrMeanAbsFrac*100)
+}
+
+func writeFile(path string, data []byte) {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

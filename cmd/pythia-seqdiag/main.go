@@ -6,6 +6,7 @@
 //	pythia-seqdiag [-workload toy|sort|nutch|wordcount] [-input-gb N]
 //	               [-reduces N] [-scheduler ecmp|pythia|hedera]
 //	               [-oversub N] [-width N] [-svg out.svg] [-seed N]
+//	               [-trace out.json] [-chrome merged.json]
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 	width := flag.Int("width", 100, "diagram width in columns")
 	svgPath := flag.String("svg", "", "also write an SVG to this path")
 	tracePath := flag.String("trace", "", "also write a Chrome trace-event JSON (chrome://tracing / Perfetto) to this path")
+	chromePath := flag.String("chrome", "", "also write a merged Chrome trace (fabric spans + control-plane flight lanes) to this path")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -56,12 +58,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	cl := pythia.New(
+	opts := []pythia.Option{
 		pythia.WithScheduler(kind),
 		pythia.WithOversubscription(*oversub),
 		pythia.WithSeed(*seed),
 		pythia.WithSequenceRecording(),
-	)
+	}
+	if *chromePath != "" {
+		opts = append(opts, pythia.WithFlightRecorder())
+	}
+	cl := pythia.New(opts...)
 	res := cl.RunJob(spec)
 	fmt.Println(cl.SequenceDiagram(*width))
 	fmt.Printf("scheduler=%s oversub=%d job=%.1fs (maps %.1fs, shuffle barrier %.1fs)\n",
@@ -85,5 +91,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *tracePath)
+	}
+	if *chromePath != "" {
+		data, err := cl.MergedChromeTrace()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "building merged trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*chromePath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing merged trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *chromePath)
 	}
 }

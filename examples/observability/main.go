@@ -1,33 +1,44 @@
-// Observability demonstrates the measurement tooling around the simulator,
-// entirely through the facade: it runs one sort job under Pythia at 1:10
-// oversubscription while sampling per-trunk utilization (NetFlow-style link
-// probes), then writes three artifacts into ./out/: the ASCII sequence
-// diagram, a Chrome trace-event JSON (open in chrome://tracing or
-// Perfetto), and per-trunk utilization CSVs showing how Pythia's placement
-// keeps both trunks' shuffle shares within their spare capacities.
+// Observability demonstrates the cross-plane flight recorder, entirely
+// through the facade: it runs one skewed sort job under Pythia at 1:10
+// oversubscription with the recorder on, prints the per-job lifecycle digest
+// (the critical path of the job's worst aggregate — spill detection to flow
+// completion) and the prediction-quality scores, then writes three artifacts
+// into ./out/: the raw JSONL event log, a Prometheus text snapshot of the
+// derived metrics, and a merged Chrome/Perfetto trace combining fabric task
+// spans with the control-plane flight lanes.
 package main
 
 import (
 	"fmt"
 	"os"
-	"strings"
 
 	"pythia"
 )
 
 func main() {
-	// 1:10 oversubscription with the paper's asymmetric 30/70 spare split.
+	// A skewed job keeps one aggregate hot — that aggregate's lifecycle is
+	// the one the summary's critical path tells the story of.
 	cl := pythia.New(
 		pythia.WithScheduler(pythia.SchedulerPythia),
 		pythia.WithOversubscription(10),
 		pythia.WithSequenceRecording(),
+		pythia.WithFlightRecorder(),
 	)
-	trunks := cl.Trunks()
-	probe := cl.Probe(0.5, trunks...)
-
 	res := cl.RunJob(pythia.SortJob(8*pythia.GB, 8, 3))
-	fmt.Printf("sort finished in %.1fs under Pythia\n\n", res.DurationSec)
-	fmt.Println(cl.SequenceDiagram(96))
+	fmt.Printf("sort finished in %.1fs under Pythia, %d flight events recorded\n\n",
+		res.DurationSec, cl.FlightEventCount())
+
+	// Per-job digest: event volumes, per-plane latencies, and the critical
+	// path of the worst (largest) aggregate.
+	fmt.Print(cl.FlightSummary())
+
+	// Prediction quality: did the rules beat the flows onto the fabric?
+	q := cl.PredictionQuality()
+	fmt.Printf("\nprediction lead time p50/p95/max: %.3f/%.3f/%.3f s\n",
+		q.LeadP50Sec, q.LeadP95Sec, q.LeadMaxSec)
+	fmt.Printf("late predictions: %.1f%% of %d covered flows\n",
+		q.LateFraction*100, q.CoveredFlows)
+	fmt.Printf("predicted-vs-actual byte error: %.2f%% mean\n", q.ByteErrMeanAbsFrac*100)
 
 	if err := os.MkdirAll("out", 0o755); err != nil {
 		panic(err)
@@ -38,22 +49,16 @@ func main() {
 		}
 		fmt.Printf("wrote out/%s\n", name)
 	}
-	must("seqdiag.svg", []byte(cl.SequenceDiagramSVG()))
-	chrome, err := cl.ChromeTrace()
+	// Raw event log: one JSON object per line, byte-identical across
+	// same-seed runs.
+	must("flight.jsonl", cl.FlightJSONL())
+	// Derived metrics in Prometheus text exposition format.
+	must("metrics.prom", []byte(cl.PrometheusSnapshot()))
+	// Fabric spans (pid 0) + control-plane lanes (pid 1) in one trace; open
+	// in chrome://tracing or Perfetto.
+	merged, err := cl.MergedChromeTrace()
 	if err != nil {
 		panic(err)
 	}
-	must("job.trace.json", chrome)
-
-	for i, tr := range trunks {
-		var b strings.Builder
-		b.WriteString("t_sec,utilization,shuffle_mbps\n")
-		for _, s := range probe.Series(tr) {
-			fmt.Fprintf(&b, "%.1f,%.3f,%.1f\n", s.TSec, s.Utilization, s.ShuffleBps/1e6)
-		}
-		must(fmt.Sprintf("trunk%d.csv", i), []byte(b.String()))
-		fmt.Printf("%s: mean utilization %.0f%%, peak shuffle %.0f Mbps, carried %.2f GB\n",
-			cl.LinkName(tr), probe.MeanUtilization(tr)*100, probe.PeakShuffleBps(tr)/1e6,
-			cl.LinkCarriedGB(tr))
-	}
+	must("merged.trace.json", merged)
 }

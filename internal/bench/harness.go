@@ -9,6 +9,7 @@ import (
 
 	"pythia/internal/core"
 	"pythia/internal/ecmp"
+	"pythia/internal/flight"
 	"pythia/internal/hadoop"
 	"pythia/internal/hedera"
 	"pythia/internal/instrument"
@@ -130,6 +131,10 @@ type TrialConfig struct {
 	// CollectFlowHistory records every completed flow's identity and
 	// timing in the result — the golden data for determinism tests.
 	CollectFlowHistory bool
+	// CollectFlight attaches the cross-plane flight recorder and scores the
+	// run's prediction quality (lead time, late fraction, byte error) into
+	// TrialResult.Quality. Pure observer: results are unchanged.
+	CollectFlight bool
 	// DisableIndexes reverts netsim telemetry and Pythia path scoring to
 	// the pre-index full-scan reference implementations (scan baseline).
 	// Results must be bit-identical either way; this knob exists so tests
@@ -179,6 +184,9 @@ type TrialResult struct {
 	// FlowHistory lists every completed flow in completion order
 	// (CollectFlowHistory only).
 	FlowHistory []FlowRecord
+	// Quality scores the prediction plane's race against the shuffle
+	// (CollectFlight only).
+	Quality *flight.Quality
 }
 
 // FaultCounters aggregates one trial's prediction-plane fault and recovery
@@ -307,9 +315,20 @@ func RunTrial(cfg TrialConfig) TrialResult {
 	var py *core.Pythia
 	var sink instrument.Sink = nullSink{}
 	var mn *mgmtnet.Network
+	var fr *flight.Recorder
+	if cfg.CollectFlight {
+		// Guarded wiring: a typed-nil *Recorder in the producers' Sink
+		// fields would defeat their nil checks.
+		fr = flight.NewRecorder(eng)
+		net.SetFlightRecorder(fr)
+		cfg.Instrument.Flight = fr
+	}
 	if cfg.ExplicitControlPlane {
 		mn = mgmtnet.New(eng, mgmtnet.Config{})
 		cfg.Instrument.Mgmt = mn
+		if fr != nil {
+			mn.SetFlightRecorder(fr)
+		}
 	}
 	switch cfg.Scheduler {
 	case ECMP:
@@ -325,6 +344,10 @@ func RunTrial(cfg TrialConfig) TrialResult {
 		py = core.New(eng, net, ofc, cfg.PythiaCfg)
 		if alloc == netsim.AllocScan {
 			py.SetScanBaseline(true)
+		}
+		if fr != nil {
+			ofc.SetFlightRecorder(fr)
+			py.SetFlightRecorder(fr)
 		}
 		resolver = ofc
 		sink = py
@@ -388,6 +411,10 @@ func RunTrial(cfg TrialConfig) TrialResult {
 	}
 	if cfg.CollectPrediction {
 		res.Prediction = buildPredictionCapture(g, cluster, job, tee, nfc)
+	}
+	if fr != nil {
+		q := flight.ComputeQuality(fr.Events())
+		res.Quality = &q
 	}
 	if cfg.CollectFlowHistory {
 		res.FlowHistory = make([]FlowRecord, 0, net.CompletedFlows())

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"pythia/internal/flight"
 	"pythia/internal/netsim"
 	"pythia/internal/workload"
 )
@@ -36,6 +37,9 @@ type ScaleFatTreeResult struct {
 	// BENCH_scale artifact so the trajectory stays comparable; the scale run
 	// is healthy, so they must all read zero.
 	Faults FaultCounters
+	// Quality carries the flight recorder's prediction scores (lead time,
+	// late fraction, byte error) into the BENCH_scale artifact.
+	Quality *flight.Quality
 }
 
 // FatTreeHosts returns the host count of the k-ary fat-tree used by
@@ -63,6 +67,8 @@ func RunScaleFatTree(cfg ScaleFatTreeConfig) ScaleFatTreeResult {
 		DisableIndexes:     cfg.DisableIndexes,
 		Alloc:              cfg.Alloc,
 		CollectFlowHistory: true,
+		CollectFlight:      true,
 	})
-	return ScaleFatTreeResult{Hosts: hosts, JobSec: res.JobSec, FlowHistory: res.FlowHistory, Faults: res.Faults}
+	return ScaleFatTreeResult{Hosts: hosts, JobSec: res.JobSec, FlowHistory: res.FlowHistory,
+		Faults: res.Faults, Quality: res.Quality}
 }

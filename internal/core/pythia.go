@@ -13,7 +13,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
+	"pythia/internal/flight"
 	"pythia/internal/instrument"
 	"pythia/internal/netsim"
 	"pythia/internal/openflow"
@@ -178,6 +181,11 @@ type Pythia struct {
 	// on the management network).
 	jobLastSeen map[int]sim.Time
 
+	// fl, when non-nil, receives collector-plane flight events. Recording is
+	// pure observation: it never changes an allocation decision, so enabled
+	// and disabled runs stay bit-identical.
+	fl flight.Sink
+
 	// Metrics.
 	IntentsReceived int
 	IntentsDeferred int // had at least one unknown destination
@@ -247,6 +255,10 @@ func New(eng *sim.Engine, net *netsim.Network, ofc *openflow.Controller, cfg Con
 
 var _ instrument.Sink = (*Pythia)(nil)
 var _ instrument.JobDoneSink = (*Pythia)(nil)
+
+// SetFlightRecorder installs a flight-event sink. Pass a non-nil sink only;
+// leave the field nil to disable recording.
+func (p *Pythia) SetFlightRecorder(s flight.Sink) { p.fl = s }
 
 // SetScanBaseline reverts pathScore's booked-demand pass to the pre-index
 // full-aggregate scan. The placement index is maintained either way; the
@@ -334,11 +346,17 @@ func (p *Pythia) ShuffleIntent(in instrument.Intent) {
 	k := [3]int{in.Job, in.Map, in.Attempt}
 	if p.seen[k] {
 		p.DedupHits++
+		p.recordIntent(in, flight.DispDup)
 		return
 	}
 	p.seen[k] = true
 	p.touch(in.Job)
 	p.IntentsReceived++
+	if in.Late {
+		p.recordIntent(in, flight.DispLate)
+	} else {
+		p.recordIntent(in, flight.DispOK)
+	}
 	pi := &pendingIntent{intent: in, unresolved: make(map[int]float64), at: p.eng.Now()}
 	for r, bytes := range in.PredictedWireBytes {
 		if bytes <= 0 {
@@ -359,6 +377,11 @@ func (p *Pythia) ShuffleIntent(in instrument.Intent) {
 func (p *Pythia) ReducerUp(up instrument.ReducerUp) {
 	p.touch(up.Job)
 	p.reducerLoc[[2]int{up.Job, up.Reduce}] = up.Host
+	if p.fl != nil {
+		ev := flight.Ev(flight.ReducerUpSeen, flight.PlaneCollector)
+		ev.Job, ev.Reduce, ev.Dst = up.Job, up.Reduce, up.Host
+		p.fl.Record(ev)
+	}
 	remaining := p.pending[:0]
 	for _, pi := range p.pending {
 		p.resolveIntent(pi)
@@ -376,8 +399,17 @@ func (p *Pythia) ReducerUp(up instrument.ReducerUp) {
 // resolveIntent moves resolvable per-reducer demand into pair aggregates.
 func (p *Pythia) resolveIntent(pi *pendingIntent) {
 	in := pi.intent
+	// Resolve in reducer-ID order: map iteration order is random, and the
+	// flight recorder logs one booking per reducer — event order must be
+	// deterministic. (The bookings themselves are order-independent.)
+	reducers := make([]int, 0, len(pi.unresolved))
+	for r := range pi.unresolved {
+		reducers = append(reducers, r)
+	}
+	sort.Ints(reducers)
 	var done []int
-	for r, bytes := range pi.unresolved {
+	for _, r := range reducers {
+		bytes := pi.unresolved[r]
 		dst, ok := p.reducerLoc[[2]int{in.Job, r}]
 		if !ok {
 			continue
@@ -391,6 +423,7 @@ func (p *Pythia) resolveIntent(pi *pendingIntent) {
 		}
 		bits := bytes * 8
 		fk := flowKey{in.Job, in.Map, r}
+		disp := flight.DispNew
 		if prev, dup := p.booked[fk]; dup {
 			// Duplicate intent for the same (job, map, reducer) — e.g. a
 			// speculative map attempt spilled a second copy on another
@@ -398,8 +431,17 @@ func (p *Pythia) resolveIntent(pi *pendingIntent) {
 			// single booking (replace, don't add).
 			p.DuplicateIntents++
 			p.unbook(fk, prev)
+			disp = flight.DispReplaced
 		}
 		p.booked[fk] = booking{bits: bits, src: in.SrcHost, dst: dst, at: p.eng.Now()}
+		if p.fl != nil {
+			ev := flight.Ev(flight.BookingMade, flight.PlaneCollector)
+			ev.Job, ev.Map, ev.Attempt, ev.Reduce = in.Job, in.Map, in.Attempt, r
+			ev.Src, ev.Dst = in.SrcHost, dst
+			ev.Bytes = bytes
+			ev.Disposition = disp
+			p.fl.Record(ev)
+		}
 		p.redBacklog[[2]int{in.Job, r}] += bits
 		key := p.aggKey(in.SrcHost, dst)
 		agg := p.aggregates[key]
@@ -464,12 +506,26 @@ func (p *Pythia) sweepExpired() {
 		delete(p.booked, fk)
 		p.unbook(fk, b)
 		p.ExpiredBookings++
+		if p.fl != nil {
+			ev := flight.Ev(flight.BookingExpired, flight.PlaneCollector)
+			ev.Job, ev.Map, ev.Reduce = fk.job, fk.mapID, fk.reduce
+			ev.Src, ev.Dst = b.src, b.dst
+			ev.Bytes = b.bits / 8
+			p.fl.Record(ev)
+		}
 	}
 
 	remaining := p.pending[:0]
 	for _, pi := range p.pending {
 		if now.Sub(pi.at) >= ttl {
 			p.ExpiredIntents++
+			if p.fl != nil {
+				ev := flight.Ev(flight.IntentExpired, flight.PlaneCollector)
+				ev.Job, ev.Map, ev.Attempt = pi.intent.Job, pi.intent.Map, pi.intent.Attempt
+				ev.Src = pi.intent.SrcHost
+				ev.Count = len(pi.unresolved)
+				p.fl.Record(ev)
+			}
 			continue
 		}
 		remaining = append(remaining, pi)
@@ -596,13 +652,65 @@ func (p *Pythia) allocate() {
 		}
 		best := paths[0]
 		bestScore := p.pathScore(paths[0], a)
-		for _, cand := range paths[1:] {
-			if s := p.pathScore(cand, a); s > bestScore {
-				best, bestScore = cand, s
+		chosen := 0
+		var scores []float64
+		if p.fl != nil {
+			scores = append(scores, bestScore)
+		}
+		for i, cand := range paths[1:] {
+			s := p.pathScore(cand, a)
+			if p.fl != nil {
+				scores = append(scores, s)
 			}
+			if s > bestScore {
+				best, bestScore = cand, s
+				chosen = i + 1
+			}
+		}
+		if p.fl != nil {
+			ev := flight.Ev(flight.Placement, flight.PlaneCollector)
+			ev.Src, ev.Dst = a.key.src, a.key.dst
+			ev.Bytes = a.demandBits / 8
+			ev.Count = len(paths)
+			ev.Path = pathString(best)
+			ev.Detail = placementDetail(scores, chosen, crit(a), p.cfg.UseCriticality)
+			p.fl.Record(ev)
 		}
 		p.place(a, best)
 	}
+}
+
+// pathString renders a path's link IDs for flight events.
+func pathString(path topology.Path) string {
+	var b strings.Builder
+	for i, l := range path.Links {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(l)))
+	}
+	return b.String()
+}
+
+// placementDetail renders the bin-packing rationale: every candidate's
+// estimated bandwidth, which index won, and (when the criticality criterion
+// is active) the barrier backlog that prioritized the aggregate.
+func placementDetail(scores []float64, chosen int, crit float64, useCrit bool) string {
+	var b strings.Builder
+	b.WriteString("scores=")
+	for i, s := range scores {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(s, 'g', 4, 64))
+	}
+	b.WriteString(" chosen=")
+	b.WriteString(strconv.Itoa(chosen))
+	if useCrit {
+		b.WriteString(" crit=")
+		b.WriteString(strconv.FormatFloat(crit, 'g', 4, 64))
+	}
+	return b.String()
 }
 
 // pathScore estimates the bandwidth an aggregate would receive on a path:
@@ -740,6 +848,12 @@ func (p *Pythia) degrade(a *aggregate) {
 	a.degraded = true
 	p.unindexAgg(a)
 	p.AggregatesDegraded++
+	if p.fl != nil {
+		ev := flight.Ev(flight.Degraded, flight.PlaneCollector)
+		ev.Src, ev.Dst = a.key.src, a.key.dst
+		ev.Bytes = a.demandBits / 8
+		p.fl.Record(ev)
+	}
 }
 
 // onControllerUp reconciles degraded aggregates once management
@@ -757,7 +871,28 @@ func (p *Pythia) onControllerUp() {
 		return
 	}
 	p.Reconciliations += n
+	if p.fl != nil {
+		// One aggregated event: the loop above iterates an unsorted map, so
+		// per-aggregate events here would be order-nondeterministic.
+		ev := flight.Ev(flight.Reconciled, flight.PlaneCollector)
+		ev.Count = n
+		p.fl.Record(ev)
+	}
 	p.allocate()
+}
+
+// recordIntent emits the intent-received flight event; a no-op when the
+// recorder is disabled.
+func (p *Pythia) recordIntent(in instrument.Intent, disp string) {
+	if p.fl == nil {
+		return
+	}
+	ev := flight.Ev(flight.IntentReceived, flight.PlaneCollector)
+	ev.Job, ev.Map, ev.Attempt, ev.Src = in.Job, in.Map, in.Attempt, in.SrcHost
+	ev.Count = len(in.PredictedWireBytes)
+	ev.DelaySec = float64(in.EmittedAt.Sub(in.MapFinishedAt))
+	ev.Disposition = disp
+	p.fl.Record(ev)
 }
 
 // onFlowComplete drains delivered demand and releases rules for pairs whose

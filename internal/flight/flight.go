@@ -1,0 +1,203 @@
+// Package flight is the cross-plane flight recorder: every prediction that
+// moves through the simulator — from the moment a map task spills on a host
+// to the moment the predicted shuffle flow completes on the fabric — leaves
+// a trail of typed, simulated-time-stamped events. The recorder is strictly
+// an observer: it never schedules engine events, never draws randomness, and
+// never changes a decision, so a run with the recorder enabled is
+// bit-identical to the same run without it.
+//
+// Determinism contract:
+//   - Events are appended in engine callback order, which is deterministic
+//     for a fixed seed (the engine orders same-instant events FIFO).
+//   - Timestamps come from the simulation clock only; no wall clock anywhere.
+//   - Serialization uses encoding/json struct marshaling (fixed field order),
+//     so the JSONL export of a seeded run is byte-identical across runs.
+//
+// Overhead contract: every producer holds the recorder behind a Sink
+// interface field that is nil-checked before any event is constructed, so
+// the disabled path costs one pointer compare and zero allocations
+// (guarded by BenchmarkRecorderDisabled).
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// Kind names one step of the prediction lifecycle.
+type Kind string
+
+// Lifecycle event kinds, in rough causal order.
+const (
+	// Monitor plane (internal/instrument).
+	SpillDetected  Kind = "spill-detected"  // map output committed on a host; disposition ok|missed|crash
+	IndexDecoded   Kind = "index-decoded"   // spill index file decoded into per-partition sizes
+	IntentEnqueued Kind = "intent-enqueued" // shuffle intent handed to the mgmt network; disposition late for backlog re-emits
+	IntentDropped  Kind = "intent-dropped"  // in-flight message discarded at delivery (job already done)
+
+	// Management network plane (internal/mgmtnet).
+	MgmtSent       Kind = "mgmt-sent"     // message serialized onto the mgmt port; DelaySec = queueing delay
+	MgmtDropped    Kind = "mgmt-dropped"  // message lost (fault draw or outage drop policy)
+	MgmtDuplicated Kind = "mgmt-dup"      // fault plane delivered a second copy
+	MgmtDeferred   Kind = "mgmt-deferred" // outage with defer policy parked the message
+
+	// Collector plane (internal/core).
+	IntentReceived Kind = "intent-received" // collector accepted an intent; disposition ok|dup|late
+	ReducerUpSeen  Kind = "reducer-up"      // reducer location learned
+	BookingMade    Kind = "booking"         // per-(job,map,reduce) demand booked; disposition new|replaced
+	BookingExpired Kind = "booking-expired" // TTL sweep evicted a booking
+	IntentExpired  Kind = "intent-expired"  // TTL sweep evicted an unresolved intent
+	Placement      Kind = "placement"       // aggregate placed on a path; Detail carries candidate scores
+	Degraded       Kind = "degraded"        // aggregate gave up on rule install, degraded to ECMP
+	Reconciled     Kind = "reconciled"      // controller recovery re-placed Count aggregates
+
+	// Control plane (internal/openflow).
+	InstallStart   Kind = "install-start"   // FLOW_MOD fan-out began; Count = hops
+	InstallDone    Kind = "install-done"    // install acked; DelaySec = RTT; disposition ok|error
+	FlowModRetry   Kind = "flowmod-retry"   // timeout fired, FLOW_MOD retransmitted; Count = attempt number
+	FlowModDropped Kind = "flowmod-dropped" // FLOW_MOD lost; disposition outage|drop
+
+	// Fabric plane (internal/netsim).
+	FlowAdmitted  Kind = "flow-admitted"  // shuffle flow started on the fabric; Bytes = actual wire bytes
+	FlowCompleted Kind = "flow-completed" // shuffle flow finished; Bytes = actual, DelaySec = duration
+)
+
+// Plane names which simulator layer emitted an event.
+type Plane string
+
+// Planes, one per instrumented subsystem.
+const (
+	PlaneMonitor   Plane = "monitor"
+	PlaneMgmt      Plane = "mgmt"
+	PlaneCollector Plane = "collector"
+	PlaneControl   Plane = "control"
+	PlaneFabric    Plane = "fabric"
+)
+
+// Dispositions qualify how an event resolved.
+const (
+	DispOK       = "ok"
+	DispLate     = "late"
+	DispDup      = "dup"
+	DispMissed   = "missed"
+	DispCrash    = "crash"
+	DispJobDone  = "job-done"
+	DispNew      = "new"
+	DispReplaced = "replaced"
+	DispError    = "error"
+	DispOutage   = "outage"
+	DispDrop     = "drop"
+)
+
+// Event is one flight-recorder span point. Identity fields (Job, Map,
+// Attempt, Reduce, Src, Dst) use -1 for "not applicable" and are always
+// serialized so the JSONL schema is uniform; payload fields are omitted
+// when zero. The recorder stamps T; producers fill the rest.
+type Event struct {
+	T           sim.Time        `json:"t"`
+	Kind        Kind            `json:"kind"`
+	Plane       Plane           `json:"plane"`
+	Job         int             `json:"job"`
+	Map         int             `json:"map"`
+	Attempt     int             `json:"attempt"`
+	Reduce      int             `json:"reduce"`
+	Src         topology.NodeID `json:"src"`
+	Dst         topology.NodeID `json:"dst"`
+	Cookie      uint64          `json:"cookie,omitempty"`
+	Count       int             `json:"count,omitempty"`
+	Bytes       float64         `json:"bytes,omitempty"`
+	DelaySec    float64         `json:"delay_sec,omitempty"`
+	Disposition string          `json:"disposition,omitempty"`
+	Path        string          `json:"path,omitempty"`
+	Detail      string          `json:"detail,omitempty"`
+}
+
+// Ev returns an Event of the given kind and plane with all identity fields
+// set to -1 ("not applicable"). It is a plain struct literal — no heap
+// allocation — so producers can build events on the stack after their
+// nil-sink check.
+func Ev(kind Kind, plane Plane) Event {
+	return Event{Kind: kind, Plane: plane, Job: -1, Map: -1, Attempt: -1, Reduce: -1, Src: -1, Dst: -1}
+}
+
+// Sink receives flight events. Producers hold it as an interface field and
+// MUST nil-check it before constructing an event; a nil sink means the
+// recorder is disabled and the hot path must stay allocation-free. Never
+// store a typed-nil *Recorder in a Sink field — leave the field nil.
+type Sink interface {
+	Record(Event)
+}
+
+// Recorder is the standard Sink: it stamps each event with the simulation
+// clock and appends it to an in-memory log.
+type Recorder struct {
+	eng    *sim.Engine
+	events []Event
+}
+
+// NewRecorder returns a Recorder reading timestamps from eng.
+func NewRecorder(eng *sim.Engine) *Recorder {
+	return &Recorder{eng: eng}
+}
+
+// Record stamps ev with the current simulated time and appends it.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	ev.T = r.eng.Now()
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded log in append order. The slice is shared with
+// the recorder; callers must not mutate it.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Len reports how many events have been recorded.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// JSONL serializes the log as one JSON object per line, in append order.
+// For a fixed seed the output is byte-identical across runs.
+func (r *Recorder) JSONL() []byte { return MarshalJSONL(r.Events()) }
+
+// MarshalJSONL renders events as JSON Lines.
+func MarshalJSONL(events []Event) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			// Event contains only plain scalar fields; Marshal cannot fail.
+			panic(fmt.Sprintf("flight: marshal event: %v", err))
+		}
+	}
+	return buf.Bytes()
+}
+
+// ParseJSONL decodes a JSON Lines log produced by MarshalJSONL. Blank lines
+// are skipped.
+func ParseJSONL(data []byte) ([]Event, error) {
+	var events []Event
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for dec.More() {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("flight: parse JSONL event %d: %w", len(events), err)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}

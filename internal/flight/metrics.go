@@ -1,0 +1,230 @@
+package flight
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Registry is a deterministic metrics registry: counters, gauges, and
+// fixed-bucket histograms keyed by name. It never touches the wall clock
+// and its text snapshot sorts every series by name, so two identical runs
+// render byte-identical snapshots. Metric names follow Prometheus
+// conventions and may carry a `{label="value"}` suffix; HELP/TYPE headers
+// are emitted once per base name.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string // keyed by base name (label suffix stripped)
+	typ        map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		help:       map[string]string{},
+		typ:        map[string]string{},
+	}
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v float64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d (must be non-negative; not enforced).
+func (c *Counter) Add(d float64) { c.v += d }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram counts observations into fixed buckets with Prometheus `le`
+// (less-or-equal) semantics: an observation lands in the first bucket whose
+// upper edge is >= the value; values above the last edge land in the
+// implicit +Inf bucket. NaN observations are ignored (they would poison the
+// running sum and break determinism of comparisons).
+type Histogram struct {
+	edges  []float64 // ascending upper bounds, exclusive of +Inf
+	counts []uint64  // len(edges)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.edges, v) // first i with edges[i] >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Buckets returns the bucket edges and per-bucket (non-cumulative) counts;
+// the final count is the +Inf bucket.
+func (h *Histogram) Buckets() (edges []float64, counts []uint64) {
+	return h.edges, h.counts
+}
+
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (r *Registry) register(name, help, typ string) {
+	base := baseName(name)
+	if _, ok := r.help[base]; !ok {
+		r.help[base] = help
+		r.typ[base] = typ
+	} else if r.typ[base] != typ {
+		panic(fmt.Sprintf("flight: metric %q re-registered as %s, was %s", base, typ, r.typ[base]))
+	}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.register(name, help, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.register(name, help, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with the
+// given ascending bucket edges if needed. Edges must be sorted ascending;
+// re-registration ignores the edges argument.
+func (r *Registry) Histogram(name, help string, edges []float64) *Histogram {
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	if !sort.Float64sAreSorted(edges) {
+		panic(fmt.Sprintf("flight: histogram %q edges not ascending: %v", name, edges))
+	}
+	r.register(name, help, "histogram")
+	h := &Histogram{edges: append([]float64(nil), edges...), counts: make([]uint64, len(edges)+1)}
+	r.histograms[name] = h
+	return h
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// splitLabels splits "name{a="b"}" into ("name", `a="b"`).
+func splitLabels(name string) (string, string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// PrometheusText renders every metric in the Prometheus text exposition
+// format, sorted by series name so the snapshot is deterministic.
+func (r *Registry) PrometheusText() string {
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	seenHeader := map[string]bool{}
+	header := func(base string) {
+		if seenHeader[base] {
+			return
+		}
+		seenHeader[base] = true
+		fmt.Fprintf(&b, "# HELP %s %s\n", base, r.help[base])
+		fmt.Fprintf(&b, "# TYPE %s %s\n", base, r.typ[base])
+	}
+	series := func(base, labels, suffix, extra, value string) {
+		b.WriteString(base)
+		b.WriteString(suffix)
+		all := labels
+		if extra != "" {
+			if all != "" {
+				all += ","
+			}
+			all += extra
+		}
+		if all != "" {
+			b.WriteString("{")
+			b.WriteString(all)
+			b.WriteString("}")
+		}
+		b.WriteString(" ")
+		b.WriteString(value)
+		b.WriteString("\n")
+	}
+	for _, name := range names {
+		base, labels := splitLabels(name)
+		header(base)
+		if c, ok := r.counters[name]; ok {
+			series(base, labels, "", "", formatFloat(c.v))
+			continue
+		}
+		if g, ok := r.gauges[name]; ok {
+			series(base, labels, "", "", formatFloat(g.v))
+			continue
+		}
+		h := r.histograms[name]
+		var cum uint64
+		for i, edge := range h.edges {
+			cum += h.counts[i]
+			series(base, labels, "_bucket", `le="`+formatFloat(edge)+`"`, strconv.FormatUint(cum, 10))
+		}
+		cum += h.counts[len(h.edges)]
+		series(base, labels, "_bucket", `le="+Inf"`, strconv.FormatUint(cum, 10))
+		series(base, labels, "_sum", "", formatFloat(h.sum))
+		series(base, labels, "_count", "", strconv.FormatUint(h.count, 10))
+	}
+	return b.String()
+}

@@ -3,6 +3,7 @@ package instrument
 import (
 	"fmt"
 
+	"pythia/internal/flight"
 	"pythia/internal/hadoop"
 	"pythia/internal/mgmtnet"
 	"pythia/internal/sim"
@@ -96,6 +97,10 @@ type Config struct {
 	// MonitorFaults, when non-nil, enables seeded per-host monitor
 	// crash/restart.
 	MonitorFaults *MonitorFaultConfig
+	// Flight, when non-nil, receives monitor-plane lifecycle events
+	// (spill detected, index decoded, intent enqueued/dropped). Leave nil
+	// to disable recording at zero cost; never store a typed-nil recorder.
+	Flight flight.Sink
 }
 
 // MonitorFaultConfig models per-host monitor process failures.
@@ -167,6 +172,7 @@ type Middleware struct {
 	eng  *sim.Engine
 	cfg  Config
 	sink Sink
+	fl   flight.Sink
 
 	// overhead accounting
 	attachedAt sim.Time
@@ -213,6 +219,7 @@ func Attach(eng *sim.Engine, cluster *hadoop.Cluster, sink Sink, cfg Config) *Mi
 		eng:          eng,
 		cfg:          cfg.Defaults(),
 		sink:         sink,
+		fl:           cfg.Flight,
 		attachedAt:   eng.Now(),
 		spills:       make(map[topology.NodeID]int),
 		hosts:        cluster.Hosts(),
@@ -295,6 +302,12 @@ func (m *Middleware) sendReducerUp(job, reduce int, host topology.NodeID) {
 	m.send(host, 64, func() {
 		if m.jobDone[job] {
 			m.InFlightDropped++
+			if m.fl != nil {
+				ev := flight.Ev(flight.IntentDropped, flight.PlaneMonitor)
+				ev.Job, ev.Reduce, ev.Src = job, reduce, host
+				ev.Disposition = flight.DispJobDone
+				m.fl.Record(ev)
+			}
 			return
 		}
 		m.sink.ReducerUp(up)
@@ -323,6 +336,7 @@ func (m *Middleware) onSpill(cluster *hadoop.Cluster, j *hadoop.Job, task *hadoo
 	if m.down[host] {
 		// The spill file hit the disk, but nobody is watching the
 		// directory: the notification is lost until a restart re-scan.
+		m.recordSpill(host, j.ID, task.ID, sp.Attempt, flight.DispMissed)
 		m.MissedSpills++
 		m.missedSpills[host] = append(m.missedSpills[host], missedSpill{
 			job: j.ID, mapID: task.ID, attempt: sp.Attempt,
@@ -335,6 +349,7 @@ func (m *Middleware) onSpill(cluster *hadoop.Cluster, j *hadoop.Job, task *hadoo
 		// the backlog its successor will recover, and a supervisor restarts
 		// the process after the configured downtime.
 		m.crash(host)
+		m.recordSpill(host, j.ID, task.ID, sp.Attempt, flight.DispCrash)
 		m.MissedSpills++
 		m.missedSpills[host] = append(m.missedSpills[host], missedSpill{
 			job: j.ID, mapID: task.ID, attempt: sp.Attempt,
@@ -342,6 +357,7 @@ func (m *Middleware) onSpill(cluster *hadoop.Cluster, j *hadoop.Job, task *hadoo
 		})
 		return
 	}
+	m.recordSpill(host, j.ID, task.ID, sp.Attempt, flight.DispOK)
 
 	delay := m.cfg.FSNotifyDelay +
 		m.cfg.DecodeBase +
@@ -396,15 +412,51 @@ func (m *Middleware) emitIntent(host topology.NodeID, job, mapID, attempt int, p
 		if late {
 			m.LateIntents++
 		}
+		if m.fl != nil {
+			ev := flight.Ev(flight.IndexDecoded, flight.PlaneMonitor)
+			ev.Job, ev.Map, ev.Attempt, ev.Src = job, mapID, attempt, host
+			ev.Count = len(idx.Segments)
+			m.fl.Record(ev)
+			var total float64
+			for _, p := range pred {
+				total += p
+			}
+			ev = flight.Ev(flight.IntentEnqueued, flight.PlaneMonitor)
+			ev.Job, ev.Map, ev.Attempt, ev.Src = job, mapID, attempt, host
+			ev.Count = len(pred)
+			ev.Bytes = total
+			if late {
+				ev.Disposition = flight.DispLate
+			}
+			m.fl.Record(ev)
+		}
 		m.send(host, float64(32+8*len(pred)), func() {
 			if m.jobDone[job] {
 				m.InFlightDropped++
+				if m.fl != nil {
+					ev := flight.Ev(flight.IntentDropped, flight.PlaneMonitor)
+					ev.Job, ev.Map, ev.Attempt, ev.Src = job, mapID, attempt, host
+					ev.Disposition = flight.DispJobDone
+					m.fl.Record(ev)
+				}
 				return
 			}
 			intent.EmittedAt = m.eng.Now()
 			m.sink.ShuffleIntent(intent)
 		})
 	})
+}
+
+// recordSpill emits the spill-detected flight event; a no-op when the
+// recorder is disabled.
+func (m *Middleware) recordSpill(host topology.NodeID, job, mapID, attempt int, disp string) {
+	if m.fl == nil {
+		return
+	}
+	ev := flight.Ev(flight.SpillDetected, flight.PlaneMonitor)
+	ev.Job, ev.Map, ev.Attempt, ev.Src = job, mapID, attempt, host
+	ev.Disposition = disp
+	m.fl.Record(ev)
 }
 
 // crash marks a host's monitor dead and, when monitor faults are configured

@@ -16,6 +16,7 @@ package mgmtnet
 import (
 	"fmt"
 
+	"pythia/internal/flight"
 	"pythia/internal/sim"
 	"pythia/internal/stats"
 	"pythia/internal/topology"
@@ -89,6 +90,10 @@ type Network struct {
 	down     bool
 	deferred []deferredSend
 
+	// fl, when non-nil, receives per-message flight events. Kept nil when
+	// recording is disabled so the hot path stays allocation-free.
+	fl flight.Sink
+
 	// Messages and Bytes count traffic put on the wire toward delivery
 	// (duplicate copies included, dropped transmissions excluded).
 	Messages uint64
@@ -117,6 +122,23 @@ func New(eng *sim.Engine, cfg Config) *Network {
 func (n *Network) SetFaults(cfg FaultConfig) {
 	n.faults = cfg
 	n.rng = stats.NewRNG(cfg.Seed)
+}
+
+// SetFlightRecorder installs a flight-event sink. Pass a non-nil sink only;
+// leave the field nil to disable recording.
+func (n *Network) SetFlightRecorder(s flight.Sink) { n.fl = s }
+
+// recordMsg emits one per-message flight event; no-op when disabled.
+func (n *Network) recordMsg(kind flight.Kind, from topology.NodeID, bytes float64, queueDelay sim.Duration, disp string) {
+	if n.fl == nil {
+		return
+	}
+	ev := flight.Ev(kind, flight.PlaneMgmt)
+	ev.Src = from
+	ev.Bytes = bytes
+	ev.DelaySec = float64(queueDelay)
+	ev.Disposition = disp
+	n.fl.Record(ev)
 }
 
 // Fail takes the whole management star down (the management switch reboots
@@ -156,8 +178,10 @@ func (n *Network) Send(from topology.NodeID, bytes float64, deliver func()) {
 		if n.faults.DeferDuringOutage {
 			n.Deferred++
 			n.deferred = append(n.deferred, deferredSend{from, bytes, deliver})
+			n.recordMsg(flight.MgmtDeferred, from, bytes, 0, flight.DispOutage)
 		} else {
 			n.Dropped++
+			n.recordMsg(flight.MgmtDropped, from, bytes, 0, flight.DispOutage)
 		}
 		return
 	}
@@ -184,15 +208,18 @@ func (n *Network) transmit(from topology.NodeID, bytes float64, deliver func()) 
 		// The bits left the port and died in the star: port time is spent,
 		// nothing arrives.
 		n.Dropped++
+		n.recordMsg(flight.MgmtDropped, from, bytes, queueDelay, flight.DispDrop)
 		return
 	}
 	n.Messages++
 	n.Bytes += bytes
+	n.recordMsg(flight.MgmtSent, from, bytes, queueDelay, "")
 	n.eng.At(done.Add(n.deliveryDelay()), deliver)
 	if n.rng != nil && n.faults.DupProb > 0 && n.rng.Float64() < n.faults.DupProb {
 		n.Duplicated++
 		n.Messages++
 		n.Bytes += bytes
+		n.recordMsg(flight.MgmtDuplicated, from, bytes, queueDelay, "")
 		n.eng.At(done.Add(n.deliveryDelay()), deliver)
 	}
 }

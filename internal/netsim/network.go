@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"pythia/internal/flight"
 	"pythia/internal/sim"
 	"pythia/internal/topology"
 )
@@ -188,6 +189,12 @@ type Network struct {
 	linkBits      []float64 // data bits carried per link (excl. background)
 	hostTxBits    []float64 // bits sourced per host (shuffle only)
 	completionFns []func(*Flow)
+
+	// fl, when non-nil, receives fabric-plane flight events for shuffle
+	// flows. The nil check in recordFlow is the whole disabled-path cost:
+	// the field must stay nil (never a typed-nil recorder) so StartFlow and
+	// completion remain allocation-free without the recorder.
+	fl flight.Sink
 
 	// localBps is the rate for zero-hop flows (source and sink on the
 	// same server: a reducer fetching from a co-located mapper goes over
@@ -398,7 +405,35 @@ func (n *Network) StartFlow(tuple FiveTuple, kind FlowKind, path topology.Path, 
 		f.rate = n.localBps
 	}
 	n.mutatedLinks(path.Links)
+	n.recordFlow(flight.FlowAdmitted, f)
 	return f
+}
+
+// SetFlightRecorder installs a flight-event sink. Pass a non-nil sink only;
+// leave the field nil to disable recording.
+func (n *Network) SetFlightRecorder(s flight.Sink) { n.fl = s }
+
+// recordFlow emits one fabric-plane flight event for a shuffle flow that
+// actually crosses the fabric. The leading nil check is the hot path when
+// recording is disabled and must stay allocation-free
+// (BenchmarkRecorderDisabled guards it).
+func (n *Network) recordFlow(kind flight.Kind, f *Flow) {
+	if n.fl == nil {
+		return
+	}
+	if f.Kind != Shuffle || len(f.Path.Links) == 0 {
+		// Local fetches never touch the fabric; background/storage/control
+		// flows are not predictions.
+		return
+	}
+	ev := flight.Ev(kind, flight.PlaneFabric)
+	ev.Job, ev.Map, ev.Reduce = f.Job, f.Map, f.Reduce
+	ev.Src, ev.Dst = f.Tuple.SrcHost, f.Tuple.DstHost
+	ev.Bytes = f.SizeBits / 8
+	if kind == flight.FlowCompleted {
+		ev.DelaySec = float64(n.eng.Now().Sub(f.started))
+	}
+	n.fl.Record(ev)
 }
 
 // indexFlow adds a flow to the per-link occupancy index, keeping each
@@ -890,6 +925,7 @@ func (n *Network) completeDue() {
 		n.recompute()
 	}
 	for _, f := range completed {
+		n.recordFlow(flight.FlowCompleted, f)
 		if f.onComplete != nil {
 			f.onComplete(f)
 		}

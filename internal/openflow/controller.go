@@ -3,6 +3,7 @@ package openflow
 import (
 	"fmt"
 
+	"pythia/internal/flight"
 	"pythia/internal/mgmtnet"
 	"pythia/internal/netsim"
 	"pythia/internal/ofp10"
@@ -66,6 +67,10 @@ type Controller struct {
 	Retransmissions uint64
 	DroppedFlowMods uint64
 	InstallFailures uint64
+
+	// fl, when non-nil, receives control-plane flight events. Kept nil when
+	// recording is disabled so the hot path stays allocation-free.
+	fl flight.Sink
 }
 
 // LoadSample is one link's state as of the last poll.
@@ -126,6 +131,30 @@ func NewController(eng *sim.Engine, net *netsim.Network, tableCapacity int) *Con
 func (c *Controller) SetManagementNetwork(mn *mgmtnet.Network, ctrlNode topology.NodeID) {
 	c.mgmt = mn
 	c.ctrlNode = ctrlNode
+}
+
+// SetFlightRecorder installs a flight-event sink. Pass a non-nil sink only;
+// leave the field nil to disable recording.
+func (c *Controller) SetFlightRecorder(s flight.Sink) { c.fl = s }
+
+// matchEndpoints maps a rule match to flight-event endpoints: concrete
+// hosts when present, rack numbers encoded as NodeIDs otherwise (mirroring
+// the collector's rack-scope aggregate keys).
+func matchEndpoints(m Match) (src, dst topology.NodeID) {
+	src, dst = -1, -1
+	switch {
+	case m.SrcHost != Wildcard:
+		src = m.SrcHost
+	case m.SrcRack != Wildcard:
+		src = topology.NodeID(m.SrcRack)
+	}
+	switch {
+	case m.DstHost != Wildcard:
+		dst = m.DstHost
+	case m.DstRack != Wildcard:
+		dst = topology.NodeID(m.DstRack)
+	}
+	return src, dst
 }
 
 // Switch returns the flow-table model for a switch node; nil for hosts or
@@ -238,6 +267,35 @@ func (c *Controller) install(m Match, path topology.Path, priority int, cookie u
 				continue
 			}
 			steps = append(steps, installStep{sw, lid})
+		}
+	}
+	if c.fl != nil {
+		ev := flight.Ev(flight.InstallStart, flight.PlaneControl)
+		ev.Src, ev.Dst = matchEndpoints(m)
+		ev.Cookie = cookie
+		ev.Count = len(steps)
+		c.fl.Record(ev)
+		if done != nil {
+			// Wrap the caller's ack to stamp the install RTT. Only a non-nil
+			// done is wrapped: turning a nil done non-nil would activate the
+			// no-op ack round trip below and change the simulation.
+			src, dst := matchEndpoints(m)
+			start := c.eng.Now()
+			orig := done
+			done = func(err error) {
+				ev := flight.Ev(flight.InstallDone, flight.PlaneControl)
+				ev.Src, ev.Dst = src, dst
+				ev.Cookie = cookie
+				ev.DelaySec = float64(c.eng.Now().Sub(start))
+				if err != nil {
+					ev.Disposition = flight.DispError
+					ev.Detail = err.Error()
+				} else {
+					ev.Disposition = flight.DispOK
+				}
+				c.fl.Record(ev)
+				orig(err)
+			}
 		}
 	}
 	if c.faults.InstallTimeout > 0 {

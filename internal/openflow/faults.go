@@ -3,6 +3,7 @@ package openflow
 import (
 	"errors"
 
+	"pythia/internal/flight"
 	"pythia/internal/ofp10"
 	"pythia/internal/sim"
 )
@@ -130,6 +131,7 @@ func (c *Controller) sendWithRetry(m Match, st installStep, priority int, cookie
 		// The controller cannot put the message on the wire at all: no
 		// bytes are accounted, the transmission is simply lost.
 		c.DroppedFlowMods++
+		c.recordFlowModLost(cookie, attempt, flight.DispOutage)
 	} else {
 		if st.sw != nil {
 			c.FlowModsSent++
@@ -137,6 +139,7 @@ func (c *Controller) sendWithRetry(m Match, st installStep, priority int, cookie
 		c.ControlBytes += float64(len(wire))
 		if lost {
 			c.DroppedFlowMods++
+			c.recordFlowModLost(cookie, attempt, flight.DispDrop)
 		}
 	}
 	if !lost {
@@ -157,6 +160,12 @@ func (c *Controller) sendWithRetry(m Match, st installStep, priority int, cookie
 		abandoned = true
 		if attempt < c.faults.MaxRetries {
 			c.Retransmissions++
+			if c.fl != nil {
+				ev := flight.Ev(flight.FlowModRetry, flight.PlaneControl)
+				ev.Cookie = cookie
+				ev.Count = attempt + 1
+				c.fl.Record(ev)
+			}
 			backoff := sim.Duration(float64(c.faults.RetryBackoff) * float64(uint64(1)<<uint(attempt)))
 			c.eng.After(backoff, func() {
 				c.sendWithRetry(m, st, priority, cookie, attempt+1, finish)
@@ -166,4 +175,17 @@ func (c *Controller) sendWithRetry(m Match, st installStep, priority int, cookie
 		c.InstallFailures++
 		finish(ErrControlPlaneUnreachable)
 	})
+}
+
+// recordFlowModLost emits the flowmod-dropped flight event; a no-op when
+// the recorder is disabled.
+func (c *Controller) recordFlowModLost(cookie uint64, attempt int, disp string) {
+	if c.fl == nil {
+		return
+	}
+	ev := flight.Ev(flight.FlowModDropped, flight.PlaneControl)
+	ev.Cookie = cookie
+	ev.Count = attempt + 1
+	ev.Disposition = disp
+	c.fl.Record(ev)
 }

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+
+	"pythia/internal/flight"
+	"pythia/internal/sim"
 )
 
 // chromeEvent is one Trace Event Format record ("X" = complete event).
@@ -39,7 +42,21 @@ func (r *Recorder) ChromeTrace() ([]byte, error) {
 	if r.job == nil {
 		return nil, nil
 	}
-	t0 := r.job.Submitted
+	events := r.fabricChromeEvents(r.job.Submitted)
+	return marshalChrome(events)
+}
+
+// marshalChrome renders trace events in the Chrome/Perfetto JSON envelope.
+func marshalChrome(events []chromeEvent) ([]byte, error) {
+	return json.MarshalIndent(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	}, "", " ")
+}
+
+// fabricChromeEvents renders the job's task spans and fetch lanes (pid 0)
+// relative to t0.
+func (r *Recorder) fabricChromeEvents(t0 sim.Time) []chromeEvent {
 	var events []chromeEvent
 	for _, s := range r.Spans() {
 		events = append(events, chromeEvent{
@@ -80,8 +97,111 @@ func (r *Recorder) ChromeTrace() ([]byte, error) {
 			},
 		})
 	}
-	return json.MarshalIndent(map[string]any{
-		"traceEvents":     events,
-		"displayTimeUnit": "ms",
-	}, "", " ")
+	return events
+}
+
+// Control-plane lane assignment for the merged trace (pid 1).
+var planeLanes = map[flight.Plane]int{
+	flight.PlaneMonitor:   1,
+	flight.PlaneMgmt:      2,
+	flight.PlaneCollector: 3,
+	flight.PlaneControl:   4,
+	flight.PlaneFabric:    5,
+}
+
+// MergedChrome exports one Chrome/Perfetto trace holding both the fabric
+// view (the recorder's task spans and fetch lanes, pid 0) and the
+// control-plane view (flight-recorder events on per-plane lanes, pid 1):
+// rule-install RTTs and shuffle-flow lifetimes render as duration spans,
+// everything else as instants. Either source may be absent: a nil recorder
+// (or one that saw no job) yields control lanes only, and an empty event
+// log yields the plain fabric trace.
+func MergedChrome(r *Recorder, events []flight.Event) ([]byte, error) {
+	// A common clock: the job submit instant when known, else the first
+	// flight event, so timestamps are never negative.
+	var t0 sim.Time
+	haveT0 := false
+	if r != nil && r.job != nil {
+		t0 = r.job.Submitted
+		haveT0 = true
+	}
+	if len(events) > 0 && (!haveT0 || events[0].T < t0) {
+		t0 = events[0].T
+	}
+
+	var out []chromeEvent
+	if r != nil && r.job != nil {
+		out = append(out,
+			chromeEvent{Name: "process_name", Phase: "M", PID: 0,
+				Args: map[string]any{"name": "fabric"}})
+		out = append(out, r.fabricChromeEvents(t0)...)
+	}
+	if len(events) > 0 {
+		out = append(out,
+			chromeEvent{Name: "process_name", Phase: "M", PID: 1,
+				Args: map[string]any{"name": "control plane"}})
+		for _, pl := range []flight.Plane{flight.PlaneMonitor, flight.PlaneMgmt,
+			flight.PlaneCollector, flight.PlaneControl, flight.PlaneFabric} {
+			out = append(out, chromeEvent{Name: "thread_name", Phase: "M",
+				PID: 1, TID: planeLanes[pl], Args: map[string]any{"name": string(pl)}})
+		}
+	}
+	for i := range events {
+		out = append(out, controlChromeEvent(&events[i], t0))
+	}
+	return marshalChrome(out)
+}
+
+// controlChromeEvent converts one flight event to a trace record on its
+// plane's lane. Events carrying a duration (install RTT, flow lifetime)
+// become "X" complete events spanning it; the rest are "i" instants.
+func controlChromeEvent(ev *flight.Event, t0 sim.Time) chromeEvent {
+	ce := chromeEvent{
+		Name:  string(ev.Kind),
+		Cat:   string(ev.Plane),
+		Phase: "i",
+		TsUs:  float64(ev.T.Sub(t0)) * 1e6,
+		PID:   1,
+		TID:   planeLanes[ev.Plane],
+	}
+	if (ev.Kind == flight.InstallDone || ev.Kind == flight.FlowCompleted) && ev.DelaySec > 0 {
+		ce.Phase = "X"
+		ce.TsUs -= ev.DelaySec * 1e6
+		ce.DurUs = ev.DelaySec * 1e6
+	}
+	args := map[string]any{}
+	if ev.Job >= 0 {
+		args["job"] = ev.Job
+	}
+	if ev.Map >= 0 {
+		args["map"] = ev.Map
+	}
+	if ev.Reduce >= 0 {
+		args["reduce"] = ev.Reduce
+	}
+	if ev.Src >= 0 {
+		args["src"] = int(ev.Src)
+	}
+	if ev.Dst >= 0 {
+		args["dst"] = int(ev.Dst)
+	}
+	if ev.Cookie != 0 {
+		args["cookie"] = ev.Cookie
+	}
+	if ev.Bytes != 0 {
+		args["bytes"] = ev.Bytes
+	}
+	if ev.Disposition != "" {
+		args["disposition"] = ev.Disposition
+	}
+	if ev.Path != "" {
+		args["path"] = ev.Path
+	}
+	if ev.Detail != "" {
+		args["detail"] = ev.Detail
+	}
+	if len(args) > 0 {
+		ce.Args = args
+	}
+	return ce
 }

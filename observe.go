@@ -1,9 +1,11 @@
 package pythia
 
 import (
+	"pythia/internal/flight"
 	"pythia/internal/netflow"
 	"pythia/internal/sim"
 	"pythia/internal/topology"
+	"pythia/internal/trace"
 )
 
 // Fabric introspection: enough surface to target faults and read link-level
@@ -101,3 +103,63 @@ func (p *Probe) MeanUtilization(l LinkID) float64 { return p.p.MeanUtilization(l
 
 // PeakShuffleBps returns the largest sampled shuffle rate on a link.
 func (p *Probe) PeakShuffleBps(l LinkID) float64 { return p.p.PeakShuffleBps(l) }
+
+// Flight recorder surface (requires WithFlightRecorder; all accessors return
+// zero values without it).
+
+// PredictionQuality scores how well the prediction plane raced the shuffle:
+// lead time percentiles, late fraction, and predicted-vs-actual byte error.
+type PredictionQuality = flight.Quality
+
+// FlightJSONL serializes the flight-recorder log as JSON Lines, one event
+// per line in simulation order. For a fixed seed the output is
+// byte-identical across runs. Nil without WithFlightRecorder.
+func (c *Cluster) FlightJSONL() []byte {
+	if c.fr == nil {
+		return nil
+	}
+	return c.fr.JSONL()
+}
+
+// FlightEventCount reports how many flight events were recorded.
+func (c *Cluster) FlightEventCount() int { return c.fr.Len() }
+
+// FlightSummary renders a per-job digest of the flight log: event volumes,
+// per-plane latencies, and the critical path of each job's worst aggregate.
+func (c *Cluster) FlightSummary() string {
+	if c.fr == nil {
+		return ""
+	}
+	return flight.Summarize(c.fr.Events())
+}
+
+// PredictionQuality computes lead-time and byte-error scores from the
+// flight log.
+func (c *Cluster) PredictionQuality() PredictionQuality {
+	if c.fr == nil {
+		return PredictionQuality{}
+	}
+	return flight.ComputeQuality(c.fr.Events())
+}
+
+// PrometheusSnapshot renders the flight log's derived metrics — per-kind
+// event counters, per-plane latency histograms, lead-time histogram, late
+// fraction, byte error — in Prometheus text exposition format. Deterministic
+// for a fixed seed.
+func (c *Cluster) PrometheusSnapshot() string {
+	if c.fr == nil {
+		return ""
+	}
+	return flight.BuildMetrics(c.fr.Events()).PrometheusText()
+}
+
+// MergedChromeTrace exports one Chrome/Perfetto trace combining the fabric
+// task spans (requires WithSequenceRecording) with control-plane lanes from
+// the flight recorder (requires WithFlightRecorder). Either half may be
+// absent; with neither option the result is nil.
+func (c *Cluster) MergedChromeTrace() ([]byte, error) {
+	if c.recorder == nil && c.fr == nil {
+		return nil, nil
+	}
+	return trace.MergedChrome(c.recorder, c.fr.Events())
+}

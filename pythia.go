@@ -22,6 +22,7 @@ import (
 
 	"pythia/internal/core"
 	"pythia/internal/ecmp"
+	"pythia/internal/flight"
 	"pythia/internal/hadoop"
 	"pythia/internal/hdfs"
 	"pythia/internal/hedera"
@@ -80,6 +81,7 @@ type config struct {
 	hadoopCfg    hadoop.Config
 	pythiaCfg    core.Config
 	record       bool
+	flight       bool
 	hdfs         bool
 	explicitCP   bool
 
@@ -152,6 +154,15 @@ func WithCriticality() Option {
 // submitted job; retrieve the diagram with SequenceDiagram after RunJob.
 func WithSequenceRecording() Option { return func(c *config) { c.record = true } }
 
+// WithFlightRecorder attaches the cross-plane flight recorder: every
+// prediction's lifecycle (spill → intent → booking → placement → rule
+// install → fabric flow) leaves timestamped events retrievable with
+// FlightJSONL, FlightSummary, PredictionQuality, PrometheusSnapshot and
+// MergedChromeTrace. The recorder is a pure observer — enabling it never
+// changes simulation results — and a seeded run's JSONL export is
+// byte-identical across runs.
+func WithFlightRecorder() Option { return func(c *config) { c.flight = true } }
+
 // WithHDFS attaches a simulated HDFS (64 MB blocks, 3-way replication,
 // default placement policy). Jobs whose specs set ReduceOutputRatio > 0
 // then write their reducer output back through the replication pipeline
@@ -201,6 +212,7 @@ type Cluster struct {
 	al       *ecmp.Allocator // plain-ECMP scheduler only
 	hed      *hedera.Scheduler
 	recorder *trace.Recorder
+	fr       *flight.Recorder
 	fs       *hdfs.FileSystem
 	kind     SchedulerKind
 	deadline float64
@@ -258,11 +270,21 @@ func New(opts ...Option) *Cluster {
 	var sink instrument.Sink = dropSink{}
 	var mn *mgmtnet.Network
 	icfg := instrument.Config{}
+	if cfg.flight {
+		// Wire every plane only when enabled: a typed-nil *Recorder in the
+		// Sink interface fields would defeat the producers' nil checks.
+		c.fr = flight.NewRecorder(eng)
+		net.SetFlightRecorder(c.fr)
+		icfg.Flight = c.fr
+	}
 	if cfg.explicitCP || cfg.mgmtFaults != nil {
 		// Management faults need a management network to fault.
 		mn = mgmtnet.New(eng, mgmtnet.Config{})
 		icfg.Mgmt = mn
 		c.mn = mn
+		if c.fr != nil {
+			mn.SetFlightRecorder(c.fr)
+		}
 	}
 	if cfg.mgmtFaults != nil {
 		mn.SetFaults(cfg.mgmtFaults.toInternal())
@@ -295,6 +317,10 @@ func New(opts ...Option) *Cluster {
 			c.ofc.SetFaults(cfg.cpFaults.toInternal())
 		}
 		c.py = core.New(eng, net, c.ofc, cfg.pythiaCfg.EnableAggregation())
+		if c.fr != nil {
+			c.ofc.SetFlightRecorder(c.fr)
+			c.py.SetFlightRecorder(c.fr)
+		}
 		resolver = c.ofc
 		sink = c.py
 	case SchedulerHedera:
