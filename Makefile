@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-compare fuzz figures examples api api-check clean
+.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-steady bench-compare fuzz figures examples api api-check clean
 
 all: build vet test
 
@@ -36,6 +36,13 @@ bench-scale:
 	$(GO) test -bench=ScaleFatTree -benchmem -benchtime=1x -run='^$$' . \
 		| $(GO) run ./cmd/bench2json -o BENCH_scale.json
 	@echo wrote BENCH_scale.json
+
+# Machine-readable open-loop steady-state frontier (E14): arrival-rate ×
+# scheduler sweep with windowed tails and SLO attainment. CI uploads this
+# as BENCH_steady.json.
+bench-steady:
+	$(GO) run ./cmd/pythia-bench -experiment steady -json BENCH_steady.json
+	@echo wrote BENCH_steady.json
 
 # Diff the current tree's scale benchmark against a saved artifact:
 #   make bench-scale && git stash / checkout, make bench-compare OLD=path.json

@@ -3,9 +3,9 @@
 // Usage:
 //
 //	pythia-bench [-experiment all|fig1a|fig1b|fig3|fig4|fig5|overhead|hedera|
-//	              scaleout|flowcomb|partitioner|ablations]
-//	             [-full] [-parallel N] [-svg fig1a.svg] [-svgdir DIR]
-//	             [-json results.json]
+//	              scaleout|flowcomb|partitioner|trace|bounds|steady|ablations]
+//	             [-full] [-steady] [-steady-horizon SEC] [-parallel N]
+//	             [-svg fig1a.svg] [-svgdir DIR] [-json results.json]
 //
 // -full runs the paper's published input sizes (240 GB sort, 8 GB Nutch,
 // 60 GB integer sort); the default quick scale divides the sort inputs by 10
@@ -27,8 +27,10 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig1a, fig1b, fig3, fig4, fig5, overhead, hedera, scaleout, flowcomb, partitioner, trace, bounds, ablations")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig1a, fig1b, fig3, fig4, fig5, overhead, hedera, scaleout, flowcomb, partitioner, trace, bounds, steady, ablations")
 	full := flag.Bool("full", false, "run at the paper's full input sizes")
+	steady := flag.Bool("steady", false, "shorthand for -experiment steady (open-loop steady-state frontier)")
+	steadyHorizon := flag.Float64("steady-horizon", 1800, "steady-state run horizon in simulated seconds")
 	svgPath := flag.String("svg", "", "also write the fig1a diagram as SVG to this path")
 	svgDir := flag.String("svgdir", "", "write figure SVGs (fig3/fig4/fig5) into this directory")
 	jsonPath := flag.String("json", "", "also write all executed experiments' results as JSON to this path")
@@ -167,6 +169,21 @@ func main() {
 			fmt.Println("(the bound ignores phase sequencing, so gaps at low contention are loose;")
 			fmt.Println(" the signal is the trend: Pythia converges toward the bound as the network binds)")
 		},
+		"steady": func() {
+			base := bench.SteadyConfig{
+				Oversub:       bench.Oversub{Label: "1:10", Ratio: 10},
+				HorizonSec:    *steadyHorizon,
+				Seed:          7,
+				CollectFlight: true,
+			}
+			rows, err := bench.RunSteadyFrontier(base, bench.DefaultSteadyRates())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "steady frontier: %v\n", err)
+				os.Exit(1)
+			}
+			results["steady"] = rows
+			fmt.Print(bench.FormatSteadyFrontier(rows))
+		},
 		"ablations": func() {
 			a1 := bench.RunAblationKPaths(scale)
 			a2 := bench.RunAblationAggregation(scale)
@@ -192,7 +209,10 @@ func main() {
 		},
 	}
 
-	order := []string{"fig1a", "fig1b", "fig3", "fig4", "fig5", "overhead", "hedera", "scaleout", "flowcomb", "partitioner", "trace", "bounds", "ablations"}
+	order := []string{"fig1a", "fig1b", "fig3", "fig4", "fig5", "overhead", "hedera", "scaleout", "flowcomb", "partitioner", "trace", "bounds", "steady", "ablations"}
+	if *steady {
+		*experiment = "steady"
+	}
 	if *experiment == "all" {
 		for _, name := range order {
 			run[name]()

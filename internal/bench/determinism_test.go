@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"reflect"
 	"testing"
 
 	"pythia/internal/core"
@@ -119,7 +120,7 @@ func TestTraceReplayAllocatorsMatch(t *testing.T) {
 	tcfg := workload.TraceConfig{Seed: 9}
 	inc := runTraceReplayAlloc(Pythia, lvl, tcfg, netsim.AllocIncremental)
 	scan := runTraceReplayAlloc(Pythia, lvl, tcfg, netsim.AllocScan)
-	if inc != scan {
+	if !reflect.DeepEqual(inc, scan) {
 		t.Fatalf("trace replay diverged:\nincremental %+v\nscan        %+v", inc, scan)
 	}
 	if inc.Jobs == 0 || inc.MakespanSec <= 0 {

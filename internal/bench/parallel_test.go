@@ -75,7 +75,7 @@ func TestTraceComparisonParallelMatchesSerial(t *testing.T) {
 	var serial, wide TraceComparison
 	withParallelism(t, 1, func() { serial = RunTraceComparison(lvl, 3) })
 	withParallelism(t, 6, func() { wide = RunTraceComparison(lvl, 3) })
-	if serial != wide {
+	if !reflect.DeepEqual(serial, wide) {
 		t.Fatalf("trace comparison diverged:\nserial %+v\nwide   %+v", serial, wide)
 	}
 }

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The CI smoke: a short-horizon fixed-seed steady run must detect warm-up,
+// complete a healthy share of arrivals, and leak zero bookings.
+func TestSteadySmoke(t *testing.T) {
+	cfg := SteadyConfig{Scheduler: Pythia, Oversub: Oversub{"1:10", 10},
+		HorizonSec: 1200, Seed: 7, CollectFlight: true}
+	cfg.Workload.BaseRateJobsPerSec = 0.12
+	r, err := RunSteady(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.WarmupOK {
+		t.Fatal("warm-up not detected on the smoke run")
+	}
+	if r.LeakedBookings != 0 {
+		t.Fatalf("%d bookings leaked after job completion", r.LeakedBookings)
+	}
+	if r.Submitted == 0 || r.Completed == 0 {
+		t.Fatalf("degenerate run: %+v", r)
+	}
+	if float64(r.Completed) < 0.8*float64(r.Submitted) {
+		t.Fatalf("only %d of %d arrivals completed at a moderate rate", r.Completed, r.Submitted)
+	}
+	if r.P50Sec <= 0 || r.P95Sec < r.P50Sec || r.P99Sec < r.P95Sec {
+		t.Fatalf("percentiles out of order: %+v", r)
+	}
+	if r.SLOAttainment <= 0 || r.SLOAttainment > 1 {
+		t.Fatalf("SLO attainment = %v", r.SLOAttainment)
+	}
+	if len(r.Tenants) != 3 {
+		t.Fatalf("tenant scorecards = %d, want 3", len(r.Tenants))
+	}
+	if len(r.Windows) == 0 {
+		t.Fatal("no measurement windows")
+	}
+	if r.MeanInFlight <= 0 || r.MeanInFlight > float64(cfg.MaxInFlight)+8 {
+		t.Fatalf("mean in-flight = %v", r.MeanInFlight)
+	}
+	if r.Quality == nil || r.Quality.CoveredFlows == 0 {
+		t.Fatal("flight quality not collected")
+	}
+}
+
+// A seeded steady run is one deterministic simulation: repeating it must
+// reproduce the result bit for bit.
+func TestSteadyDeterministic(t *testing.T) {
+	cfg := SteadyConfig{Scheduler: Pythia, Oversub: Oversub{"1:10", 10},
+		HorizonSec: 900, Seed: 21, CollectFlight: true}
+	cfg.Workload.BaseRateJobsPerSec = 0.1
+	a, errA := RunSteady(cfg)
+	b, errB := RunSteady(cfg)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("steady run nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// The frontier fans cells across the worker pool; results must be identical
+// at any parallelism, including the flight-derived fields.
+func TestSteadyFrontierParallelMatchesSerial(t *testing.T) {
+	base := SteadyConfig{Oversub: Oversub{"1:10", 10}, HorizonSec: 900,
+		Seed: 7, CollectFlight: true}
+	rates := []float64{0.06, 0.12}
+	var serial, wide []SteadyResult
+	var errS, errW error
+	withParallelism(t, 1, func() { serial, errS = RunSteadyFrontier(base, rates) })
+	withParallelism(t, 8, func() { wide, errW = RunSteadyFrontier(base, rates) })
+	if errS != nil || errW != nil {
+		t.Fatal(errS, errW)
+	}
+	if len(serial) != len(rates)*len(SteadySchedulers()) {
+		t.Fatalf("frontier rows = %d", len(serial))
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatalf("frontier diverged between serial and parallel runs")
+	}
+}
+
+// The paper's claim in open-loop terms: Pythia's tail-latency advantage
+// over ECMP must grow as offered load approaches saturation.
+func TestSteadyPythiaAdvantageGrowsWithLoad(t *testing.T) {
+	base := SteadyConfig{Oversub: Oversub{"1:10", 10}, HorizonSec: 1800, Seed: 7}
+	rates := []float64{0.05, 0.20}
+	rows, err := RunSteadyFrontier(base, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(rate float64, sched Scheduler) SteadyResult {
+		for _, r := range rows {
+			if r.RateJobsPerSec == rate && r.Scheduler == sched.String() {
+				return r
+			}
+		}
+		t.Fatalf("missing frontier cell %v/%v", rate, sched)
+		return SteadyResult{}
+	}
+	gapLight := cell(0.05, ECMP).P99Sec - cell(0.05, Pythia).P99Sec
+	gapHeavy := cell(0.20, ECMP).P99Sec - cell(0.20, Pythia).P99Sec
+	if gapLight <= 0 {
+		t.Fatalf("Pythia p99 not ahead even at light load (gap %v)", gapLight)
+	}
+	if gapHeavy <= 2*gapLight {
+		t.Fatalf("p99 advantage did not grow with load: light %v heavy %v", gapLight, gapHeavy)
+	}
+	// Near saturation the SLO frontier must separate too: ECMP strands its
+	// low-priority batch jobs while Pythia keeps placing them.
+	if e, p := cell(0.20, ECMP).SLOAttainment, cell(0.20, Pythia).SLOAttainment; e >= p {
+		t.Fatalf("SLO attainment at 0.20: ECMP %v >= Pythia %v", e, p)
+	}
+}
+
+func TestSteadyUnknownSchedulerErrors(t *testing.T) {
+	if _, err := RunSteady(SteadyConfig{Scheduler: Scheduler(99)}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestFormatSteadyFrontier(t *testing.T) {
+	out := FormatSteadyFrontier([]SteadyResult{{
+		Scheduler: "Pythia", RateJobsPerSec: 0.12, Completed: 190,
+		P50Sec: 22, P95Sec: 113, P99Sec: 159, SLOAttainment: 0.98,
+		LateTailCorrelation: -0.68,
+	}})
+	for _, want := range []string{"E14", "Pythia", "0.120", "98.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -28,24 +28,61 @@ type TraceResult struct {
 	// motivating "33% of the execution time ... spent at the shuffle
 	// phase" Facebook measurement.
 	ShuffleFraction float64
+	// Starved counts jobs that had not completed when the replay stopped
+	// (deadline hit or drained without progress); zero on a healthy run.
+	Starved int
+	// Durations holds the completed jobs' completion times so cross-seed
+	// aggregation can pool samples before taking percentiles. Excluded
+	// from JSON artifacts.
+	Durations []float64 `json:"-"`
+}
+
+// TraceReplayOptions are the optional knobs of TryRunTraceReplay.
+type TraceReplayOptions struct {
+	// Alloc selects the netsim allocator mode (incremental by default), so
+	// the golden tests can replay the same trace under the coalesced and
+	// scan-baseline allocators.
+	Alloc netsim.AllocMode
+	// DeadlineSec bounds the replay in simulated seconds; 0 runs until the
+	// event queue drains. With a deadline, jobs still running when it hits
+	// are reported as starved instead of looping in virtual time.
+	DeadlineSec float64
 }
 
 // RunTraceReplay (E13) replays a synthesized Facebook/SWIM-shaped job
 // stream — Poisson arrivals, heavy-tailed inputs, a mixed map-heavy /
 // transform / shuffle-heavy class distribution — under the given scheduler
-// and oversubscription level on the paper testbed.
+// and oversubscription level on the paper testbed. It panics if any job
+// fails to complete; deadline-bounded and saturation-tolerant callers use
+// TryRunTraceReplay.
 func RunTraceReplay(scheduler Scheduler, lvl Oversub, tcfg workload.TraceConfig) TraceResult {
-	return runTraceReplayAlloc(scheduler, lvl, tcfg, netsim.AllocIncremental)
+	res, err := TryRunTraceReplay(scheduler, lvl, tcfg, TraceReplayOptions{})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return res
 }
 
-// runTraceReplayAlloc is RunTraceReplay with an explicit allocator mode, so
-// the golden tests can replay the same trace under the coalesced and
-// scan-baseline allocators.
+// runTraceReplayAlloc is the golden tests' panicking wrapper with an
+// explicit allocator mode.
 func runTraceReplayAlloc(scheduler Scheduler, lvl Oversub, tcfg workload.TraceConfig, alloc netsim.AllocMode) TraceResult {
+	res, err := TryRunTraceReplay(scheduler, lvl, tcfg, TraceReplayOptions{Alloc: alloc})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return res
+}
+
+// TryRunTraceReplay replays the trace and reports failures as errors the
+// way pythia.TryRunJobs does: submission errors and starved jobs yield a
+// non-nil error alongside the statistics of whatever did complete, so
+// deadline-bounded and saturated runs stay measurable instead of
+// panicking.
+func TryRunTraceReplay(scheduler Scheduler, lvl Oversub, tcfg workload.TraceConfig, opts TraceReplayOptions) (TraceResult, error) {
 	eng := sim.NewEngine()
 	g, hosts, trunks := topology.TwoRack(5, 2, topology.Gbps)
 	net := netsim.New(eng, g)
-	net.SetAllocMode(alloc)
+	net.SetAllocMode(opts.Alloc)
 	applyOversub(net, trunks, TrialConfig{Oversub: lvl}.defaults())
 
 	var resolver hadoop.PathResolver
@@ -56,7 +93,7 @@ func runTraceReplayAlloc(scheduler Scheduler, lvl Oversub, tcfg workload.TraceCo
 	case Pythia:
 		ofc := openflow.NewController(eng, net, 0)
 		py := core.New(eng, net, ofc, core.Config{}.EnableAggregation())
-		if alloc == netsim.AllocScan {
+		if opts.Alloc == netsim.AllocScan {
 			py.SetScanBaseline(true)
 		}
 		sink = py
@@ -64,34 +101,48 @@ func runTraceReplayAlloc(scheduler Scheduler, lvl Oversub, tcfg workload.TraceCo
 	case Hedera:
 		resolver = hedera.New(eng, net, 1, hedera.Config{})
 	default:
-		panic(fmt.Sprintf("bench: unknown scheduler %d", scheduler))
+		return TraceResult{}, fmt.Errorf("unknown scheduler %d", scheduler)
 	}
 	cluster := hadoop.NewCluster(eng, net, hosts, resolver, hadoop.Config{})
 	instrument.Attach(eng, cluster, sink, instrument.Config{})
 
 	trace := workload.SyntheticFacebookTrace(tcfg)
 	jobs := make([]*hadoop.Job, 0, len(trace))
+	specs := make([]*hadoop.JobSpec, 0, len(trace))
+	var submitErr error
 	for _, tj := range trace {
 		tj := tj
 		eng.At(sim.Time(tj.SubmitAtSec), func() {
 			j, err := cluster.Submit(tj.Spec)
 			if err != nil {
-				panic(fmt.Sprintf("bench: trace submit: %v", err))
+				if submitErr == nil {
+					submitErr = fmt.Errorf("trace submit %q: %w", tj.Spec.Name, err)
+				}
+				return
 			}
 			jobs = append(jobs, j)
+			specs = append(specs, tj.Spec)
 		})
 	}
-	eng.Run()
+	if opts.DeadlineSec > 0 {
+		eng.RunUntil(sim.Time(opts.DeadlineSec))
+	} else {
+		eng.Run()
+	}
+	if submitErr != nil {
+		return TraceResult{}, submitErr
+	}
 
 	res := TraceResult{Jobs: len(jobs)}
-	var durations []float64
+	var starved []string
 	var totalTime, totalShuffle float64
-	for _, j := range jobs {
+	for i, j := range jobs {
 		if !j.Done {
-			panic("bench: trace job did not complete")
+			starved = append(starved, specs[i].Name)
+			continue
 		}
 		d := float64(j.Duration())
-		durations = append(durations, d)
+		res.Durations = append(res.Durations, d)
 		totalTime += d
 		if float64(j.Finished) > res.MakespanSec {
 			res.MakespanSec = float64(j.Finished)
@@ -101,13 +152,18 @@ func runTraceReplayAlloc(scheduler Scheduler, lvl Oversub, tcfg workload.TraceCo
 			totalShuffle += shuffle
 		}
 	}
-	s := stats.Summarize(durations)
+	res.Starved = len(starved)
+	s := stats.Summarize(res.Durations)
 	res.MeanJobSec = s.Mean
 	res.P95JobSec = s.P95
 	if totalTime > 0 {
 		res.ShuffleFraction = totalShuffle / totalTime
 	}
-	return res
+	if len(starved) > 0 {
+		return res, fmt.Errorf("%d of %d trace jobs did not complete (starved network or deadline hit): %v",
+			len(starved), len(jobs), starved)
+	}
+	return res, nil
 }
 
 // TraceComparison pairs the replay under ECMP and Pythia.
@@ -132,10 +188,47 @@ func RunTraceComparison(lvl Oversub, seed uint64) TraceComparison {
 	}
 }
 
-// RunTrace (E13) averages the comparison over several trace seeds at 1:10.
-// Every (seed, scheduler) replay is independent, so they all fan out across
-// the worker pool; aggregation keeps the serial seed order so the result is
-// identical at any parallelism.
+// poolTraceResults aggregates per-seed replays of one scheduler by pooling
+// the per-job duration samples and computing statistics once — averaging
+// per-seed P95s is NOT a P95 (percentiles do not commute with means, and
+// on the trace's heavy-tailed durations the two visibly diverge).
+// MakespanSec stays a cross-seed mean: it is a per-replay scalar, not a
+// sample statistic. ShuffleFraction pools duration-weighted, recovering
+// Σ shuffle over Σ time across every job of every seed.
+func poolTraceResults(rs []TraceResult) TraceResult {
+	var agg TraceResult
+	if len(rs) == 0 {
+		return agg
+	}
+	var pooled []float64
+	var totalTime, totalShuffle float64
+	for _, r := range rs {
+		agg.Jobs = r.Jobs
+		agg.Starved += r.Starved
+		agg.MakespanSec += r.MakespanSec / float64(len(rs))
+		pooled = append(pooled, r.Durations...)
+		var t float64
+		for _, d := range r.Durations {
+			t += d
+		}
+		totalTime += t
+		totalShuffle += r.ShuffleFraction * t
+	}
+	agg.Durations = pooled
+	s := stats.Summarize(pooled)
+	agg.MeanJobSec = s.Mean
+	agg.P95JobSec = s.P95
+	if totalTime > 0 {
+		agg.ShuffleFraction = totalShuffle / totalTime
+	}
+	return agg
+}
+
+// RunTrace (E13) aggregates the comparison over several trace seeds at
+// 1:10, pooling the per-job samples across seeds. Every (seed, scheduler)
+// replay is independent, so they all fan out across the worker pool;
+// aggregation keeps the serial seed order so the result is identical at
+// any parallelism.
 func RunTrace() TraceComparison {
 	lvl := Oversub{Label: "1:10", Ratio: 10}
 	results := make([]TraceResult, 2*len(ablationSeeds))
@@ -147,21 +240,15 @@ func RunTrace() TraceComparison {
 		}
 		results[i] = RunTraceReplay(sch, lvl, tcfg)
 	})
-	var agg TraceComparison
-	n := float64(len(ablationSeeds))
+	ecmpRuns := make([]TraceResult, 0, len(ablationSeeds))
+	pyRuns := make([]TraceResult, 0, len(ablationSeeds))
 	for i := range ablationSeeds {
-		c := TraceComparison{ECMP: results[2*i], Pythia: results[2*i+1]}
-		c.MeanJobSpeedup = stats.Speedup(c.ECMP.MeanJobSec, c.Pythia.MeanJobSec)
-		agg.ECMP.Jobs = c.ECMP.Jobs
-		agg.Pythia.Jobs = c.Pythia.Jobs
-		agg.ECMP.MakespanSec += c.ECMP.MakespanSec / n
-		agg.Pythia.MakespanSec += c.Pythia.MakespanSec / n
-		agg.ECMP.MeanJobSec += c.ECMP.MeanJobSec / n
-		agg.Pythia.MeanJobSec += c.Pythia.MeanJobSec / n
-		agg.ECMP.P95JobSec += c.ECMP.P95JobSec / n
-		agg.Pythia.P95JobSec += c.Pythia.P95JobSec / n
-		agg.ECMP.ShuffleFraction += c.ECMP.ShuffleFraction / n
-		agg.Pythia.ShuffleFraction += c.Pythia.ShuffleFraction / n
+		ecmpRuns = append(ecmpRuns, results[2*i])
+		pyRuns = append(pyRuns, results[2*i+1])
+	}
+	agg := TraceComparison{
+		ECMP:   poolTraceResults(ecmpRuns),
+		Pythia: poolTraceResults(pyRuns),
 	}
 	agg.MeanJobSpeedup = stats.Speedup(agg.ECMP.MeanJobSec, agg.Pythia.MeanJobSec)
 	return agg

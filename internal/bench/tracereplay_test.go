@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"math"
 	"strings"
 	"testing"
 
+	"pythia/internal/stats"
 	"pythia/internal/workload"
 )
 
@@ -49,6 +51,75 @@ func TestTraceDeterministicPerSeed(t *testing.T) {
 	b := RunTraceReplay(Pythia, Oversub{"1:10", 10}, workload.TraceConfig{Jobs: 8, Seed: 9})
 	if a.MakespanSec != b.MakespanSec || a.MeanJobSec != b.MeanJobSec {
 		t.Fatal("trace replay nondeterministic")
+	}
+}
+
+// Cross-seed aggregation must pool the per-job duration samples and take
+// percentiles once. The old code averaged per-seed P95s, which on skewed
+// samples is a different (wrong) number: percentiles do not commute with
+// means.
+func TestPoolTraceResultsPoolsPercentiles(t *testing.T) {
+	// Seed A: tight cluster. Seed B: same size, one huge outlier. The
+	// pooled P95 must reflect the outlier's true weight in the combined
+	// sample, not the mean of the two per-seed P95s.
+	a := TraceResult{Jobs: 5, MakespanSec: 100, ShuffleFraction: 0.30,
+		Durations: []float64{10, 11, 12, 13, 14}}
+	b := TraceResult{Jobs: 5, MakespanSec: 200, ShuffleFraction: 0.40,
+		Durations: []float64{10, 11, 12, 13, 1000}}
+	got := poolTraceResults([]TraceResult{a, b})
+
+	pooled := append(append([]float64(nil), a.Durations...), b.Durations...)
+	want := stats.Summarize(pooled)
+	if got.P95JobSec != want.P95 || got.MeanJobSec != want.Mean {
+		t.Fatalf("pooled stats = mean %v p95 %v, want mean %v p95 %v",
+			got.MeanJobSec, got.P95JobSec, want.Mean, want.P95)
+	}
+	// The regression this guards against: the averaged-percentile value
+	// must differ visibly from the pooled one on these samples.
+	avgOfP95 := (stats.Summarize(a.Durations).P95 + stats.Summarize(b.Durations).P95) / 2
+	if rel := (got.P95JobSec - avgOfP95) / got.P95JobSec; rel < 0.05 && rel > -0.05 {
+		t.Fatalf("test premise broken: pooled %v vs averaged %v do not diverge",
+			got.P95JobSec, avgOfP95)
+	}
+	// Makespan stays a cross-seed mean; shuffle fraction pools
+	// duration-weighted.
+	if got.MakespanSec != 150 {
+		t.Fatalf("makespan = %v, want 150", got.MakespanSec)
+	}
+	ta := 10.0 + 11 + 12 + 13 + 14
+	tb := 10.0 + 11 + 12 + 13 + 1000
+	wantFrac := (0.30*ta + 0.40*tb) / (ta + tb)
+	if math.Abs(got.ShuffleFraction-wantFrac) > 1e-12 {
+		t.Fatalf("shuffle fraction = %v, want %v", got.ShuffleFraction, wantFrac)
+	}
+	if empty := poolTraceResults(nil); empty.Jobs != 0 {
+		t.Fatalf("empty pool = %+v", empty)
+	}
+}
+
+// A deadline that cuts the replay short must surface as an error with the
+// starved jobs counted, while the completed jobs' statistics stay usable —
+// the TryRunJobs contract.
+func TestTryRunTraceReplayDeadline(t *testing.T) {
+	tcfg := workload.TraceConfig{Jobs: 10, Seed: 4}
+	res, err := TryRunTraceReplay(ECMP, Oversub{"1:10", 10}, tcfg,
+		TraceReplayOptions{DeadlineSec: 120})
+	if err == nil {
+		t.Fatal("120 s deadline on a 10-job trace must starve jobs")
+	}
+	if !strings.Contains(err.Error(), "did not complete") {
+		t.Fatalf("error text: %v", err)
+	}
+	if res.Starved == 0 || res.Starved+len(res.Durations) != res.Jobs {
+		t.Fatalf("starved accounting: %+v", res)
+	}
+	if len(res.Durations) > 0 && res.MeanJobSec <= 0 {
+		t.Fatalf("partial stats not populated: %+v", res)
+	}
+	// The full run of the same trace succeeds — the error is the
+	// deadline's doing, not the trace's.
+	if _, err := TryRunTraceReplay(ECMP, Oversub{"1:10", 10}, tcfg, TraceReplayOptions{}); err != nil {
+		t.Fatal(err)
 	}
 }
 

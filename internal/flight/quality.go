@@ -126,6 +126,48 @@ func ComputeQuality(events []Event) Quality {
 	return qualityFromSamples(collectSamples(events))
 }
 
+// FlowRace is one covered flow's admission against the rule-install race:
+// T is the fabric admission time, Late reports whether the flow's
+// aggregate had no successful install by then (the prediction lost).
+type FlowRace struct {
+	T    sim.Time
+	Late bool
+}
+
+// FlowRaces extracts the per-flow race outcomes in admission order, using
+// the same covered-flow classification as ComputeQuality. The steady-state
+// harness bins these by measurement window to correlate prediction
+// lateness with tail-latency windows.
+func FlowRaces(events []Event) []FlowRace {
+	type pair struct{ src, dst topology.NodeID }
+	type fkey struct{ job, mapID, reduce int }
+	covered := map[fkey]bool{}
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind == BookingMade {
+			covered[fkey{ev.Job, ev.Map, ev.Reduce}] = true
+		}
+	}
+	var out []FlowRace
+	lastInstall := map[pair]sim.Time{}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case InstallDone:
+			if ev.Disposition == DispOK {
+				lastInstall[pair{ev.Src, ev.Dst}] = ev.T
+			}
+		case FlowAdmitted:
+			if !covered[fkey{ev.Job, ev.Map, ev.Reduce}] {
+				continue
+			}
+			_, won := lastInstall[pair{ev.Src, ev.Dst}]
+			out = append(out, FlowRace{T: ev.T, Late: !won})
+		}
+	}
+	return out
+}
+
 func qualityFromSamples(s qualitySamples) Quality {
 	q := s.q
 	q.LeadSamples = len(s.leads)

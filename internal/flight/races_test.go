@@ -1,0 +1,88 @@
+package flight
+
+import (
+	"testing"
+
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// FlowRaces must classify exactly the covered flows, in admission order,
+// with the same install-race semantics as ComputeQuality: an admission with
+// no prior successful install for its (src,dst) aggregate is late.
+func TestFlowRaces(t *testing.T) {
+	mk := func(kind Kind, at float64, job, mapID, reduce int, src, dst topology.NodeID, disp string) Event {
+		ev := Ev(kind, PlaneFabric)
+		ev.T = sim.Time(at)
+		ev.Job, ev.Map, ev.Reduce = job, mapID, reduce
+		ev.Src, ev.Dst = src, dst
+		ev.Disposition = disp
+		return ev
+	}
+	events := []Event{
+		// Flow (0,0,0) booked; flow (0,1,0) never booked (uncovered).
+		mk(BookingMade, 1, 0, 0, 0, 3, 4, "new"),
+		// Uncovered flow admitted — must not appear in the output.
+		mk(FlowAdmitted, 2, 0, 1, 0, 3, 4, ""),
+		// Covered flow admitted before any install: late.
+		mk(FlowAdmitted, 3, 0, 0, 0, 3, 4, ""),
+		// Install completes for the aggregate...
+		mk(InstallDone, 4, 0, 0, 0, 3, 4, DispOK),
+		// ...second booking covers another flow on the same pair, admitted
+		// after the install: the prediction won.
+		mk(BookingMade, 5, 0, 2, 1, 3, 4, "new"),
+		mk(FlowAdmitted, 6, 0, 2, 1, 3, 4, ""),
+		// A failed install on a different pair must not count as coverage.
+		mk(BookingMade, 7, 1, 0, 0, 5, 6, "new"),
+		mk(InstallDone, 8, 1, 0, 0, 5, 6, "error"),
+		mk(FlowAdmitted, 9, 1, 0, 0, 5, 6, ""),
+	}
+	races := FlowRaces(events)
+	if len(races) != 3 {
+		t.Fatalf("got %d races, want 3 (uncovered flows excluded): %+v", len(races), races)
+	}
+	want := []FlowRace{
+		{T: 3, Late: true},  // admitted before install
+		{T: 6, Late: false}, // admitted after successful install
+		{T: 9, Late: true},  // only a failed install on its pair
+	}
+	for i, w := range want {
+		if races[i] != w {
+			t.Fatalf("race %d = %+v, want %+v", i, races[i], w)
+		}
+	}
+}
+
+// FlowRaces and ComputeQuality must agree on the covered-flow count and
+// late fraction — they implement the same classification.
+func TestFlowRacesMatchesQuality(t *testing.T) {
+	mk := func(kind Kind, at float64, job, mapID, reduce int, disp string) Event {
+		ev := Ev(kind, PlaneFabric)
+		ev.T = sim.Time(at)
+		ev.Job, ev.Map, ev.Reduce = job, mapID, reduce
+		ev.Src, ev.Dst = 1, 2
+		ev.Disposition = disp
+		return ev
+	}
+	events := []Event{
+		mk(BookingMade, 1, 0, 0, 0, "new"),
+		mk(BookingMade, 1, 0, 1, 0, "new"),
+		mk(FlowAdmitted, 2, 0, 0, 0, ""),
+		mk(InstallDone, 3, 0, 0, 0, DispOK),
+		mk(FlowAdmitted, 4, 0, 1, 0, ""),
+	}
+	races := FlowRaces(events)
+	q := ComputeQuality(events)
+	if len(races) != q.CoveredFlows {
+		t.Fatalf("races %d != quality covered flows %d", len(races), q.CoveredFlows)
+	}
+	late := 0
+	for _, r := range races {
+		if r.Late {
+			late++
+		}
+	}
+	if got := float64(late) / float64(len(races)); got != q.LateFraction {
+		t.Fatalf("late fraction %v != quality %v", got, q.LateFraction)
+	}
+}

@@ -78,8 +78,8 @@ func summarizeJob(b *strings.Builder, events []Event, job int, idx []int) {
 	spillAt := map[akey]sim.Time{}
 	enqueuedAt := map[akey]sim.Time{}
 	var monitor, transit, install latAgg
-	aggBytes := map[pair]float64{}  // completed bytes per (src,dst)
-	bookedPairs := map[pair]bool{}  // aggregates this job's bookings touched
+	aggBytes := map[pair]float64{} // completed bytes per (src,dst)
+	bookedPairs := map[pair]bool{} // aggregates this job's bookings touched
 	received := map[akey]bool{}
 	for _, i := range idx {
 		ev := &events[i]

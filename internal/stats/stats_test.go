@@ -276,6 +276,59 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestSummarizeSingleSample(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("single-sample Summarize = %+v", s)
+	}
+	// With one observation there is no spread and every percentile is the
+	// observation itself.
+	if s.Stddev != 0 {
+		t.Fatalf("single-sample Stddev = %v, want 0", s.Stddev)
+	}
+	if s.P50 != 7 || s.P95 != 7 || s.P99 != 7 {
+		t.Fatalf("single-sample percentiles = p50 %v p95 %v p99 %v, want all 7",
+			s.P50, s.P95, s.P99)
+	}
+}
+
+func TestPercentileDuplicates(t *testing.T) {
+	// Heavy ties must interpolate within the runs, never off the data range.
+	sorted := []float64{5, 5, 5, 5, 9}
+	for _, tc := range []struct {
+		p, want float64
+	}{{0, 5}, {0.5, 5}, {0.75, 5}, {1, 9}} {
+		if got := Percentile(sorted, tc.p); got != tc.want {
+			t.Fatalf("P%v of %v = %v, want %v", tc.p*100, sorted, got, tc.want)
+		}
+	}
+	allSame := []float64{3, 3, 3, 3}
+	for _, p := range []float64{0, 0.5, 0.95, 1} {
+		if got := Percentile(allSame, p); got != 3 {
+			t.Fatalf("all-equal P%v = %v, want 3", p*100, got)
+		}
+	}
+}
+
+func TestExpVariance(t *testing.T) {
+	// Exponential(mean m) has variance m²; a far-off variance would mean
+	// the inverse-CDF draw is warped even if the mean happens to match.
+	r := NewRNG(37)
+	const n = 200000
+	const mean = 3.0
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Exp(mean)
+		sum += x
+		sumsq += x * x
+	}
+	m := sum / n
+	variance := sumsq/n - m*m
+	if math.Abs(variance-mean*mean)/(mean*mean) > 0.05 {
+		t.Fatalf("exp variance = %v, want ~%v", variance, mean*mean)
+	}
+}
+
 func TestPercentilePanicsEmpty(t *testing.T) {
 	defer func() {
 		if recover() == nil {

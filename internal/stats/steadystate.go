@@ -1,0 +1,77 @@
+package stats
+
+import "math"
+
+// Steady-state measurement helpers: warm-up truncation (MSER-5) and the
+// correlation statistic the steady harness uses to relate prediction
+// lateness to tail-latency windows.
+
+// MSER5BatchSize is the classic batch width of the MSER-5 truncation rule.
+const MSER5BatchSize = 5
+
+// MSER5 locates the warm-up truncation point of an observation series in
+// collection order using the Marginal Standard Error Rule with batches of
+// five (White 1997): observations are grouped into consecutive batches of
+// five, and the truncation point d* minimizes the marginal standard error
+//
+//	MSER(d) = (1/(n-d)²) · Σ_{j≥d} (z_j − mean_{j≥d})²
+//
+// over the batch means z_j. Following standard practice the candidate
+// truncation points are restricted to the first half of the series — the
+// later suffixes are so short that their marginal error vanishes
+// degenerately (one kept batch always has zero SSE). The returned cut is
+// the number of raw observations to discard (d*·5). ok reports whether
+// the series was long enough to evaluate the rule (at least four batches).
+func MSER5(xs []float64) (cut int, ok bool) {
+	nb := len(xs) / MSER5BatchSize
+	if nb < 4 {
+		return 0, false
+	}
+	means := make([]float64, nb)
+	for j := 0; j < nb; j++ {
+		sum := 0.0
+		for i := 0; i < MSER5BatchSize; i++ {
+			sum += xs[j*MSER5BatchSize+i]
+		}
+		means[j] = sum / MSER5BatchSize
+	}
+	// Suffix sums let each candidate truncation evaluate in O(1).
+	sufSum := make([]float64, nb+1)
+	sufSq := make([]float64, nb+1)
+	for j := nb - 1; j >= 0; j-- {
+		sufSum[j] = sufSum[j+1] + means[j]
+		sufSq[j] = sufSq[j+1] + means[j]*means[j]
+	}
+	bestD, bestV := 0, math.Inf(1)
+	for d := 0; d <= nb/2; d++ {
+		k := float64(nb - d)
+		v := (sufSq[d] - sufSum[d]*sufSum[d]/k) / (k * k)
+		if v < bestV {
+			bestV = v
+			bestD = d
+		}
+	}
+	return bestD * MSER5BatchSize, true
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series, or 0 when either series is degenerate (fewer than two points or
+// zero variance).
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

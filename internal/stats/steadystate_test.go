@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMSER5TooShort(t *testing.T) {
+	// Fewer than four batches (20 observations) cannot be evaluated.
+	xs := make([]float64, 19)
+	if cut, ok := MSER5(xs); ok || cut != 0 {
+		t.Fatalf("MSER5(19 obs) = (%d, %v), want (0, false)", cut, ok)
+	}
+}
+
+func TestMSER5StationarySeriesKeepsEverything(t *testing.T) {
+	// A flat series has no transient: the best truncation is zero.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 10 + 0.01*math.Sin(float64(i))
+	}
+	cut, ok := MSER5(xs)
+	if !ok {
+		t.Fatal("100 observations must be evaluable")
+	}
+	if cut != 0 {
+		t.Fatalf("stationary series cut = %d, want 0", cut)
+	}
+}
+
+func TestMSER5CutsInflatedPrefix(t *testing.T) {
+	// 20 inflated observations followed by 80 stationary ones: the rule
+	// must discard the transient (a multiple of the batch size, at least
+	// covering the inflated prefix) and nothing close to the half-series
+	// degenerate minimum.
+	xs := make([]float64, 100)
+	for i := range xs {
+		if i < 20 {
+			xs[i] = 100 - float64(i) // cooling transient
+		} else {
+			xs[i] = 10 + 0.5*math.Sin(float64(i))
+		}
+	}
+	cut, ok := MSER5(xs)
+	if !ok {
+		t.Fatal("series must be evaluable")
+	}
+	if cut%MSER5BatchSize != 0 {
+		t.Fatalf("cut %d not a multiple of the batch size", cut)
+	}
+	if cut < 20 || cut > 30 {
+		t.Fatalf("cut = %d, want the ~20-observation transient removed", cut)
+	}
+}
+
+func TestMSER5CandidatesRestrictedToFirstHalf(t *testing.T) {
+	// A series whose tail happens to be ultra-flat must not tempt the rule
+	// into discarding most of the data: candidates stop at half.
+	xs := make([]float64, 40)
+	for i := range xs {
+		xs[i] = float64(i % 7) // noisy everywhere
+	}
+	xs[38], xs[39] = 3, 3 // flat tail
+	cut, _ := MSER5(xs)
+	if cut > len(xs)/2 {
+		t.Fatalf("cut = %d discards more than half of %d observations", cut, len(xs))
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("Pearson(x, 2x) = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(xs, neg); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("Pearson(x, -2x) = %v, want -1", r)
+	}
+}
+
+func TestPearsonDegenerateInputs(t *testing.T) {
+	if r := Pearson([]float64{1, 2}, []float64{1}); r != 0 {
+		t.Fatalf("length mismatch = %v, want 0", r)
+	}
+	if r := Pearson([]float64{1}, []float64{2}); r != 0 {
+		t.Fatalf("single point = %v, want 0", r)
+	}
+	if r := Pearson([]float64{3, 3, 3}, []float64{1, 2, 3}); r != 0 {
+		t.Fatalf("zero variance = %v, want 0", r)
+	}
+}
+
+func TestPearsonUncorrelatedNearZero(t *testing.T) {
+	r := NewRNG(31)
+	xs := make([]float64, 5000)
+	ys := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	if c := Pearson(xs, ys); math.Abs(c) > 0.05 {
+		t.Fatalf("independent uniforms correlation = %v, want ~0", c)
+	}
+}

@@ -91,7 +91,13 @@ func Generate(c Config) *hadoop.JobSpec {
 	rng := stats.NewRNG(c.Seed ^ 0xF00DF00D)
 	numMaps := int(c.InputBytes / c.BlockBytes)
 	lastBlock := c.InputBytes - float64(numMaps)*c.BlockBytes
-	if lastBlock > 0 {
+	// Sizes built from the decimal MB/GB constants are not exactly
+	// representable, so an input that is an exact block multiple in real
+	// arithmetic (34.24*GB = 535 × 64*MB) can leave an epsilon-sized
+	// remainder here. Such slivers must not become maps of their own — a
+	// near-zero-duration task emitting near-zero flows — so anything below
+	// one part in 10⁹ of a block folds into the last full block.
+	if lastBlock > c.BlockBytes*1e-9 {
 		numMaps++
 	} else {
 		lastBlock = c.BlockBytes

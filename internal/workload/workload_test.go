@@ -32,6 +32,50 @@ func TestGeneratePartialLastBlock(t *testing.T) {
 	}
 }
 
+// Inputs that are exact block multiples in real arithmetic but built from
+// the decimal MB/GB float constants leave an epsilon-sized remainder in
+// float64 (34.24 GB = 535 × 64 MB exactly, but 34.24*GB - 535*HDFSBlock ≈
+// 3.8e-6 bytes). Before the sliver fix, Generate turned that remainder
+// into an extra near-zero-byte map; it must fold into the last full block.
+func TestGenerateExactMultipleNoSliverMap(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		input    float64
+		block    float64
+		wantMaps int
+	}{
+		{"34.24GB/64MB", 34.24 * GB, HDFSBlock, 535},
+		{"68.48GB/64MB", 68.48 * GB, HDFSBlock, 1070},
+		{"136.96GB/256MB", 136.96 * GB, 256 * MB, 535},
+	} {
+		spec := Generate(Config{Name: tc.name, InputBytes: tc.input, BlockBytes: tc.block, Seed: 1})
+		if spec.NumMaps != tc.wantMaps {
+			t.Fatalf("%s: maps = %d, want %d (sliver remainder must not become a map)",
+				tc.name, spec.NumMaps, tc.wantMaps)
+		}
+		// The last map must be a full block, not a few-microbyte sliver:
+		// within noise of the first map's output.
+		lastOut, firstOut := 0.0, 0.0
+		for r := 0; r < spec.NumReduces; r++ {
+			lastOut += spec.MapOutputs[spec.NumMaps-1][r]
+			firstOut += spec.MapOutputs[0][r]
+		}
+		if lastOut < firstOut/2 {
+			t.Fatalf("%s: last map output %v vs first %v — sliver block leaked through",
+				tc.name, lastOut, firstOut)
+		}
+	}
+}
+
+// A genuinely partial last block (well above the epsilon guard) must still
+// get its own map — the fix only folds sub-epsilon remainders.
+func TestGenerateRealRemainderStillGetsMap(t *testing.T) {
+	spec := Generate(Config{Name: "g", InputBytes: 10*HDFSBlock + 5*MB, Seed: 1})
+	if spec.NumMaps != 11 {
+		t.Fatalf("maps = %d, want 11 (5 MB remainder deserves a map)", spec.NumMaps)
+	}
+}
+
 func TestOutputVolumeMatchesRatio(t *testing.T) {
 	for _, ratio := range []float64{0.05, 1.0, 1.2} {
 		spec := Generate(Config{Name: "g", InputBytes: 2 * GB, OutputRatio: ratio, Seed: 3})

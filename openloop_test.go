@@ -1,0 +1,98 @@
+package pythia_test
+
+import (
+	"strings"
+	"testing"
+
+	"pythia"
+)
+
+func TestOpenLoopJobsDeterministic(t *testing.T) {
+	cfg := pythia.OpenLoopConfig{BaseRateJobsPerSec: 0.1, Seed: 9}
+	a := pythia.OpenLoopJobs(cfg, 1200)
+	b := pythia.OpenLoopJobs(cfg, 1200)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("arrival counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].SubmitAtSec != b[i].SubmitAtSec || a[i].Tenant != b[i].Tenant {
+			t.Fatalf("arrival %d diverged", i)
+		}
+	}
+	if len(pythia.DefaultTenants()) != 3 {
+		t.Fatal("default mix must have three tenants")
+	}
+}
+
+func TestSubmitAtTryRunUntil(t *testing.T) {
+	cl := pythia.New(pythia.WithScheduler(pythia.SchedulerPythia),
+		pythia.WithOversubscription(10), pythia.WithSeed(7))
+	// Two staggered jobs: the second arrives while the first shuffles.
+	cl.SubmitAt(0, pythia.SortJob(1*pythia.GB, 4, 1))
+	cl.SubmitAt(10, pythia.NutchJob(1*pythia.GB, 4, 2))
+	res, err := cl.TryRunUntil(3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	for i, r := range res {
+		if r.DurationSec <= 0 || r.ShuffleBytes <= 0 {
+			t.Fatalf("job %d result degenerate: %+v", i, r)
+		}
+	}
+	if res[0].Name != "sort" || res[1].Name != "nutch-indexing" {
+		t.Fatalf("submission order lost: %v, %v", res[0].Name, res[1].Name)
+	}
+}
+
+func TestTryRunUntilReportsUnfinished(t *testing.T) {
+	cl := pythia.New(pythia.WithScheduler(pythia.SchedulerECMP),
+		pythia.WithOversubscription(10), pythia.WithSeed(3))
+	cl.SubmitAt(0, pythia.SortJob(2*pythia.GB, 4, 1))
+	// A job submitted at the horizon cannot finish by it.
+	cl.SubmitAt(119, pythia.SortJob(2*pythia.GB, 4, 2))
+	res, err := cl.TryRunUntil(120)
+	if err == nil {
+		t.Fatal("second job cannot finish in 1 simulated second")
+	}
+	if !strings.Contains(err.Error(), "did not complete") {
+		t.Fatalf("error text: %v", err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2 (unfinished keeps a zero slot)", len(res))
+	}
+	if res[1].DurationSec != 0 {
+		t.Fatalf("unfinished job has non-zero result: %+v", res[1])
+	}
+	// Continuing the same simulation finishes the stragglers.
+	res, err = cl.TryRunUntil(7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].DurationSec <= 0 {
+		t.Fatalf("straggler still unfinished: %+v", res[1])
+	}
+}
+
+func TestOpenLoopStreamThroughCluster(t *testing.T) {
+	// End-to-end: feed a short open-loop stream through SubmitAt and check
+	// every arrival completes within a generous horizon.
+	jobs := pythia.OpenLoopJobs(pythia.OpenLoopConfig{BaseRateJobsPerSec: 0.05, Seed: 4}, 300)
+	if len(jobs) == 0 {
+		t.Skip("no arrivals drawn in 300 s at this seed")
+	}
+	cl := pythia.New(pythia.WithScheduler(pythia.SchedulerPythia),
+		pythia.WithOversubscription(10), pythia.WithSeed(4))
+	for _, j := range jobs {
+		cl.SubmitAt(j.SubmitAtSec, j.Spec)
+	}
+	res, err := cl.TryRunUntil(7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(jobs) {
+		t.Fatalf("results = %d, want %d", len(res), len(jobs))
+	}
+}

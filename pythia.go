@@ -226,6 +226,9 @@ type Cluster struct {
 	// doneJobs records completed job IDs for post-run leak detection
 	// (FaultReport.LeakedBookings).
 	doneJobs []int
+
+	// timed holds SubmitAt entries awaiting a TryRunUntil report.
+	timed []*timedSubmission
 }
 
 // New builds a cluster on the paper's two-rack testbed topology.
