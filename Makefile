@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-steady bench-compare fuzz figures examples api api-check clean
+.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-steady bench-compare profile fuzz figures examples api api-check clean
 
 all: build vet test
 
@@ -51,6 +51,16 @@ bench-compare:
 	$(GO) test -bench=ScaleFatTree -benchmem -benchtime=1x -run='^$$' . \
 		| $(GO) run ./cmd/bench2json -o BENCH_scale.json
 	$(GO) run ./cmd/bench2json -compare $(OLD) BENCH_scale.json
+
+# Capture CPU + allocation profiles of the full experiment sweep (serial, so
+# the call tree attributes to one trial at a time). Inspect with
+#   go tool pprof out/cpu.pprof    /    go tool pprof out/mem.pprof
+PROFILE_EXPERIMENT ?= all
+profile:
+	mkdir -p out
+	$(GO) run ./cmd/pythia-bench -experiment $(PROFILE_EXPERIMENT) -parallel 1 \
+		-cpuprofile out/cpu.pprof -memprofile out/mem.pprof > out/profile.txt
+	@echo wrote out/cpu.pprof out/mem.pprof "(log: out/profile.txt)"
 
 # Quick fuzz pass over the binary index-file codec.
 fuzz:

@@ -269,37 +269,68 @@ func BenchmarkScaleFatTree(b *testing.B) {
 		{"indexed", AllocIndexed},
 		{"scan", AllocScan},
 	}
+	type row struct {
+		name string
+		cfg  bench.ScaleFatTreeConfig
+	}
+	var rows []row
 	for _, k := range []int{4, 6, 8} {
 		for _, m := range modes {
-			name := fmt.Sprintf("k%d/hosts%d/%s", k, bench.FatTreeHosts(k), m.name)
-			b.Run(name, func(b *testing.B) {
-				b.ReportAllocs()
-				var res bench.ScaleFatTreeResult
-				for i := 0; i < b.N; i++ {
-					res = bench.RunScaleFatTree(bench.ScaleFatTreeConfig{K: k, Alloc: m.alloc})
-				}
-				b.ReportMetric(res.JobSec, "sim-job-s")
-				b.ReportMetric(float64(len(res.FlowHistory)), "flows")
-				// Prediction-plane robustness counters ride along in the
-				// artifact; a healthy scale run must keep them at zero.
-				f := res.Faults
-				b.ReportMetric(float64(f.DedupHits+f.DuplicateIntents), "dup-intents")
-				b.ReportMetric(float64(f.ExpiredBookings+f.ExpiredIntents), "expired-bookings")
-				b.ReportMetric(float64(f.LateIntents+f.InFlightDropped), "late-intents")
-				if f != (bench.FaultCounters{}) {
-					b.Fatalf("healthy scale run recorded faults: %+v", f)
-				}
-				// Flight-recorder prediction-quality scores: how far ahead
-				// of each shuffle flow its rules landed, and how far the
-				// predicted bytes missed the wire bytes.
-				if q := res.Quality; q != nil {
-					b.ReportMetric(q.LeadP50Sec, "lead-p50-s")
-					b.ReportMetric(q.LeadP95Sec, "lead-p95-s")
-					b.ReportMetric(q.LeadMaxSec, "lead-max-s")
-					b.ReportMetric(q.LateFraction*100, "late-frac-%")
-					b.ReportMetric(q.ByteErrMeanAbsFrac*100, "byte-err-%")
-				}
+			rows = append(rows, row{
+				name: fmt.Sprintf("k%d/hosts%d/%s", k, bench.FatTreeHosts(k), m.name),
+				cfg:  bench.ScaleFatTreeConfig{K: k, Alloc: m.alloc},
 			})
 		}
+	}
+	// Event-kernel comparison on the hottest default row: the calendar queue
+	// (the k=8 row above) vs the reference binary heap on the same workload.
+	rows = append(rows, row{
+		name: fmt.Sprintf("k8/hosts%d/incremental-heap", bench.FatTreeHosts(8)),
+		cfg:  bench.ScaleFatTreeConfig{K: 8, Sched: SchedHeap},
+	})
+	// Order-of-magnitude fabrics: k=16 (1024 hosts, 1280 switches) and k=24
+	// (3456 hosts, 4320 switches) with a calibrated job — the default sizing
+	// grows cubically with k and would put half a million flows through one
+	// trial; a fixed 4 GB / 64-reducer sort keeps the flow population
+	// comparable across rows so the fabric itself (topology build, path
+	// computation, telemetry, allocation) is what scales.
+	for _, k := range []int{16, 24} {
+		rows = append(rows, row{
+			name: fmt.Sprintf("k%d/hosts%d/incremental", k, bench.FatTreeHosts(k)),
+			cfg: bench.ScaleFatTreeConfig{
+				K: k, SortBytes: 4 * GB, Reduces: 64, AllocWorkers: 4,
+			},
+		})
+	}
+	for _, r := range rows {
+		r := r
+		b.Run(r.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res bench.ScaleFatTreeResult
+			for i := 0; i < b.N; i++ {
+				res = bench.RunScaleFatTree(r.cfg)
+			}
+			b.ReportMetric(res.JobSec, "sim-job-s")
+			b.ReportMetric(float64(len(res.FlowHistory)), "flows")
+			// Prediction-plane robustness counters ride along in the
+			// artifact; a healthy scale run must keep them at zero.
+			f := res.Faults
+			b.ReportMetric(float64(f.DedupHits+f.DuplicateIntents), "dup-intents")
+			b.ReportMetric(float64(f.ExpiredBookings+f.ExpiredIntents), "expired-bookings")
+			b.ReportMetric(float64(f.LateIntents+f.InFlightDropped), "late-intents")
+			if f != (bench.FaultCounters{}) {
+				b.Fatalf("healthy scale run recorded faults: %+v", f)
+			}
+			// Flight-recorder prediction-quality scores: how far ahead
+			// of each shuffle flow its rules landed, and how far the
+			// predicted bytes missed the wire bytes.
+			if q := res.Quality; q != nil {
+				b.ReportMetric(q.LeadP50Sec, "lead-p50-s")
+				b.ReportMetric(q.LeadP95Sec, "lead-p95-s")
+				b.ReportMetric(q.LeadMaxSec, "lead-max-s")
+				b.ReportMetric(q.LateFraction*100, "late-frac-%")
+				b.ReportMetric(q.ByteErrMeanAbsFrac*100, "byte-err-%")
+			}
+		})
 	}
 }

@@ -6,6 +6,7 @@
 //	              scaleout|flowcomb|partitioner|trace|bounds|steady|ablations]
 //	             [-full] [-steady] [-steady-horizon SEC] [-parallel N]
 //	             [-svg fig1a.svg] [-svgdir DIR] [-json results.json]
+//	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -full runs the paper's published input sizes (240 GB sort, 8 GB Nutch,
 // 60 GB integer sort); the default quick scale divides the sort inputs by 10
@@ -15,6 +16,11 @@
 // -parallel 1 restores fully serial execution). Every trial is an
 // independent deterministic simulation and results are reassembled in
 // submission order, so the output is byte-identical at any setting.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments (`go tool pprof` reads them); `make profile` wraps the common
+// hot-path capture. Profile with -parallel 1 when attributing cost to a
+// single trial's call tree.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pythia/internal/bench"
 )
@@ -36,9 +44,44 @@ func main() {
 	jsonPath := flag.String("json", "", "also write all executed experiments' results as JSON to this path")
 	reportPath := flag.String("report", "", "run the complete suite and write a markdown report to this path")
 	parallel := flag.Int("parallel", 0, "max concurrent trials (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after the experiments) to this path")
 	flag.Parse()
 
 	bench.SetParallelism(*parallel)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating %s: %v\n", *memProfile, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live + cumulative truthfully
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *memProfile)
+		}()
+	}
 
 	if *reportPath != "" {
 		scale := bench.QuickScale()

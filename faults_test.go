@@ -278,3 +278,23 @@ func TestAllocModesAgreeViaFacade(t *testing.T) {
 		}
 	}
 }
+
+// TestKernelKnobsAgreeViaFacade: the event-kernel scheduler modes and the
+// sharded allocation widths selected through the facade all reproduce the
+// identical schedule.
+func TestKernelKnobsAgreeViaFacade(t *testing.T) {
+	spec := SortJob(2*GB, 8, 7)
+	run := func(opts ...Option) float64 {
+		base := []Option{WithScheduler(SchedulerPythia), WithOversubscription(10), WithSeed(7)}
+		return New(append(base, opts...)...).RunJob(spec).DurationSec
+	}
+	base := run()
+	if d := run(WithSchedulerMode(SchedHeap)); d != base {
+		t.Fatalf("heap kernel diverges: %.9f vs %.9f", d, base)
+	}
+	for _, w := range []int{2, 8} {
+		if d := run(WithAllocWorkers(w)); d != base {
+			t.Fatalf("workers=%d diverges: %.9f vs %.9f", w, d, base)
+		}
+	}
+}

@@ -112,6 +112,41 @@ func TestScaleFatTreeDeterminism(t *testing.T) {
 	flowHistoriesEqual(t, inc.FlowHistory, scan.FlowHistory, "fat-tree k=4 incremental vs scan")
 }
 
+// The calendar-queue event kernel must deliver the exact event order of the
+// reference binary heap: a full oversubscribed sort trial is the
+// integration-level witness (the unit-level one is the randomized storm in
+// internal/sim).
+func TestSchedulerModesMatchOnSortTrial(t *testing.T) {
+	run := func(mode sim.SchedulerMode) []FlowRecord {
+		return RunTrial(TrialConfig{
+			Spec:               workload.Sort(2*workload.GB, 8, 42),
+			Scheduler:          Pythia,
+			Oversub:            Oversub{Label: "1:5", Ratio: 5},
+			Seed:               42,
+			Sched:              mode,
+			CollectFlowHistory: true,
+		}).FlowHistory
+	}
+	cal := run(sim.SchedCalendar)
+	flowHistoriesEqual(t, cal, run(sim.SchedHeap), "sort 1:5 calendar vs heap")
+}
+
+// Sharding the allocation pass across connected components must be
+// bit-identical to the serial pass at any worker-pool width — here proven on
+// a full fat-tree trial where every pass sees many simultaneous components.
+func TestAllocWorkersMatchOnFatTreeTrial(t *testing.T) {
+	serial := RunScaleFatTree(ScaleFatTreeConfig{K: 4})
+	for _, w := range []int{2, 8} {
+		sharded := RunScaleFatTree(ScaleFatTreeConfig{K: 4, AllocWorkers: w})
+		if serial.JobSec != sharded.JobSec {
+			t.Fatalf("workers=%d: job time diverged: serial %v, sharded %v",
+				w, serial.JobSec, sharded.JobSec)
+		}
+		flowHistoriesEqual(t, serial.FlowHistory, sharded.FlowHistory,
+			"fat-tree k=4 serial vs sharded")
+	}
+}
+
 // The trace replay exercises multi-job churn (Poisson arrivals, queueing,
 // overlapping shuffles); its summary statistics must be identical under the
 // coalesced and scan-baseline allocators.

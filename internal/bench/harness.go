@@ -145,6 +145,14 @@ type TrialConfig struct {
 	// coalesced (default), the PR 1 eager indexed path, or the full-scan
 	// reference. All three must produce bit-identical results.
 	Alloc netsim.AllocMode
+	// Sched selects the event-kernel scheduler (calendar queue by default;
+	// SchedHeap is the original binary heap kept as the golden reference).
+	// Both deliver events in the identical order, so results never change.
+	Sched sim.SchedulerMode
+	// AllocWorkers shards each allocation pass across connected components
+	// onto a bounded worker pool when > 1. Any width is bit-identical to
+	// serial (components write disjoint state and merge deterministically).
+	AllocWorkers int
 }
 
 func (c TrialConfig) defaults() TrialConfig {
@@ -273,7 +281,7 @@ func (nullSink) ReducerUp(instrument.ReducerUp)  {}
 // oversubscription level.
 func RunTrial(cfg TrialConfig) TrialResult {
 	cfg = cfg.defaults()
-	eng := sim.NewEngine()
+	eng := sim.NewEngineMode(cfg.Sched)
 	var (
 		g      *topology.Graph
 		hosts  []topology.NodeID
@@ -306,6 +314,9 @@ func RunTrial(cfg TrialConfig) TrialResult {
 		alloc = netsim.AllocScan
 	}
 	net.SetAllocMode(alloc)
+	if cfg.AllocWorkers > 1 {
+		net.SetAllocWorkers(cfg.AllocWorkers)
+	}
 
 	applyOversub(net, trunks, cfg)
 

@@ -3,6 +3,7 @@ package bench
 import (
 	"pythia/internal/flight"
 	"pythia/internal/netsim"
+	"pythia/internal/sim"
 	"pythia/internal/workload"
 )
 
@@ -17,15 +18,26 @@ type ScaleFatTreeConfig struct {
 	K int
 	// SortBytes is the job input size; 0 defaults to hosts × 128 MB
 	// (one sort block per two hosts — enough concurrent flows that every
-	// poll and recompute crosses the whole fabric).
+	// poll and recompute crosses the whole fabric). The k=16/k=24 rows set
+	// it explicitly: the default grows cubically with k and would put half
+	// a million flows through a single trial.
 	SortBytes float64
+	// Reduces overrides the reducer count; 0 defaults to the host count
+	// (one reducer per server, the canonical full-fabric shuffle).
+	Reduces int
 	// DisableIndexes runs the scan-baseline reference implementations
 	// instead of the per-link indexes. It takes precedence over Alloc.
 	DisableIndexes bool
 	// Alloc selects the netsim allocator (incremental coalesced by
 	// default; AllocIndexed measures the PR 1 eager path).
 	Alloc netsim.AllocMode
-	Seed  uint64
+	// Sched selects the event-kernel scheduler (calendar queue by default;
+	// SchedHeap measures the original binary heap on the same workload).
+	Sched sim.SchedulerMode
+	// AllocWorkers shards allocation passes across connected components
+	// when > 1 (bit-identical at any width).
+	AllocWorkers int
+	Seed         uint64
 }
 
 // ScaleFatTreeResult reports the run.
@@ -55,17 +67,23 @@ func RunScaleFatTree(cfg ScaleFatTreeConfig) ScaleFatTreeResult {
 	if bytes == 0 {
 		bytes = float64(hosts) * 128 * workload.MB
 	}
+	reduces := cfg.Reduces
+	if reduces == 0 {
+		reduces = hosts
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 7
 	}
 	res := RunTrial(TrialConfig{
-		Spec:               workload.Sort(bytes, hosts, seed),
+		Spec:               workload.Sort(bytes, reduces, seed),
 		Scheduler:          Pythia,
 		FatTreeK:           cfg.K,
 		Seed:               seed,
 		DisableIndexes:     cfg.DisableIndexes,
 		Alloc:              cfg.Alloc,
+		Sched:              cfg.Sched,
+		AllocWorkers:       cfg.AllocWorkers,
 		CollectFlowHistory: true,
 		CollectFlight:      true,
 	})

@@ -149,8 +149,11 @@ type Pythia struct {
 	g   *topology.Graph
 	cfg Config
 
-	paths      map[pairKey][]topology.Path
-	pathsVer   uint64
+	// paths is the incrementally-repaired k-shortest-path cache: a fault
+	// storm invalidates only the pairs whose paths a change can affect,
+	// instead of the full flush earlier revisions paid on every topology
+	// version bump.
+	paths      *topology.PathCache
 	reducerLoc map[[2]int]topology.NodeID // (job, reduce) -> host
 	pending    []*pendingIntent
 
@@ -226,7 +229,6 @@ func New(eng *sim.Engine, net *netsim.Network, ofc *openflow.Controller, cfg Con
 		ofc:        ofc,
 		g:          net.Graph(),
 		cfg:        cfg.Defaults(),
-		paths:      make(map[pairKey][]topology.Path),
 		reducerLoc: make(map[[2]int]topology.NodeID),
 		aggregates: make(map[pairKey]*aggregate),
 		placedOn:   make(map[topology.LinkID][]*aggregate),
@@ -235,7 +237,7 @@ func New(eng *sim.Engine, net *netsim.Network, ofc *openflow.Controller, cfg Con
 		nextCookie: 1,
 		seen:       make(map[[3]int]bool),
 	}
-	p.pathsVer = p.g.Version()
+	p.paths = topology.NewPathCache(p.g, p.cfg.K)
 	if p.cfg.BookingTTL > 0 {
 		p.jobLastSeen = make(map[int]sim.Time)
 		// Sweep at half the TTL so nothing outlives ~1.5×TTL. The ticker is
@@ -321,19 +323,10 @@ func (p *Pythia) aggKey(src, dst topology.NodeID) pairKey {
 	return pairKey{src, dst}
 }
 
-// kPaths returns (and caches) the k-shortest paths for a pair.
+// kPaths returns the k-shortest paths for a pair through the incremental
+// cache (topology changes invalidate only affected pairs).
 func (p *Pythia) kPaths(src, dst topology.NodeID) []topology.Path {
-	if p.g.Version() != p.pathsVer {
-		p.paths = make(map[pairKey][]topology.Path)
-		p.pathsVer = p.g.Version()
-	}
-	key := pairKey{src, dst}
-	if ps, ok := p.paths[key]; ok {
-		return ps
-	}
-	ps := p.g.KShortestPaths(src, dst, p.cfg.K)
-	p.paths[key] = ps
-	return ps
+	return p.paths.Paths(src, dst)
 }
 
 // ShuffleIntent ingests one prediction message (instrument.Sink).
@@ -974,8 +967,8 @@ func (p *Pythia) JobDone(job int) {
 // reroutes in-flight shuffle flows stranded on failed links (§IV fault
 // tolerance: the routing graph is rebuilt from topology-update events).
 func (p *Pythia) onTopologyChange() {
-	p.paths = make(map[pairKey][]topology.Path)
-	p.pathsVer = p.g.Version()
+	// The path cache self-repairs from the graph's transition journal on
+	// the next query; no flush needed here.
 	for _, a := range p.aggregates {
 		if a.demandBits <= 0 {
 			continue

@@ -17,15 +17,17 @@ import (
 )
 
 // Allocator assigns paths by five-tuple hash over the k-shortest paths of
-// each host pair. Path sets are computed lazily per pair and cached until
-// the topology version changes (the paper recomputes the routing graph only
-// on topology events, keeping routing computation off the data path).
+// each host pair. Path sets come from an incrementally-repaired
+// topology.PathCache (a fault invalidates only the pairs it can affect; the
+// paper recomputes the routing graph only on topology events, keeping
+// routing computation off the data path); the equal-cost subsets derived
+// from them are memoized against the cache revision.
 type Allocator struct {
-	g     *topology.Graph
-	k     int
-	seed  uint64
-	cache map[[2]topology.NodeID][]topology.Path
-	ver   uint64
+	g    *topology.Graph
+	pc   *topology.PathCache
+	seed uint64
+	eq   map[[2]topology.NodeID][]topology.Path
+	rev  uint64
 
 	// FlowsRescued counts in-flight flows re-hashed off failed paths by
 	// RescueStranded (fault-plane subscription via AttachNetwork).
@@ -39,26 +41,30 @@ func New(g *topology.Graph, k int, seed uint64) *Allocator {
 	if k <= 0 {
 		panic("ecmp: k must be positive")
 	}
-	return &Allocator{
-		g:     g,
-		k:     k,
-		seed:  seed,
-		cache: make(map[[2]topology.NodeID][]topology.Path),
-		ver:   g.Version(),
+	a := &Allocator{
+		g:    g,
+		pc:   topology.NewPathCache(g, k),
+		seed: seed,
+		eq:   make(map[[2]topology.NodeID][]topology.Path),
 	}
+	a.rev = a.pc.Rev()
+	return a
 }
 
 // Paths returns the cached equal-cost path set for a host pair.
 func (a *Allocator) Paths(src, dst topology.NodeID) []topology.Path {
-	if a.g.Version() != a.ver {
-		a.cache = make(map[[2]topology.NodeID][]topology.Path)
-		a.ver = a.g.Version()
-	}
 	key := [2]topology.NodeID{src, dst}
-	if ps, ok := a.cache[key]; ok {
+	all := a.pc.Paths(src, dst)
+	// Deriving the eq-cost subset is cheap, but the memo must still drop
+	// pairs whose underlying paths were invalidated; the cache revision
+	// moves whenever any entry does.
+	if a.pc.Rev() != a.rev {
+		a.eq = make(map[[2]topology.NodeID][]topology.Path)
+		a.rev = a.pc.Rev()
+	}
+	if ps, ok := a.eq[key]; ok {
 		return ps
 	}
-	all := a.g.KShortestPaths(src, dst, a.k)
 	// ECMP only spreads over equal-cost (same hop count) paths.
 	var eq []topology.Path
 	for _, p := range all {
@@ -66,7 +72,7 @@ func (a *Allocator) Paths(src, dst topology.NodeID) []topology.Path {
 			eq = append(eq, p)
 		}
 	}
-	a.cache[key] = eq
+	a.eq[key] = eq
 	return eq
 }
 

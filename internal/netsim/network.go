@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"pythia/internal/flight"
 	"pythia/internal/sim"
@@ -119,10 +120,12 @@ type Flow struct {
 	onComplete  func(*Flow)
 
 	// Allocator scratch, meaningful only inside one allocation pass:
-	// mark dedups component collection (compared against Network.epoch)
-	// and unfixed tracks progressive-filling state.
+	// mark dedups component collection (compared against Network.epoch),
+	// unfixed tracks progressive-filling state, and compIdx is the flow's
+	// position in the pass's dense component arrays (CSR path-link rows).
 	mark    uint64
 	unfixed bool
+	compIdx int
 }
 
 // Rate returns the current max-min allocated rate in bps (valid between
@@ -211,6 +214,10 @@ type Network struct {
 	incastFloor     float64
 
 	completeEvent *sim.Event
+	// completeFn is completeDue bound once at construction: scheduling a
+	// method value allocates a fresh closure per call, which would be the
+	// only allocation left on the steady-state pass.
+	completeFn func()
 
 	// AllocPasses counts allocation passes (any mode). With coalescing, a
 	// whole wave of same-instant mutations increments it once; the eager
@@ -237,6 +244,35 @@ type Network struct {
 	compFlows []*Flow
 	workLinks []topology.LinkID
 	doneBuf   []*Flow
+	termEager []int // scan-mode terminal counts (dense by LinkID)
+
+	// comps are the connected components discovered by the current pass:
+	// contiguous [linkLo,linkHi)×[flowLo,flowHi) ranges of
+	// compLinks/compFlows. csrStart/csrLinks form a CSR copy of each
+	// component flow's path links (row f.compIdx), so the progressive-fill
+	// inner loop walks one contiguous arena instead of chasing per-flow
+	// slice headers.
+	comps    []allocComp
+	csrStart []int32
+	csrLinks []topology.LinkID
+
+	// Intra-trial sharding: components fill in parallel on a persistent
+	// bounded worker pool. Component link/flow index sets are disjoint, so
+	// the shared residual/counts/rate writes are race-free and the result
+	// is bit-identical at any width. Components are processed in min-LinkID
+	// order either way.
+	allocWorkers int
+	allocJobs    chan allocComp
+	allocWG      sync.WaitGroup
+	poolSize     int
+}
+
+// allocComp is one connected component of the link/flow sharing graph, as
+// contiguous ranges into the pass's compLinks/compFlows arrays.
+type allocComp struct {
+	linkLo, linkHi int
+	flowLo, flowHi int
+	minLink        topology.LinkID
 }
 
 // EnableIncast turns on the many-to-one goodput-collapse model: beyond
@@ -272,7 +308,7 @@ func (n *Network) SetLocalBps(bps float64) {
 // New creates a network simulator bound to an engine and a topology.
 func New(eng *sim.Engine, g *topology.Graph) *Network {
 	nl := g.NumLinks()
-	return &Network{
+	n := &Network{
 		eng:        eng,
 		g:          g,
 		linkFlows:  make([][]*Flow, nl),
@@ -283,8 +319,11 @@ func New(eng *sim.Engine, g *topology.Graph) *Network {
 		linkSeen:   make([]uint64, nl),
 		residual:   make([]float64, nl),
 		counts:     make([]int, nl),
+		termEager:  make([]int, nl),
 		localBps:   DefaultLocalBps,
 	}
+	n.completeFn = n.completeDue
+	return n
 }
 
 // ensureLink grows the dense per-link state to cover link id (links added to
@@ -311,6 +350,9 @@ func (n *Network) ensureLink(id topology.LinkID) {
 	ci := make([]int, need)
 	copy(ci, n.counts)
 	n.counts = ci
+	te := make([]int, need)
+	copy(te, n.termEager)
+	n.termEager = te
 	ls := make([]uint64, need)
 	copy(ls, n.linkSeen)
 	n.linkSeen = ls
@@ -649,79 +691,145 @@ func (n *Network) linkResidual(l topology.LinkID, terminalCount int) float64 {
 	return r
 }
 
-// allocateIncremental runs progressive filling over the connected component
+// allocateIncremental runs progressive filling over the connected components
 // of links and flows reachable from the seed links (or over everything when
 // all is set). Max-min allocation decomposes over connected components of
-// the link/flow sharing graph, and the component is closed under "shares a
+// the link/flow sharing graph, and each component is closed under "shares a
 // link with", so flows outside it keep their rates and the restricted pass
 // computes exactly the floats a global pass would. Scratch state is reused
 // across passes (epoch-stamped, no clearing), so the steady-state pass
 // allocates nothing.
+//
+// Discovery is serial and enumerates each component as a contiguous range of
+// compLinks/compFlows, copying every component flow's path links into one
+// dense CSR arena (csrStart/csrLinks). The fill phase then runs per
+// component — serially in min-LinkID order, or sharded across the bounded
+// worker pool when SetAllocWorkers raised the width. Component index sets
+// are disjoint, so the shared residual/counts/rate writes never race and the
+// result is bit-identical at any pool width.
 func (n *Network) allocateIncremental(seeds []topology.LinkID, all bool) {
 	n.AllocPasses++
 	n.epoch++
 	ep := n.epoch
 	n.compLinks = n.compLinks[:0]
 	n.compFlows = n.compFlows[:0]
+	n.comps = n.comps[:0]
+	n.csrStart = n.csrStart[:0]
+	n.csrLinks = n.csrLinks[:0]
+
+	// discover grows one component by BFS across the bipartite link/flow
+	// sharing graph from an unseen link. compLinks doubles as the frontier
+	// queue; the component occupies the tail ranges appended here.
+	discover := func(seed topology.LinkID) {
+		c := allocComp{
+			linkLo:  len(n.compLinks),
+			flowLo:  len(n.compFlows),
+			minLink: seed,
+		}
+		n.linkSeen[seed] = ep
+		n.compLinks = append(n.compLinks, seed)
+		for i := c.linkLo; i < len(n.compLinks); i++ {
+			for _, f := range n.linkFlows[n.compLinks[i]] {
+				if f.mark == ep {
+					continue
+				}
+				f.mark = ep
+				f.compIdx = len(n.compFlows)
+				n.compFlows = append(n.compFlows, f)
+				n.csrStart = append(n.csrStart, int32(len(n.csrLinks)))
+				for _, l := range f.Path.Links {
+					n.csrLinks = append(n.csrLinks, l)
+					if n.linkSeen[l] != ep {
+						n.linkSeen[l] = ep
+						n.compLinks = append(n.compLinks, l)
+						if l < c.minLink {
+							c.minLink = l
+						}
+					}
+				}
+			}
+		}
+		c.linkHi = len(n.compLinks)
+		c.flowHi = len(n.compFlows)
+		n.comps = append(n.comps, c)
+	}
 
 	if all {
 		for _, f := range n.active {
-			f.mark = ep
-			n.compFlows = append(n.compFlows, f)
-			for _, l := range f.Path.Links {
-				if n.linkSeen[l] != ep {
-					n.linkSeen[l] = ep
-					n.compLinks = append(n.compLinks, l)
-				}
+			if len(f.Path.Links) == 0 {
+				// Local (same-host) transfer: fixed loopback rate, no
+				// fabric contention. Only reachable via a full pass.
+				f.rate = n.localBps
+				f.unfixed = false
+				continue
+			}
+			if f.mark != ep {
+				discover(f.Path.Links[0])
 			}
 		}
 	} else {
 		for _, l := range seeds {
 			n.ensureLink(l)
 			if n.linkSeen[l] != ep {
-				n.linkSeen[l] = ep
-				n.compLinks = append(n.compLinks, l)
+				discover(l)
 			}
 		}
-		// BFS across the bipartite link/flow sharing graph. compLinks
-		// doubles as the frontier queue.
-		for i := 0; i < len(n.compLinks); i++ {
-			for _, f := range n.linkFlows[n.compLinks[i]] {
-				if f.mark == ep {
-					continue
-				}
-				f.mark = ep
-				n.compFlows = append(n.compFlows, f)
-				for _, l := range f.Path.Links {
-					if n.linkSeen[l] != ep {
-						n.linkSeen[l] = ep
-						n.compLinks = append(n.compLinks, l)
-					}
-				}
-			}
+	}
+	n.csrStart = append(n.csrStart, int32(len(n.csrLinks))) // row sentinel
+
+	// Deterministic component order (min LinkID). The per-component fills
+	// are independent, so this fixes the processing order without
+	// affecting any float; components are few, insertion sort stays
+	// allocation-free.
+	for i := 1; i < len(n.comps); i++ {
+		c := n.comps[i]
+		j := i
+		for ; j > 0 && n.comps[j-1].minLink > c.minLink; j-- {
+			n.comps[j] = n.comps[j-1]
 		}
+		n.comps[j] = c
 	}
 
-	// Component is closed: every flow on a component link is in
-	// compFlows, so occupancy counts come straight off the index.
-	n.workLinks = n.workLinks[:0]
-	for _, l := range n.compLinks {
-		c := len(n.linkFlows[l])
-		n.counts[l] = c
+	workers := n.allocWorkers
+	if workers > len(n.comps) {
+		workers = len(n.comps)
+	}
+	if workers <= 1 {
+		for _, c := range n.comps {
+			n.fillComponent(c)
+		}
+		return
+	}
+	n.ensurePool(workers)
+	n.allocWG.Add(len(n.comps))
+	for _, c := range n.comps {
+		n.allocJobs <- c
+	}
+	n.allocWG.Wait()
+}
+
+// fillComponent runs progressive filling over one component. Its writes
+// (component link residual/counts, component flow rate/unfixed) are disjoint
+// from every other component's, so fills may run concurrently.
+func (n *Network) fillComponent(c allocComp) {
+	// Component is closed: every flow on a component link is in compFlows,
+	// so occupancy counts come straight off the index. The component's
+	// compLinks range becomes the bottleneck worklist in place (compacted
+	// as links saturate; discovery is over, the range is scratch now).
+	wl := n.compLinks[c.linkLo:c.linkHi]
+	w := wl[:0]
+	for _, l := range wl {
+		cnt := len(n.linkFlows[l])
+		n.counts[l] = cnt
 		n.residual[l] = n.linkResidual(l, n.terminal[l])
-		if c > 0 {
-			n.workLinks = append(n.workLinks, l)
+		if cnt > 0 {
+			w = append(w, l)
 		}
 	}
+	wl = w
 	unfixedCount := 0
-	for _, f := range n.compFlows {
-		if len(f.Path.Links) == 0 {
-			// Local (same-host) transfer: fixed loopback rate, no
-			// fabric contention. Only reachable via a full pass.
-			f.rate = n.localBps
-			f.unfixed = false
-			continue
-		}
+	for fi := c.flowLo; fi < c.flowHi; fi++ {
+		f := n.compFlows[fi]
 		f.rate = 0
 		f.unfixed = true
 		unfixedCount++
@@ -732,6 +840,153 @@ func (n *Network) allocateIncremental(seeds []topology.LinkID, all bool) {
 		// still carrying unfixed flows, smallest LinkID on exact ties.
 		// The worklist is compacted in the same sweep so saturated links
 		// drop out of later rounds.
+		bestShare := math.Inf(1)
+		var bottleneck topology.LinkID = -1
+		w := wl[:0]
+		for _, l := range wl {
+			cnt := n.counts[l]
+			if cnt <= 0 {
+				continue
+			}
+			w = append(w, l)
+			share := n.residual[l] / float64(cnt)
+			if share < bestShare || (share == bestShare && (bottleneck == -1 || l < bottleneck)) {
+				bestShare = share
+				bottleneck = l
+			}
+		}
+		wl = w
+		if bottleneck == -1 || math.IsInf(bestShare, 1) {
+			break
+		}
+		// Fix every unfixed flow crossing the bottleneck at bestShare.
+		// Every fixed flow subtracts the identical share, so the order
+		// the candidates are visited in cannot change the residuals. The
+		// flow's links come from the contiguous CSR row built during
+		// discovery rather than the per-flow slice header.
+		for _, f := range n.linkFlows[bottleneck] {
+			if !f.unfixed {
+				continue
+			}
+			f.unfixed = false
+			unfixedCount--
+			f.rate = bestShare
+			for _, l := range n.csrLinks[n.csrStart[f.compIdx]:n.csrStart[f.compIdx+1]] {
+				n.residual[l] -= bestShare
+				if n.residual[l] < 0 {
+					n.residual[l] = 0
+				}
+				n.counts[l]--
+			}
+		}
+	}
+}
+
+// SetAllocWorkers bounds the worker pool that fills allocation components in
+// parallel within a single pass (intra-trial parallelism for one giant
+// fabric). Width 1 (the default) fills serially; any width produces
+// bit-identical results, proven by the sharding golden tests. The pool is
+// persistent and lazily grown; passes with fewer components than workers use
+// fewer.
+func (n *Network) SetAllocWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	n.flush()
+	n.allocWorkers = w
+}
+
+// AllocWorkersSelected reports the configured intra-pass worker width.
+func (n *Network) AllocWorkersSelected() int {
+	if n.allocWorkers < 1 {
+		return 1
+	}
+	return n.allocWorkers
+}
+
+// ensurePool lazily grows the persistent fill-worker pool to the given size.
+// Workers park on the job channel between passes; buffered sends keep the
+// steady-state dispatch allocation-free.
+func (n *Network) ensurePool(workers int) {
+	if n.poolSize >= workers {
+		return
+	}
+	if n.allocJobs == nil {
+		n.allocJobs = make(chan allocComp, 1024)
+	}
+	for i := n.poolSize; i < workers; i++ {
+		go func() {
+			for c := range n.allocJobs {
+				n.fillComponent(c)
+				n.allocWG.Done()
+			}
+		}()
+	}
+	n.poolSize = workers
+}
+
+// recomputeEager is the PR 1 allocator: a full progressive-filling pass
+// after every mutation, occupancy from the index (AllocIndexed) or from a
+// scan of every active flow (AllocScan). Earlier revisions rebuilt
+// residual/counts/per-terminal maps on every pass — the per-pass map churn
+// this now avoids by reusing the network-owned dense scratch
+// (BenchmarkEagerAllocPass guards the allocs/op). The float operation
+// sequence is unchanged: every share is residual/count with the identical
+// values, and fix order cannot change the residuals, so the mode remains
+// bit-identical to the original map-based reference.
+func (n *Network) recomputeEager() {
+	n.AllocPasses++
+	n.epoch++
+	ep := n.epoch
+	// Candidate links (those carrying at least one flow) gather into the
+	// reusable worklist; counts/residual/termEager are dense, epoch-gated
+	// by first touch.
+	n.workLinks = n.workLinks[:0]
+	if n.scanBaseline {
+		for _, f := range n.active {
+			for _, l := range f.Path.Links {
+				if n.linkSeen[l] != ep {
+					n.linkSeen[l] = ep
+					n.counts[l] = 0
+					n.termEager[l] = 0
+					n.workLinks = append(n.workLinks, l)
+				}
+				n.counts[l]++
+			}
+			if k := len(f.Path.Links); k > 0 {
+				n.termEager[f.Path.Links[k-1]]++
+			}
+		}
+		for _, l := range n.workLinks {
+			n.residual[l] = n.linkResidual(l, n.termEager[l])
+		}
+	} else {
+		for l, fs := range n.linkFlows {
+			if len(fs) > 0 {
+				lid := topology.LinkID(l)
+				n.counts[lid] = len(fs)
+				n.residual[lid] = n.linkResidual(lid, n.terminal[lid])
+				n.workLinks = append(n.workLinks, lid)
+			}
+		}
+	}
+
+	unfixedCount := 0
+	for _, f := range n.active {
+		f.rate = 0
+		f.unfixed = false
+		if len(f.Path.Links) == 0 {
+			f.rate = n.localBps
+			continue
+		}
+		f.unfixed = true
+		unfixedCount++
+	}
+
+	for unfixedCount > 0 {
+		// Find the bottleneck link: minimal fair share among links
+		// carrying unfixed flows, smallest LinkID on exact ties. The
+		// worklist is compacted in the same sweep.
 		bestShare := math.Inf(1)
 		var bottleneck topology.LinkID = -1
 		w := n.workLinks[:0]
@@ -752,15 +1007,12 @@ func (n *Network) allocateIncremental(seeds []topology.LinkID, all bool) {
 			break
 		}
 		// Fix every unfixed flow crossing the bottleneck at bestShare.
-		// Every fixed flow subtracts the identical share, so the order
-		// the candidates are visited in cannot change the residuals.
-		for _, f := range n.linkFlows[bottleneck] {
-			if !f.unfixed {
-				continue
-			}
+		// Every fixed flow subtracts the identical share, so the order the
+		// candidates are visited in cannot change the resulting residuals.
+		fix := func(f *Flow) {
+			f.rate = bestShare
 			f.unfixed = false
 			unfixedCount--
-			f.rate = bestShare
 			for _, l := range f.Path.Links {
 				n.residual[l] -= bestShare
 				if n.residual[l] < 0 {
@@ -769,102 +1021,22 @@ func (n *Network) allocateIncremental(seeds []topology.LinkID, all bool) {
 				n.counts[l]--
 			}
 		}
-	}
-}
-
-// recomputeEager is the PR 1 allocator: a full progressive-filling pass with
-// map-based scratch, occupancy from the index (AllocIndexed) or from a scan
-// of every active flow (AllocScan). Kept verbatim as the reference the
-// incremental path is tested against.
-func (n *Network) recomputeEager() {
-	n.AllocPasses++
-	residual := make(map[topology.LinkID]float64)
-	counts := make(map[topology.LinkID]int, len(n.linkFlows))
-	var terminal func(topology.LinkID) int
-	if n.scanBaseline {
-		tm := make(map[topology.LinkID]int)
-		for _, f := range n.active {
-			for _, l := range f.Path.Links {
-				counts[l]++
-			}
-			if k := len(f.Path.Links); k > 0 {
-				tm[f.Path.Links[k-1]]++
-			}
-		}
-		terminal = func(l topology.LinkID) int { return tm[l] }
-	} else {
-		for l, fs := range n.linkFlows {
-			if len(fs) > 0 {
-				counts[topology.LinkID(l)] = len(fs)
-			}
-		}
-		terminal = func(l topology.LinkID) int { return n.terminal[l] }
-	}
-	for l, c := range counts {
-		if c == 0 {
-			continue
-		}
-		residual[l] = n.linkResidual(l, terminal(l))
-	}
-
-	unfixed := make(map[FlowID]*Flow, len(n.active))
-	for _, f := range n.active {
-		f.rate = 0
-		if len(f.Path.Links) == 0 {
-			f.rate = n.localBps
-			continue
-		}
-		unfixed[f.ID] = f
-	}
-
-	for len(unfixed) > 0 {
-		// Find the bottleneck link: minimal fair share among links
-		// carrying unfixed flows.
-		bestShare := math.Inf(1)
-		var bottleneck topology.LinkID = -1
-		for l, c := range counts {
-			if c <= 0 {
-				continue
-			}
-			share := residual[l] / float64(c)
-			if share < bestShare || (share == bestShare && (bottleneck == -1 || l < bottleneck)) {
-				bestShare = share
-				bottleneck = l
-			}
-		}
-		if bottleneck == -1 {
-			break
-		}
-		if math.IsInf(bestShare, 1) {
-			break
-		}
-		// Fix every unfixed flow crossing the bottleneck at bestShare.
-		// Every fixed flow subtracts the identical share, so the order the
-		// candidates are visited in cannot change the resulting residuals.
-		fix := func(id FlowID, f *Flow) {
-			f.rate = bestShare
-			delete(unfixed, id)
-			for _, l := range f.Path.Links {
-				residual[l] -= bestShare
-				if residual[l] < 0 {
-					residual[l] = 0
-				}
-				counts[l]--
-			}
-		}
 		if n.scanBaseline {
-			for id, f := range unfixed {
+			for _, f := range n.active {
+				if !f.unfixed {
+					continue
+				}
 				for _, l := range f.Path.Links {
 					if l == bottleneck {
-						fix(id, f)
+						fix(f)
 						break
 					}
 				}
 			}
 		} else {
 			for _, f := range n.linkFlows[bottleneck] {
-				if _, ok := unfixed[f.ID]; ok {
-					fix(f.ID, f)
+				if f.unfixed {
+					fix(f)
 				}
 			}
 		}
@@ -889,7 +1061,7 @@ func (n *Network) scheduleNextCompletion() {
 	if math.IsInf(next, 1) {
 		return
 	}
-	n.completeEvent = n.eng.After(sim.Duration(next), n.completeDue)
+	n.completeEvent = n.eng.After(sim.Duration(next), n.completeFn)
 }
 
 // completeDue finishes every flow whose remaining volume has reached zero at

@@ -1,0 +1,155 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// driveShardScript runs a deterministic multi-component workload (flows in
+// several leaf-spine pods plus same-rack pairs, staggered starts, a trunk
+// failure and recovery, background churn) at the given intra-pass worker
+// width, and returns a fingerprint of every completion (id, finish time,
+// transferred bits).
+func driveShardScript(workers int) []string {
+	eng := sim.NewEngine()
+	g, hosts := topology.LeafSpine(4, 2, 4, topology.Gbps)
+	n := New(eng, g)
+	n.SetAllocWorkers(workers)
+
+	var log []string
+	record := func(f *Flow) {
+		log = append(log, fmt.Sprintf("%d@%.9f:%.3f", f.ID, float64(f.Finished()), f.Transferred()))
+	}
+	start := func(at sim.Time, src, dst topology.NodeID, pathIdx int, bits float64) {
+		eng.At(at, func() {
+			ps := g.KShortestPaths(src, dst, 4)
+			n.StartFlow(tup(src, dst, uint16(len(log)), 9), Shuffle, ps[pathIdx%len(ps)], bits, 0, int(src), int(dst), record)
+		})
+	}
+	// Several independent components per instant: intra-rack pairs in
+	// different racks share no links with each other.
+	for r := 0; r < 4; r++ {
+		a, b := hosts[r*4], hosts[r*4+1]
+		c, d := hosts[r*4+2], hosts[r*4+3]
+		start(0, a, b, 0, 3e8)
+		start(0, c, d, 0, 2e8)
+		start(0.1, a, c, 0, 5e8) // merges the two components mid-run
+	}
+	// Cross-rack flows to create bigger fabric-wide components.
+	start(0.05, hosts[0], hosts[7], 0, 4e8)
+	start(0.05, hosts[5], hosts[12], 1, 4e8)
+	start(0.2, hosts[3], hosts[15], 0, 6e8)
+	// Fault churn.
+	eng.At(0.15, func() {
+		var trunk topology.LinkID = -1
+		for l := 0; l < g.NumLinks(); l++ {
+			lk := g.Link(topology.LinkID(l))
+			if g.Node(lk.From).Kind == topology.Switch && g.Node(lk.To).Kind == topology.Switch {
+				trunk = topology.LinkID(l)
+				break
+			}
+		}
+		g.SetLinkUp(trunk, false)
+		n.NotifyTopology()
+		eng.At(0.3, func() {
+			g.SetLinkUp(trunk, true)
+			n.NotifyTopology()
+		})
+	})
+	eng.At(0.25, func() { n.SetBackground(topology.LinkID(0), 2e8) })
+	eng.Run()
+	return log
+}
+
+// TestShardedAllocBitIdentical proves intra-pass component sharding produces
+// bit-identical completion schedules at any worker-pool width, including
+// widths far above the component count.
+func TestShardedAllocBitIdentical(t *testing.T) {
+	base := driveShardScript(1)
+	if len(base) == 0 {
+		t.Fatal("script completed no flows")
+	}
+	for _, w := range []int{2, 4, 8} {
+		got := driveShardScript(w)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d completions, want %d", w, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: completion %d = %s, want %s", w, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestSetAllocWorkersReporting covers the knob's clamping and read-back.
+func TestSetAllocWorkersReporting(t *testing.T) {
+	eng, n, _, _ := testbed()
+	_ = eng
+	if n.AllocWorkersSelected() != 1 {
+		t.Fatalf("default width = %d, want 1", n.AllocWorkersSelected())
+	}
+	n.SetAllocWorkers(0)
+	if n.AllocWorkersSelected() != 1 {
+		t.Fatal("width 0 must clamp to 1")
+	}
+	n.SetAllocWorkers(6)
+	if n.AllocWorkersSelected() != 6 {
+		t.Fatalf("width = %d, want 6", n.AllocWorkersSelected())
+	}
+}
+
+// BenchmarkEagerAllocPass guards the satellite fix for per-pass map churn in
+// the eager modes: after warm-up every recompute must reuse the dense
+// network-owned scratch with zero allocations per pass.
+func BenchmarkEagerAllocPass(b *testing.B) {
+	for _, mode := range []AllocMode{AllocIndexed, AllocScan} {
+		b.Run(mode.String(), func(b *testing.B) {
+			eng, n, hosts, _ := testbed()
+			n.SetAllocMode(mode)
+			g := n.Graph()
+			for i := 0; i < 40; i++ {
+				src, dst := hosts[i%5], hosts[5+i%5]
+				ps := g.KShortestPaths(src, dst, 2)
+				n.StartFlow(tup(src, dst, uint16(i), 1), Shuffle, ps[i%len(ps)], 1e15, 0, i, 0, nil)
+			}
+			eng.RunUntil(0.001)
+			n.recompute() // warm scratch capacity
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.recompute()
+			}
+			b.StopTimer()
+			if got := testing.AllocsPerRun(3, func() { n.recompute() }); got > 0 {
+				b.Fatalf("%v eager pass allocated %v times/op, want 0", mode, got)
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalAllocPass guards the incremental pass (component
+// discovery + CSR build + fill) at zero steady-state allocations.
+func BenchmarkIncrementalAllocPass(b *testing.B) {
+	eng, n, hosts, _ := testbed()
+	g := n.Graph()
+	for i := 0; i < 40; i++ {
+		src, dst := hosts[i%5], hosts[5+i%5]
+		ps := g.KShortestPaths(src, dst, 2)
+		n.StartFlow(tup(src, dst, uint16(i), 1), Shuffle, ps[i%len(ps)], 1e15, 0, i, 0, nil)
+	}
+	eng.RunUntil(0.001)
+	n.recompute()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.recompute()
+	}
+	b.StopTimer()
+	if got := testing.AllocsPerRun(3, func() { n.recompute() }); got > 0 {
+		b.Fatalf("incremental pass allocated %v times/op, want 0", got)
+	}
+}

@@ -6,6 +6,17 @@
 // substrates in this repository (the network, the Hadoop runtime, the SDN
 // controller) are driven by a single Engine so that their interleavings are
 // reproducible.
+//
+// Two scheduler implementations are available behind SchedulerMode: a
+// bucketed calendar queue (the default — O(1) amortized enqueue/dequeue)
+// and the original binary heap (kept as the reference baseline). Both
+// deliver events in the identical (time, seq) total order, proven by the
+// golden tests in calendar_test.go, so the toggle changes wall-clock cost
+// only. Fired and cancelled events are recycled through a free list, making
+// steady-state scheduling allocation-free (BenchmarkEngineSchedule guards
+// this); an *Event handle is therefore only valid until its event fires or
+// is cancelled, and must not be retained or Cancelled after a later event
+// may have reused it.
 package sim
 
 import (
@@ -45,13 +56,41 @@ func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
 // String formats a duration as seconds with millisecond precision.
 func (d Duration) String() string { return fmt.Sprintf("%.3fs", float64(d)) }
 
+// SchedulerMode selects the event-queue implementation.
+type SchedulerMode int
+
+const (
+	// SchedCalendar is the default: a bucketed calendar queue with lazy
+	// width/size recalibration and O(1) amortized hold operations.
+	SchedCalendar SchedulerMode = iota
+	// SchedHeap is the original container/heap binary queue, kept as the
+	// reference baseline the calendar queue is proven bit-identical to.
+	SchedHeap
+)
+
+func (m SchedulerMode) String() string {
+	switch m {
+	case SchedCalendar:
+		return "calendar"
+	case SchedHeap:
+		return "heap"
+	}
+	return fmt.Sprintf("SchedulerMode(%d)", int(m))
+}
+
 // Event is a scheduled callback. The callback runs exactly once, at its
 // scheduled time, unless cancelled first.
+//
+// Lifecycle: the handle returned by At/After is live until the event fires
+// or is cancelled, at which point the engine recycles the struct through
+// its free list. Cancel on a just-fired or just-cancelled event is a safe
+// no-op, but a handle must not be used after a subsequent event could have
+// been scheduled (the struct may then describe a different event).
 type Event struct {
 	at     Time
 	seq    uint64 // tie-break: FIFO among same-time events
 	fn     func()
-	index  int // heap index; -1 once removed
+	index  int // heap position / calendar liveness; -1 once removed
 	cancel bool
 	daemon bool
 }
@@ -62,14 +101,37 @@ func (e *Event) Time() Time { return e.at }
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.cancel }
 
+// before reports strict (time, seq) priority order.
+func (e *Event) before(o *Event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// scheduler is the pluggable priority-queue contract shared by the heap and
+// calendar implementations. The engine relies only on (time, seq) ordering,
+// so any correct implementation delivers the identical event sequence.
+type scheduler interface {
+	push(*Event)
+	// popMin removes and returns the earliest event, or nil when empty.
+	popMin() *Event
+	// peekMin returns the earliest event without removing it, or nil.
+	peekMin() *Event
+	// remove deletes a queued event (Cancel).
+	remove(*Event)
+	size() int
+}
+
+// heapQueue adapts the original container/heap implementation to the
+// scheduler interface.
+type heapQueue struct{ q eventQueue }
+
 type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+	return q[i].before(q[j])
 }
 func (q eventQueue) Swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
@@ -91,32 +153,104 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+func (h *heapQueue) push(e *Event) { heap.Push(&h.q, e) }
+func (h *heapQueue) popMin() *Event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return heap.Pop(&h.q).(*Event)
+}
+func (h *heapQueue) peekMin() *Event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return h.q[0]
+}
+func (h *heapQueue) remove(e *Event) {
+	heap.Remove(&h.q, e.index)
+}
+func (h *heapQueue) size() int { return len(h.q) }
+
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
 	now       Time
-	queue     eventQueue
+	sched     scheduler
+	mode      SchedulerMode
 	seq       uint64
 	running   bool
 	stopped   bool
 	nonDaemon int
+	// free recycles fired/cancelled Event structs so steady-state
+	// scheduling allocates nothing.
+	free []*Event
 	// instantEnd holds end-of-instant hooks registered by OnInstantEnd,
 	// fired FIFO when the current timestamp drains.
 	instantEnd []func()
 	// Processed counts events that have fired.
 	Processed uint64
+	// Recycled counts Event structs served from the free list (telemetry
+	// for the allocation-free claim; tests assert it grows).
+	Recycled uint64
 }
 
-// NewEngine returns an engine with the clock at zero and an empty queue.
-func NewEngine() *Engine {
-	return &Engine{}
+// NewEngine returns an engine with the clock at zero, an empty queue and the
+// default calendar-queue scheduler.
+func NewEngine() *Engine { return NewEngineMode(SchedCalendar) }
+
+// NewEngineMode returns an engine using the given scheduler implementation.
+// Both modes deliver events in the identical order; SchedHeap exists as the
+// reference baseline for golden tests and benchmarks.
+func NewEngineMode(m SchedulerMode) *Engine {
+	e := &Engine{mode: m}
+	switch m {
+	case SchedHeap:
+		e.sched = &heapQueue{}
+	case SchedCalendar:
+		e.sched = newCalendarQueue()
+	default:
+		panic(fmt.Sprintf("sim: unknown scheduler mode %d", int(m)))
+	}
+	return e
 }
+
+// Mode reports the scheduler implementation in use.
+func (e *Engine) Mode() SchedulerMode { return e.mode }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.sched.size() }
+
+// alloc takes an Event from the free list (or the heap allocator) and
+// initializes it.
+func (e *Engine) alloc(t Time, fn func(), daemon bool) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.Recycled++
+	} else {
+		ev = &Event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.index = 0
+	ev.cancel = false
+	ev.daemon = daemon
+	e.seq++
+	return ev
+}
+
+// release returns a fired or cancelled event to the free list. The fn
+// reference is dropped so captured state does not outlive the event.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (before Now) panics: it would silently reorder causality.
@@ -124,10 +258,9 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
+	ev := e.alloc(t, fn, false)
 	e.nonDaemon++
-	heap.Push(&e.queue, ev)
+	e.sched.push(ev)
 	return ev
 }
 
@@ -139,9 +272,8 @@ func (e *Engine) AtDaemon(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, daemon: true}
-	e.seq++
-	heap.Push(&e.queue, ev)
+	ev := e.alloc(t, fn, true)
+	e.sched.push(ev)
 	return ev
 }
 
@@ -162,7 +294,8 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. The cancelled event's struct is
+// recycled: the handle must not be used afterwards.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.cancel || ev.index < 0 {
 		if ev != nil {
@@ -171,10 +304,12 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.cancel = true
-	heap.Remove(&e.queue, ev.index)
+	e.sched.remove(ev)
+	ev.index = -1
 	if !ev.daemon {
 		e.nonDaemon--
 	}
+	e.release(ev)
 }
 
 // OnInstantEnd registers fn to run when the current simulated instant
@@ -209,24 +344,31 @@ func (e *Engine) runInstantEnd() bool {
 // move to a later timestamp (and before reporting an empty queue).
 func (e *Engine) Step() bool {
 	for {
-		if len(e.queue) == 0 {
+		head := e.sched.peekMin()
+		if head == nil {
 			if e.runInstantEnd() {
 				continue // hooks may have scheduled new events
 			}
 			return false
 		}
-		if e.queue[0].at > e.now && e.runInstantEnd() {
+		if head.at > e.now && e.runInstantEnd() {
 			continue // hooks may have scheduled same-instant events
 		}
 		break
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.sched.popMin()
+	ev.index = -1
 	e.now = ev.at
 	e.Processed++
 	if !ev.daemon {
 		e.nonDaemon--
 	}
-	ev.fn()
+	fn := ev.fn
+	// Recycle before the callback: the handle is dead (fired), and the
+	// callback frequently schedules a successor that can reuse the struct
+	// immediately (the netsim completion-event pattern).
+	e.release(ev)
+	fn()
 	return true
 }
 
@@ -260,7 +402,8 @@ func (e *Engine) RunUntil(deadline Time) {
 	e.running = true
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 || e.queue[0].at > deadline {
+		head := e.sched.peekMin()
+		if head == nil || head.at > deadline {
 			if e.runInstantEnd() {
 				continue
 			}
@@ -322,8 +465,9 @@ func (t *Ticker) SetPeriod(period Duration) {
 // NextEventTime returns the time of the earliest pending event, or +Inf when
 // the queue is empty.
 func (e *Engine) NextEventTime() Time {
-	if len(e.queue) == 0 {
+	head := e.sched.peekMin()
+	if head == nil {
 		return Time(math.Inf(1))
 	}
-	return e.queue[0].at
+	return head.at
 }

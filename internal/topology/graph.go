@@ -78,11 +78,45 @@ type Graph struct {
 	adminDown []bool // indexed by LinkID, explicit SetLinkUp state
 	nodeDown  []bool // indexed by NodeID, SetNodeUp state
 	version   uint64 // bumped on topology change, lets routers cache
+	// structVer is bumped only on structural growth (AddNode/AddLink);
+	// PathCache distinguishes it from link-state flips, which are journaled
+	// below and support targeted invalidation.
+	structVer uint64
+	// journal records effective link-state transitions (the refreshLink
+	// flips) in order, so a PathCache can invalidate only the pairs a
+	// change can affect. journalHead is the absolute index of journal[0];
+	// the ring is capped and consumers that fall behind do a full flush.
+	journal     []linkTransition
+	journalHead uint64
 	// sp is reusable shortest-path scratch (see paths.go). It makes the
 	// routing queries allocation-free but means a Graph must not be
 	// shared across goroutines; every simulation builds its own.
 	sp spScratch
 }
+
+// linkTransition is one effective link-state flip: the link went down (or
+// came back up) from the router's perspective, whether by administrative
+// action or an endpoint node change.
+type linkTransition struct {
+	link LinkID
+	down bool
+}
+
+// graphJournalCap bounds the transition journal; when it overflows, the
+// oldest half is dropped and caches that have not caught up flush fully.
+const graphJournalCap = 4096
+
+func (g *Graph) journalAppend(t linkTransition) {
+	if len(g.journal) >= graphJournalCap {
+		drop := len(g.journal) / 2
+		g.journalHead += uint64(drop)
+		g.journal = append(g.journal[:0], g.journal[drop:]...)
+	}
+	g.journal = append(g.journal, t)
+}
+
+// journalEnd is the absolute index one past the newest transition.
+func (g *Graph) journalEnd() uint64 { return g.journalHead + uint64(len(g.journal)) }
 
 // NewGraph returns an empty topology.
 func NewGraph() *Graph {
@@ -99,6 +133,7 @@ func (g *Graph) AddNode(kind NodeKind, name string, rack int) NodeID {
 	g.out = append(g.out, nil)
 	g.nodeDown = append(g.nodeDown, false)
 	g.version++
+	g.structVer++
 	return id
 }
 
@@ -119,6 +154,7 @@ func (g *Graph) AddLink(from, to NodeID, capacityBps float64, name string) LinkI
 	key := [2]NodeID{from, to}
 	g.parallel[key] = append(g.parallel[key], id)
 	g.version++
+	g.structVer++
 	return id
 }
 
@@ -233,6 +269,7 @@ func (g *Graph) refreshLink(id LinkID) bool {
 		return false
 	}
 	g.down[id] = eff
+	g.journalAppend(linkTransition{link: id, down: eff})
 	return true
 }
 
@@ -277,6 +314,11 @@ func (g *Graph) LinkAdminUp(id LinkID) bool {
 // Version is a counter bumped on every topology mutation; routing caches key
 // off it.
 func (g *Graph) Version() uint64 { return g.version }
+
+// StructVersion is bumped only on structural growth (AddNode/AddLink), not on
+// link-state flips. PathCache flushes fully on structural change and repairs
+// incrementally on state flips.
+func (g *Graph) StructVersion() uint64 { return g.structVer }
 
 // FindLinks returns the IDs of up links from a to b (parallel links give
 // multiple results), in ID order.

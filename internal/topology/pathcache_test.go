@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"testing"
+
+	"pythia/internal/stats"
+)
+
+func pathsEqual(a, b []Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPathCacheEquivalenceUnderFaultStorm drives a randomized storm of link
+// and switch up/down flips interleaved with path queries, and after every
+// batch cross-checks the cache against a fresh KShortestPaths run for every
+// queried pair. This is the soundness proof for the targeted invalidation
+// rules (traversal on link-down, compute-time down-snapshot on link-up).
+func TestPathCacheEquivalenceUnderFaultStorm(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		g, hosts := FatTree(4, 2, 1e9)
+		cache := NewPathCache(g, k)
+		rng := stats.NewRNG(uint64(1000 + k))
+		switches := g.Switches()
+
+		queried := make(map[[2]NodeID]bool)
+		query := func() {
+			s := hosts[rng.Intn(len(hosts))]
+			d := hosts[rng.Intn(len(hosts))]
+			if s == d {
+				return
+			}
+			queried[[2]NodeID{s, d}] = true
+			got := cache.Paths(s, d)
+			want := g.KShortestPaths(s, d, k)
+			if !pathsEqual(got, want) {
+				t.Fatalf("k=%d: cached paths %d->%d diverged after storm: got %d paths, want %d", k, s, d, len(got), len(want))
+			}
+		}
+
+		for round := 0; round < 60; round++ {
+			// A burst of queries to populate the cache.
+			for i := 0; i < 10; i++ {
+				query()
+			}
+			// Random fault/recovery actions.
+			for i := 0; i < 3; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					l := LinkID(rng.Intn(g.NumLinks()))
+					g.SetLinkUp(l, false)
+				case 1:
+					l := LinkID(rng.Intn(g.NumLinks()))
+					g.SetLinkUp(l, true)
+				case 2:
+					s := switches[rng.Intn(len(switches))]
+					g.SetNodeUp(s, false)
+				case 3:
+					s := switches[rng.Intn(len(switches))]
+					g.SetNodeUp(s, true)
+				}
+			}
+			// Every previously-queried pair must agree with fresh Yen after
+			// the cache syncs.
+			for pair := range queried {
+				got := cache.Paths(pair[0], pair[1])
+				want := g.KShortestPaths(pair[0], pair[1], k)
+				if !pathsEqual(got, want) {
+					t.Fatalf("k=%d round %d: pair %d->%d stale after faults", k, round, pair[0], pair[1])
+				}
+			}
+		}
+		if cache.Hits == 0 {
+			t.Fatalf("k=%d: cache never hit", k)
+		}
+		if cache.Invalidated == 0 {
+			t.Fatalf("k=%d: storm never exercised targeted invalidation", k)
+		}
+	}
+}
+
+// TestPathCacheTargetedInvalidation shows the point of the cache: failing a
+// link in one pod must not evict entries whose paths avoid that link.
+func TestPathCacheTargetedInvalidation(t *testing.T) {
+	g, hosts := FatTree(4, 2, 1e9)
+	cache := NewPathCache(g, 4)
+	// Populate every ordered pair among a sample of hosts.
+	sample := hosts[:6]
+	for _, s := range sample {
+		for _, d := range sample {
+			if s != d {
+				cache.Paths(s, d)
+			}
+		}
+	}
+	misses := cache.Misses
+	// Fail the first host's access link: only pairs touching that host (or
+	// whose cached paths happen to traverse it) should recompute.
+	var access LinkID = -1
+	for l := 0; l < g.NumLinks(); l++ {
+		if g.Link(LinkID(l)).From == sample[0] {
+			access = LinkID(l)
+			break
+		}
+	}
+	if access < 0 {
+		t.Fatal("no access link found")
+	}
+	g.SetLinkUp(access, false)
+	for _, s := range sample {
+		for _, d := range sample {
+			if s != d {
+				cache.Paths(s, d)
+			}
+		}
+	}
+	recomputed := cache.Misses - misses
+	total := uint64(len(sample) * (len(sample) - 1))
+	if recomputed == 0 {
+		t.Fatal("failing an access link invalidated nothing")
+	}
+	if recomputed >= total {
+		t.Fatalf("access-link failure recomputed all %d pairs; want targeted invalidation", total)
+	}
+	if cache.Flushes != 1 {
+		t.Fatalf("Flushes = %d, want only the constructor flush", cache.Flushes)
+	}
+}
+
+// TestPathCacheStructuralFlush verifies growth forces a full flush.
+func TestPathCacheStructuralFlush(t *testing.T) {
+	g, hosts := TwoRackHostsOnly(t)
+	cache := NewPathCache(g, 2)
+	cache.Paths(hosts[0], hosts[1])
+	n := g.AddNode(Host, "late-host", 0)
+	g.AddDuplex(n, g.Switches()[0], 1e9, "late-link")
+	cache.Paths(hosts[0], hosts[1])
+	if cache.Flushes != 2 {
+		t.Fatalf("Flushes = %d, want constructor + structural", cache.Flushes)
+	}
+	got := cache.Paths(hosts[0], hosts[1])
+	want := g.KShortestPaths(hosts[0], hosts[1], 2)
+	if !pathsEqual(got, want) {
+		t.Fatal("post-flush paths diverge from fresh computation")
+	}
+}
+
+// TwoRackHostsOnly is a tiny helper topology for structural tests.
+func TwoRackHostsOnly(t *testing.T) (*Graph, []NodeID) {
+	t.Helper()
+	g, hosts, _ := TwoRack(2, 2, 1e9)
+	return g, hosts
+}
+
+// TestPathCacheJournalOverflow forces the ring past its cap between syncs and
+// checks the cache falls back to a full flush with correct results.
+func TestPathCacheJournalOverflow(t *testing.T) {
+	g, hosts, trunks := TwoRack(2, 2, 1e9)
+	cache := NewPathCache(g, 2)
+	cache.Paths(hosts[0], hosts[2])
+	flushes := cache.Flushes
+	for i := 0; i < 2*graphJournalCap+10; i++ {
+		g.SetLinkUp(trunks[0], i%2 == 0)
+	}
+	got := cache.Paths(hosts[0], hosts[2])
+	want := g.KShortestPaths(hosts[0], hosts[2], 2)
+	if !pathsEqual(got, want) {
+		t.Fatal("paths diverge after journal overflow")
+	}
+	if cache.Flushes != flushes+1 {
+		t.Fatalf("Flushes = %d, want a forced flush after overflow", cache.Flushes)
+	}
+}

@@ -89,10 +89,12 @@ type config struct {
 	incastFactor    float64
 	incastFloor     float64
 
-	topo      *TopologySpec
-	allocMode *AllocMode
-	cpFaults  *ControlPlaneFaults
-	deadline  float64
+	topo         *TopologySpec
+	allocMode    *AllocMode
+	sched        sim.SchedulerMode
+	allocWorkers int
+	cpFaults     *ControlPlaneFaults
+	deadline     float64
 
 	mgmtFaults    *MgmtFaults
 	monFaults     *MonitorFaults
@@ -243,7 +245,7 @@ func New(opts ...Option) *Cluster {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	eng := sim.NewEngine()
+	eng := sim.NewEngineMode(cfg.sched)
 	var (
 		g      *topology.Graph
 		hosts  []topology.NodeID
@@ -258,6 +260,9 @@ func New(opts ...Option) *Cluster {
 	net := netsim.New(eng, g)
 	if cfg.allocMode != nil {
 		net.SetAllocMode(*cfg.allocMode)
+	}
+	if cfg.allocWorkers > 1 {
+		net.SetAllocWorkers(cfg.allocWorkers)
 	}
 	applyBackground(net, trunks, cfg)
 	if cfg.incastThreshold > 0 {
