@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-steady bench-compare profile fuzz figures examples api api-check clean
+.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-steady bench-serve bench-compare profile fuzz figures examples api api-check clean
 
 all: build vet test
 
@@ -43,6 +43,13 @@ bench-scale:
 bench-steady:
 	$(GO) run ./cmd/pythia-bench -experiment steady -json BENCH_steady.json
 	@echo wrote BENCH_steady.json
+
+# Online-serving throughput benchmark: intents/sec and placement-latency
+# percentiles per shard count, with the sequential replay checked
+# bit-identical against the in-process oracle. CI uploads BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/pythia-serve -bench -json BENCH_serve.json
+	@echo wrote BENCH_serve.json
 
 # Diff the current tree's scale benchmark against a saved artifact:
 #   make bench-scale && git stash / checkout, make bench-compare OLD=path.json

@@ -108,6 +108,35 @@ func TestChaosAllPlanesAllSchedulers(t *testing.T) {
 	}
 }
 
+// TestChaosShardCountInvariant: the full three-plane storm on the Pythia
+// scheduler is bit-identical at every collector shard count, and no shard
+// layout leaks a booking past job completion.
+func TestChaosShardCountInvariant(t *testing.T) {
+	run := func(shards int) chaosOutcome {
+		cl, results := runChaosCluster(t, SchedulerPythia, WithCollectorShards(shards))
+		return chaosOutcome{results: results, faults: cl.Faults()}
+	}
+	ref := run(1)
+	if ref.faults.LeakedBookings != 0 {
+		t.Fatalf("single-shard storm leaked %d bookings", ref.faults.LeakedBookings)
+	}
+	for _, shards := range []int{2, 8} {
+		got := run(shards)
+		for i := range ref.results {
+			if got.results[i] != ref.results[i] {
+				t.Errorf("shards=%d: job %q result %+v != %+v",
+					shards, ref.results[i].Name, got.results[i], ref.results[i])
+			}
+		}
+		if got.faults != ref.faults {
+			t.Errorf("shards=%d: fault history diverged:\n%+v\nvs\n%+v", shards, got.faults, ref.faults)
+		}
+		if got.faults.LeakedBookings != 0 {
+			t.Errorf("shards=%d: %d bookings leaked past job completion", shards, got.faults.LeakedBookings)
+		}
+	}
+}
+
 // TestZeroFaultConfigGolden: installing the whole prediction-plane fault
 // stack with every probability at zero must be bit-identical to not
 // installing it at all — no stray RNG draws, no behavior change.

@@ -1,0 +1,156 @@
+// Command pythia-serve runs the sharded Pythia collector as an online
+// HTTP/JSON service, or benchmarks that service against the in-process
+// single-shard oracle.
+//
+// Usage:
+//
+//	pythia-serve [-addr :8080] [-shards N] [-workers N]   # serve until SIGINT
+//	             [-queue N] [-batch N] [-maxops N]
+//	             [-ttl SEC] [-k N] [-fattree-k N] [-clockhz HZ]
+//	pythia-serve -bench [-json BENCH_serve.json]          # throughput benchmark
+//	             [-jobs N] [-conns N] [-chunk N] [-seed N]
+//	             [-shard-counts 1,2,4,8]
+//
+// In serve mode the process answers POST /v1/ingest, GET /v1/stats, and
+// GET /v1/healthz (see internal/serve for the wire protocol) and drains
+// gracefully on SIGINT/SIGTERM. In bench mode it drives the open-loop
+// workload through in-process servers at each shard count, verifies the
+// placement stream is bit-identical to the oracle, and reports intents/sec
+// plus placement-latency percentiles.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pythia/internal/bench"
+	"pythia/internal/serve"
+)
+
+func main() {
+	// Serve mode.
+	addr := flag.String("addr", ":8080", "listen address for serve mode")
+	shards := flag.Int("shards", 4, "collector shard count")
+	workers := flag.Int("workers", 0, "batch workers (0 = shard count)")
+	queue := flag.Int("queue", 256, "bounded ingest queue capacity (requests)")
+	batch := flag.Int("batch", 512, "max operations coalesced per collector batch")
+	maxOps := flag.Int("maxops", 4096, "max operations per ingest request")
+	ttl := flag.Float64("ttl", 30, "booking TTL in seconds")
+	k := flag.Int("k", 4, "flow-placement path candidates (paper's K)")
+	fatTreeK := flag.Int("fattree-k", 4, "fat-tree arity of the simulated fabric")
+	clockHz := flag.Float64("clockhz", 0, "logical clock rate in ops/sec (0 = wall clock)")
+
+	// Bench mode.
+	doBench := flag.Bool("bench", false, "run the serve throughput benchmark instead of serving")
+	jsonOut := flag.String("json", "", "bench: write the JSON artifact to this path")
+	jobs := flag.Int("jobs", 0, "bench: open-loop jobs in the trace (0 = default)")
+	conns := flag.Int("conns", 0, "bench: concurrent connections (0 = default)")
+	chunk := flag.Int("chunk", 0, "bench: operations per ingest request (0 = default)")
+	seed := flag.Uint64("seed", 0, "bench: trace seed (0 = default)")
+	shardCounts := flag.String("shard-counts", "", "bench: comma-separated shard counts (empty = 1,2,4,8)")
+	flag.Parse()
+
+	if *doBench {
+		runBench(*jobs, *conns, *chunk, *seed, *shardCounts, *jsonOut)
+		return
+	}
+	runServe(serve.Config{
+		Shards:           *shards,
+		Workers:          *workers,
+		QueueCap:         *queue,
+		BatchMax:         *batch,
+		MaxOpsPerRequest: *maxOps,
+		ClockHz:          *clockHz,
+		BookingTTLSec:    *ttl,
+		K:                *k,
+		FatTreeK:         *fatTreeK,
+	}, *addr)
+}
+
+// runServe listens on addr until SIGINT/SIGTERM, then drains gracefully.
+func runServe(cfg serve.Config, addr string) {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pythia-serve: %v\n", err)
+		os.Exit(1)
+	}
+	srv.Start()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(addr) }()
+	fmt.Fprintf(os.Stderr, "pythia-serve: listening on %s (%d shards, %d hosts)\n",
+		addr, cfg.Defaults().Shards, srv.NumHosts())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "pythia-serve: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "pythia-serve: %v, draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "pythia-serve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runBench runs the throughput benchmark, prints the table, optionally
+// writes the JSON artifact, and exits nonzero if any shard count diverges
+// from the oracle or leaks bookings.
+func runBench(jobs, conns, chunk int, seed uint64, shardCounts, jsonOut string) {
+	cfg := bench.ServeConfig{Jobs: jobs, Conns: conns, ChunkOps: chunk, Seed: seed}
+	if shardCounts != "" {
+		for _, f := range strings.Split(shardCounts, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "pythia-serve: bad -shard-counts entry %q\n", f)
+				os.Exit(2)
+			}
+			cfg.ShardCounts = append(cfg.ShardCounts, n)
+		}
+	}
+	res, err := bench.RunServeBench(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pythia-serve: bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res)
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonOut, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pythia-serve: write %s: %v\n", jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonOut)
+	}
+	bad := false
+	for _, row := range res.Rows {
+		if !row.DigestMatchesOracle {
+			fmt.Fprintf(os.Stderr, "FAIL: shards=%d digest %s != oracle %s\n",
+				row.Shards, row.Digest, res.OracleDigest)
+			bad = true
+		}
+		if row.LeakedBookings != 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: shards=%d leaked %d bookings\n",
+				row.Shards, row.LeakedBookings)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -7,7 +7,8 @@ import (
 	"pythia/internal/sim"
 )
 
-// The facade's failure plane. Faults are scheduled against virtual time
+// Fault options and the facade's failure plane — see the package doc's
+// "Configuring a cluster" index. Faults are scheduled against virtual time
 // with At and injected through the Fail*/Recover* methods; every scheduler
 // (ECMP, Hedera, Pythia) observes the same netsim event source and reacts —
 // re-hashing, re-polling, or re-placing — without any internal imports.
@@ -297,10 +298,10 @@ func (c *Cluster) Faults() FaultReport {
 		r.AggregatesDegraded = c.py.AggregatesDegraded
 		r.Reconciliations = c.py.Reconciliations
 		r.FlowsRescued = c.py.FlowsRescued
-		r.DedupHits = c.py.DedupHits
-		r.DuplicateIntents = c.py.DuplicateIntents
-		r.ExpiredBookings = c.py.ExpiredBookings
-		r.ExpiredIntents = c.py.ExpiredIntents
+		r.DedupHits = c.py.DedupHits()
+		r.DuplicateIntents = c.py.DuplicateIntents()
+		r.ExpiredBookings = c.py.ExpiredBookings()
+		r.ExpiredIntents = c.py.ExpiredIntents()
 		for _, job := range c.doneJobs {
 			r.LeakedBookings += c.py.OutstandingBookings(job)
 		}

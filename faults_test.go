@@ -244,14 +244,16 @@ func TestTryRunJobsSubmitError(t *testing.T) {
 }
 
 // TestCompareOptions: the variadic Compare accepts arbitrary options —
-// including a non-default topology — and the deprecated shim matches the
-// equivalent option spelling.
+// including a non-default topology — and TryCompare matches it.
 func TestCompareOptions(t *testing.T) {
 	spec := ToySortJob()
 	a1, b1, _ := Compare(spec, SchedulerECMP, SchedulerPythia, WithOversubscription(5), WithSeed(9))
-	a2, b2, _ := CompareOversub(spec, SchedulerECMP, SchedulerPythia, 5, 9)
+	a2, b2, _, err := TryCompare(spec, SchedulerECMP, SchedulerPythia, WithOversubscription(5), WithSeed(9))
+	if err != nil {
+		t.Fatalf("TryCompare: %v", err)
+	}
 	if a1 != a2 || b1 != b2 {
-		t.Fatalf("CompareOversub diverges from Compare: (%.3f,%.3f) vs (%.3f,%.3f)", a1, b1, a2, b2)
+		t.Fatalf("TryCompare diverges from Compare: (%.3f,%.3f) vs (%.3f,%.3f)", a1, b1, a2, b2)
 	}
 	a3, b3, _ := Compare(spec, SchedulerECMP, SchedulerPythia,
 		WithTopology(LeafSpineTopology(2, 2, 3)), WithSeed(9))

@@ -407,10 +407,10 @@ func RunTrial(cfg TrialConfig) TrialResult {
 		InFlightDropped: mw.InFlightDropped,
 	}
 	if py != nil {
-		res.Faults.DedupHits = py.DedupHits
-		res.Faults.DuplicateIntents = py.DuplicateIntents
-		res.Faults.ExpiredBookings = py.ExpiredBookings
-		res.Faults.ExpiredIntents = py.ExpiredIntents
+		res.Faults.DedupHits = py.DedupHits()
+		res.Faults.DuplicateIntents = py.DuplicateIntents()
+		res.Faults.ExpiredBookings = py.ExpiredBookings()
+		res.Faults.ExpiredIntents = py.ExpiredIntents()
 	}
 	if mn != nil {
 		res.Faults.MgmtDropped = mn.Dropped

@@ -1,0 +1,466 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"pythia/internal/core"
+	"pythia/internal/netsim"
+	"pythia/internal/openflow"
+	"pythia/internal/serve"
+	"pythia/internal/sim"
+	"pythia/internal/stats"
+	"pythia/internal/topology"
+	"pythia/internal/workload"
+)
+
+// This file benchmarks the online serving surface (internal/serve): the
+// open-loop workload plane synthesizes the shuffle-intent stream a real
+// cluster's instrumentation would emit, and an in-process single-shard
+// collector replays the identical stream as the oracle. The bench proves
+// the sharded server's placement stream bit-identical to the oracle at
+// every shard count (sequential phase), then measures intents/sec and
+// server-side placement latency under concurrent load (throughput phase).
+
+// ServeConfig parameterizes the serving benchmark.
+type ServeConfig struct {
+	// Jobs is the number of open-loop jobs flattened into the op trace.
+	Jobs int
+	// ShardCounts lists the collector shard counts to compare; the
+	// single-shard in-process replay is always the oracle.
+	ShardCounts []int
+	// Conns is the concurrent connection count for the throughput phase.
+	Conns int
+	// ChunkOps is the operation count per ingest request.
+	ChunkOps int
+	// ClockHz drives the determinism phase's logical clock (ops →
+	// virtual seconds), making TTL sweeps replay-invariant.
+	ClockHz float64
+	Seed    uint64
+
+	// Server shape (see serve.Config).
+	Workers      int
+	QueueCap     int
+	BatchMax     int
+	FatTreeK     int
+	HostsPerEdge int
+}
+
+// Defaults fills unset fields with the CI smoke shape: 40 jobs, shard
+// counts 1/2/4/8, 8 connections, 64-op requests.
+func (c ServeConfig) Defaults() ServeConfig {
+	if c.Jobs == 0 {
+		c.Jobs = 40
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 2, 4, 8}
+	}
+	if c.Conns == 0 {
+		c.Conns = 8
+	}
+	if c.ChunkOps == 0 {
+		c.ChunkOps = 64
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.FatTreeK == 0 {
+		c.FatTreeK = 4
+	}
+	return c
+}
+
+// ServeShardResult is one shard count's benchmark row.
+type ServeShardResult struct {
+	Shards int `json:"shards"`
+
+	// Sequential determinism phase.
+	Digest              string `json:"placement_digest"`
+	DigestMatchesOracle bool   `json:"digest_matches_oracle"`
+	LeakedBookings      int    `json:"leaked_bookings"`
+
+	// Concurrent throughput phase.
+	IntentsPerSec      float64 `json:"intents_per_sec"`
+	OpsPerSec          float64 `json:"ops_per_sec"`
+	PlacementP50Micros float64 `json:"placement_p50_micros"`
+	PlacementP99Micros float64 `json:"placement_p99_micros"`
+	Rejected429        int64   `json:"rejected_429"`
+}
+
+// ServeResult is the benchmark artifact (BENCH_serve.json).
+type ServeResult struct {
+	Jobs         int                `json:"jobs"`
+	Ops          int                `json:"ops"`
+	Intents      int                `json:"intents"`
+	Requests     int                `json:"requests"`
+	Conns        int                `json:"conns"`
+	ChunkOps     int                `json:"chunk_ops"`
+	OracleDigest string             `json:"oracle_digest"`
+	Rows         []ServeShardResult `json:"rows"`
+}
+
+// wireOp is one protocol-level operation of the synthesized trace, tagged
+// by job so the throughput phase can partition the stream per connection
+// without breaking per-job ordering.
+type wireOp struct {
+	job     int
+	reducer *serve.WireReducerUp
+	intent  *serve.WireIntent
+	done    bool
+}
+
+// serveTrace flattens cfg.Jobs open-loop arrivals into the wire-op stream
+// the cluster's instrumentation would emit: each job's reducer placements,
+// then one intent per map (predicted bytes straight from the job spec's
+// intermediate-output matrix), then the job retirement. Jobs interleave in
+// arrival order round-robin, the pattern of an overlapped steady state.
+func serveTrace(cfg ServeConfig, numHosts int) []wireOp {
+	stream := workload.OpenLoop(workload.OpenLoopConfig{
+		BaseRateJobsPerSec: 0.2,
+		Seed:               cfg.Seed,
+	})
+	rng := stats.NewRNG(cfg.Seed).Split(0x5e17e)
+	perJob := make([][]wireOp, cfg.Jobs)
+	for j := 0; j < cfg.Jobs; j++ {
+		job := stream.Next()
+		spec := job.Spec
+		var ops []wireOp
+		for r := 0; r < spec.NumReduces; r++ {
+			ops = append(ops, wireOp{job: j, reducer: &serve.WireReducerUp{
+				Job: j, Reduce: r, Host: rng.Intn(numHosts)}})
+		}
+		for m := 0; m < spec.NumMaps; m++ {
+			ops = append(ops, wireOp{job: j, intent: &serve.WireIntent{
+				Job: j, Map: m, SrcHost: rng.Intn(numHosts),
+				PredictedWireBytes: spec.MapOutputs[m]}})
+		}
+		ops = append(ops, wireOp{job: j, done: true})
+		perJob[j] = ops
+	}
+	// Round-robin interleave so many jobs are concurrently live, like an
+	// open-loop steady state (rather than one job at a time).
+	var out []wireOp
+	heads := make([]int, cfg.Jobs)
+	for remaining := true; remaining; {
+		remaining = false
+		for j := 0; j < cfg.Jobs; j++ {
+			if heads[j] >= len(perJob[j]) {
+				continue
+			}
+			// Take a small run of each job's ops per round.
+			run := 8
+			for i := 0; i < run && heads[j] < len(perJob[j]); i++ {
+				out = append(out, perJob[j][heads[j]])
+				heads[j]++
+			}
+			if heads[j] < len(perJob[j]) {
+				remaining = true
+			}
+		}
+	}
+	return out
+}
+
+// chunkRequests packs a wire-op stream into ingest requests of at most
+// chunk operations, preserving order.
+func chunkRequests(ops []wireOp, chunk int) []*serve.IngestRequest {
+	var reqs []*serve.IngestRequest
+	for at := 0; at < len(ops); at += chunk {
+		end := at + chunk
+		if end > len(ops) {
+			end = len(ops)
+		}
+		req := &serve.IngestRequest{}
+		for _, op := range ops[at:end] {
+			switch {
+			case op.reducer != nil:
+				req.Reducers = append(req.Reducers, *op.reducer)
+			case op.intent != nil:
+				req.Intents = append(req.Intents, *op.intent)
+			default:
+				req.DoneJobs = append(req.DoneJobs, op.job)
+			}
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs
+}
+
+// oracleDigest replays the chunked trace on an in-process single-shard
+// collector with the server's logical-clock semantics (one batch per
+// request, virtual time advancing 1/ClockHz per op) and returns the
+// placement digest and leak gauge — the ground truth every server run must
+// reproduce bit-identically.
+func oracleDigest(cfg ServeConfig, scfg serve.Config, reqs []*serve.IngestRequest) (uint64, int) {
+	eng := sim.NewEngine()
+	g, hosts := topology.FatTree(scfg.FatTreeK, scfg.HostsPerEdge, topology.Gbps)
+	net := netsim.New(eng, g)
+	ofc := openflow.NewController(eng, net, 0)
+	py := core.New(eng, net, ofc, core.Config{
+		K:              scfg.K,
+		Aggregate:      true,
+		UseCriticality: true,
+		BookingTTL:     sim.Duration(scfg.BookingTTLSec),
+		Shards:         1,
+	})
+	dig := newServeDigest()
+	py.SetPlacementHook(dig.observe)
+	virtual := 0.0
+	for _, req := range reqs {
+		ops := req.ToOps(hosts)
+		virtual += float64(len(ops)) / cfg.ClockHz
+		if deadline := sim.Time(virtual); deadline > eng.Now() {
+			eng.RunUntil(deadline)
+		}
+		py.ApplyBatch(ops, 1)
+	}
+	return dig.h, py.OutstandingTotal()
+}
+
+// serveDigest mirrors the server's placement-stream FNV-1a fingerprint.
+type serveDigest struct{ h uint64 }
+
+func newServeDigest() *serveDigest { return &serveDigest{h: 14695981039346656037} }
+
+func (d *serveDigest) observe(src, dst topology.NodeID, path topology.Path) {
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			d.h ^= (v >> (8 * i)) & 0xff
+			d.h *= 1099511628211
+		}
+	}
+	mix(uint64(src))
+	mix(uint64(dst))
+	for _, l := range path.Links {
+		mix(uint64(l))
+	}
+	mix(^uint64(0))
+}
+
+// postIngest sends one ingest request, retrying on 429 after the server's
+// Retry-After hint (scaled down: the bench is its own client).
+func postIngest(client *http.Client, url string, body []byte) error {
+	for {
+		resp, err := client.Post(url+"/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		code := resp.StatusCode
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case code == http.StatusOK:
+			return nil
+		case code == http.StatusTooManyRequests:
+			time.Sleep(2 * time.Millisecond)
+		default:
+			return fmt.Errorf("ingest: HTTP %d", code)
+		}
+	}
+}
+
+func fetchStats(client *http.Client, url string) (*serve.StatsResponse, error) {
+	resp, err := client.Get(url + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// RunServeBench runs both phases for every shard count and returns the
+// artifact. The returned error reports infrastructure failures; oracle
+// mismatches and booking leaks are reported in the rows (CI asserts on
+// them).
+func RunServeBench(cfg ServeConfig) (*ServeResult, error) {
+	cfg = cfg.Defaults()
+	scfg := serve.Config{
+		Workers:      cfg.Workers,
+		QueueCap:     cfg.QueueCap,
+		BatchMax:     cfg.BatchMax,
+		FatTreeK:     cfg.FatTreeK,
+		HostsPerEdge: cfg.HostsPerEdge,
+	}.Defaults()
+
+	// Synthesize the trace against the server fabric's host table.
+	probe, err := serve.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	numHosts := probe.NumHosts()
+	trace := serveTrace(cfg, numHosts)
+	reqs := chunkRequests(trace, cfg.ChunkOps)
+	intents := 0
+	for _, op := range trace {
+		if op.intent != nil {
+			intents++
+		}
+	}
+
+	oracle, oracleLeaks := oracleDigest(cfg, scfg, reqs)
+	if oracleLeaks != 0 {
+		return nil, fmt.Errorf("oracle replay leaked %d bookings", oracleLeaks)
+	}
+	res := &ServeResult{
+		Jobs:         cfg.Jobs,
+		Ops:          len(trace),
+		Intents:      intents,
+		Requests:     len(reqs),
+		Conns:        cfg.Conns,
+		ChunkOps:     cfg.ChunkOps,
+		OracleDigest: fmt.Sprintf("%016x", oracle),
+	}
+
+	bodies := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	for _, shards := range cfg.ShardCounts {
+		row := ServeShardResult{Shards: shards}
+
+		// Phase 1 — sequential determinism replay on a logical clock:
+		// every request commits before the next is sent, so batch
+		// boundaries (and therefore placements) are fully determined by
+		// the trace.
+		sc := scfg
+		sc.Shards = shards
+		sc.Workers = cfg.Workers // re-defaulted below if zero
+		sc.ClockHz = cfg.ClockHz
+		sc = sc.Defaults()
+		srv, err := serve.New(sc)
+		if err != nil {
+			return nil, err
+		}
+		srv.Start()
+		ts := httptest.NewServer(srv.Handler())
+		client := ts.Client()
+		for i := range bodies {
+			if err := postIngest(client, ts.URL, bodies[i]); err != nil {
+				return nil, fmt.Errorf("shards=%d determinism phase: %w", shards, err)
+			}
+		}
+		st, err := fetchStats(client, ts.URL)
+		if err != nil {
+			return nil, err
+		}
+		row.Digest = st.PlacementDigest
+		row.DigestMatchesOracle = st.PlacementDigest == res.OracleDigest
+		row.LeakedBookings = st.OutstandingBookings
+		ts.Close()
+		if err := srv.Shutdown(contextWithTimeout(5 * time.Second)); err != nil {
+			return nil, err
+		}
+
+		// Phase 2 — concurrent throughput on the wall clock: jobs are
+		// partitioned round-robin over connections (per-job op order
+		// preserved within a connection), intents/sec measured end to
+		// end, placement latency taken from the server's own
+		// enqueue→commit samples.
+		tc := scfg
+		tc.Shards = shards
+		tc.Workers = cfg.Workers
+		tc = tc.Defaults()
+		tsrv, err := serve.New(tc)
+		if err != nil {
+			return nil, err
+		}
+		tsrv.Start()
+		tts := httptest.NewServer(tsrv.Handler())
+		perConn := make([][]wireOp, cfg.Conns)
+		for _, op := range trace {
+			c := op.job % cfg.Conns
+			perConn[c] = append(perConn[c], op)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, cfg.Conns)
+		begin := time.Now()
+		for c := 0; c < cfg.Conns; c++ {
+			connReqs := chunkRequests(perConn[c], cfg.ChunkOps)
+			wg.Add(1)
+			go func(c int, connReqs []*serve.IngestRequest) {
+				defer wg.Done()
+				cl := tts.Client()
+				for _, req := range connReqs {
+					b, err := json.Marshal(req)
+					if err == nil {
+						err = postIngest(cl, tts.URL, b)
+					}
+					if err != nil {
+						errs[c] = err
+						return
+					}
+				}
+			}(c, connReqs)
+		}
+		wg.Wait()
+		elapsed := time.Since(begin).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("shards=%d throughput phase: %w", shards, err)
+			}
+		}
+		tst, err := fetchStats(tts.Client(), tts.URL)
+		if err != nil {
+			return nil, err
+		}
+		row.IntentsPerSec = float64(intents) / elapsed
+		row.OpsPerSec = float64(len(trace)) / elapsed
+		row.PlacementP50Micros = tst.LatencyP50Micros
+		row.PlacementP99Micros = tst.LatencyP99Micros
+		row.Rejected429 = tst.RejectedTotal
+		if tst.OutstandingBookings > row.LeakedBookings {
+			row.LeakedBookings = tst.OutstandingBookings
+		}
+		tts.Close()
+		if err := tsrv.Shutdown(contextWithTimeout(5 * time.Second)); err != nil {
+			return nil, err
+		}
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the artifact as the human-readable table the binary
+// prints.
+func (r *ServeResult) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "serve bench: %d jobs, %d ops (%d intents) in %d requests, %d conns, oracle %s\n",
+		r.Jobs, r.Ops, r.Intents, r.Requests, r.Conns, r.OracleDigest)
+	fmt.Fprintf(&b, "%-7s %-12s %-7s %-6s %12s %12s %10s %10s %8s\n",
+		"shards", "digest==orc", "leaks", "429s", "intents/s", "ops/s", "p50(µs)", "p99(µs)", "digest")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-7d %-12v %-7d %-6d %12.0f %12.0f %10.0f %10.0f %8.8s\n",
+			row.Shards, row.DigestMatchesOracle, row.LeakedBookings, row.Rejected429,
+			row.IntentsPerSec, row.OpsPerSec,
+			row.PlacementP50Micros, row.PlacementP99Micros, row.Digest)
+	}
+	return b.String()
+}
+
+// contextWithTimeout is a leak-tolerant convenience for shutdown deadlines
+// (the context is short-lived and the timer small).
+func contextWithTimeout(d time.Duration) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	_ = cancel // released when the deadline passes
+	return ctx
+}

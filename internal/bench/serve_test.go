@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestServeBenchSmoke runs the full serving benchmark at a reduced shape
+// and asserts its hard guarantees: every shard count's sequential replay is
+// bit-identical to the in-process oracle, and no bookings leak in either
+// phase.
+func TestServeBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve bench smoke is not short")
+	}
+	res, err := RunServeBench(ServeConfig{
+		Jobs:        6,
+		ShardCounts: []int{1, 2, 8},
+		Conns:       2,
+		ChunkOps:    32,
+	})
+	if err != nil {
+		t.Fatalf("RunServeBench: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.DigestMatchesOracle {
+			t.Errorf("shards=%d: digest %s != oracle %s", row.Shards, row.Digest, res.OracleDigest)
+		}
+		if row.LeakedBookings != 0 {
+			t.Errorf("shards=%d: %d leaked bookings", row.Shards, row.LeakedBookings)
+		}
+		if row.IntentsPerSec <= 0 {
+			t.Errorf("shards=%d: nonpositive intents/sec %v", row.Shards, row.IntentsPerSec)
+		}
+	}
+	t.Logf("\n%s", res)
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync"
+
+	"pythia/internal/topology"
+)
+
+// delta is one deferred placement-plane mutation produced by ApplyBatch's
+// shard phase: the bookGlobal/unbookGlobal call the shard-local resolver
+// would have made inline in single-op mode. (op, sub) is the mutation's
+// position in the batch's global order — op is the operation's index in the
+// batch, sub the emission ordinal within that operation — which the commit
+// phase replays with a min-key merge.
+type delta struct {
+	op, sub int
+	unbook  bool
+	fk      flowKey
+	// book fields
+	bits     float64
+	src, dst topology.NodeID
+	// unbook field: the reservation being released
+	prev booking
+}
+
+func deltaLess(a, b *delta) bool {
+	if a.op != b.op {
+		return a.op < b.op
+	}
+	return a.sub < b.sub
+}
+
+// ApplyBatch ingests a batch of collector operations in two phases:
+//
+//  1. Shard phase — operations are routed to their job's home shard and
+//     each shard processes its own operations, in batch order, touching
+//     only shard-local state (dedup, reducer placements, deferred intents,
+//     bookings, barrier backlog). Placement-plane mutations are not applied
+//     but recorded as (op, sub)-stamped deltas. Shards share nothing, so
+//     with workers > 1 this phase runs shards concurrently.
+//  2. Commit phase — serialized: the per-shard delta streams (each already
+//     ascending in (op, sub)) are min-key merged into the batch's global
+//     order and applied to the pair aggregates, then one placement pass
+//     (allocate) runs for the whole batch.
+//
+// Determinism contract: for a fixed operation sequence and fixed batch
+// boundaries, the results, all collector state, and every placement
+// decision are bit-identical at any shard count and any worker count —
+// the merged delta order reproduces exactly the order a single shard
+// would have produced. Batch boundaries do matter: single-op mode runs a
+// placement pass after every operation, ApplyBatch one per batch, so an
+// online service and a per-message simulation legitimately place at
+// different instants. Compare like with like (same batching) when checking
+// equivalence.
+//
+// Collector-plane flight events are not recorded for batched operations
+// (the shard phase may run concurrently); engine-driven events such as TTL
+// sweeps still record normally.
+//
+// Results are positional with ops. The caller must not invoke any other
+// collector method, nor advance the engine, while ApplyBatch runs.
+func (p *Pythia) ApplyBatch(ops []Op, workers int) []OpResult {
+	if len(ops) == 0 {
+		return nil
+	}
+	results := make([]OpResult, len(ops))
+
+	// Route operations to their home shards.
+	byShard := make([][]int, len(p.shards))
+	if len(p.shards) == 1 {
+		idx := make([]int, len(ops))
+		for i := range ops {
+			idx[i] = i
+		}
+		byShard[0] = idx
+	} else {
+		for i := range ops {
+			s := ops[i].job() % len(p.shards)
+			byShard[s] = append(byShard[s], i)
+		}
+	}
+
+	// Intent arrival ordinals depend only on the batch position, so the
+	// pending lists stay seq-ascending identically at any shard count.
+	seqBase := p.nextSeq
+	p.nextSeq = seqBase + uint64(len(ops))
+
+	deltas := make([][]delta, len(p.shards))
+	run := func(si int) {
+		sh := p.shards[si]
+		var ds []delta
+		for _, i := range byShard[si] {
+			results[i] = p.applyShardOp(sh, ops[i], seqBase+uint64(i), i, &ds)
+		}
+		deltas[si] = ds
+	}
+	if workers <= 1 || len(p.shards) == 1 {
+		for si := range p.shards {
+			if len(byShard[si]) > 0 {
+				run(si)
+			}
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for si := range p.shards {
+			if len(byShard[si]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(si int) {
+				defer wg.Done()
+				run(si)
+				<-sem
+			}(si)
+		}
+		wg.Wait()
+	}
+
+	// Commit: min-key merge the per-shard delta streams back into batch
+	// order and apply them to the placement plane.
+	heads := make([]int, len(deltas))
+	for {
+		best := -1
+		for i := range deltas {
+			if heads[i] >= len(deltas[i]) {
+				continue
+			}
+			if best < 0 || deltaLess(&deltas[i][heads[i]], &deltas[best][heads[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		d := &deltas[best][heads[best]]
+		heads[best]++
+		if d.unbook {
+			p.unbookGlobal(d.fk, d.prev)
+		} else {
+			p.bookGlobal(d.fk, d.bits, d.src, d.dst)
+		}
+	}
+
+	p.allocate()
+	return results
+}
+
+// applyShardOp runs one operation's shard-local half, appending its
+// placement-plane deltas to ds stamped (opIdx, 0..n).
+func (p *Pythia) applyShardOp(sh *shard, op Op, seq uint64, opIdx int, ds *[]delta) OpResult {
+	sub := 0
+	gBook := func(fk flowKey, bits float64, src, dst topology.NodeID) {
+		*ds = append(*ds, delta{op: opIdx, sub: sub, fk: fk, bits: bits, src: src, dst: dst})
+		sub++
+	}
+	gUnbook := func(fk flowKey, b booking) {
+		*ds = append(*ds, delta{op: opIdx, sub: sub, unbook: true, fk: fk, prev: b})
+		sub++
+	}
+	switch op.Kind {
+	case OpIntent:
+		in := op.Intent
+		k := [3]int{in.Job, in.Map, in.Attempt}
+		if sh.seen[k] {
+			sh.dedupHits++
+			return OpDuplicate
+		}
+		sh.seen[k] = true
+		p.touch(sh, in.Job)
+		sh.intentsReceived++
+		pi := &pendingIntent{intent: in, unresolved: make(map[int]float64), at: p.eng.Now(), seq: seq}
+		for r, bytes := range in.PredictedWireBytes {
+			if bytes <= 0 {
+				continue
+			}
+			pi.unresolved[r] = bytes
+		}
+		p.resolveIntentWith(sh, pi, nil, gBook, gUnbook)
+		if len(pi.unresolved) > 0 {
+			sh.intentsDeferred++
+			sh.pending = append(sh.pending, pi)
+			return OpDeferred
+		}
+		return OpAccepted
+	case OpReducerUp:
+		up := op.Reducer
+		p.touch(sh, up.Job)
+		sh.reducerLoc[[2]int{up.Job, up.Reduce}] = up.Host
+		p.drainPendingWith(sh, nil, gBook, gUnbook)
+		return OpAccepted
+	case OpJobDone:
+		p.jobDoneLocal(sh, op.Job, gUnbook)
+		return OpAccepted
+	}
+	return OpAccepted
+}

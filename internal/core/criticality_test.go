@@ -117,8 +117,8 @@ func TestBacklogDrainsOnFlowCompletion(t *testing.T) {
 	if !j.Done {
 		t.Fatal("job did not finish")
 	}
-	if len(s.py.redBacklog) != 0 {
-		t.Fatalf("reducer backlog not drained: %v", s.py.redBacklog)
+	if s.py.totalBacklog() != 0 {
+		t.Fatalf("reducer backlog not drained: %v", s.py.backlogSnapshot())
 	}
 	if len(s.py.aggregates) != 0 {
 		t.Fatalf("aggregates not drained: %d", len(s.py.aggregates))
@@ -159,8 +159,8 @@ func TestSpeculativeDuplicateIntentsDeduped(t *testing.T) {
 	if s.py.OutstandingDemandBits() != 0 {
 		t.Fatalf("demand not drained after duplicates: %v", s.py.OutstandingDemandBits())
 	}
-	if s.py.DuplicateIntents > 0 {
-		t.Logf("deduplicated %d duplicate intents", s.py.DuplicateIntents)
+	if s.py.DuplicateIntents() > 0 {
+		t.Logf("deduplicated %d duplicate intents", s.py.DuplicateIntents())
 	}
 }
 
@@ -182,8 +182,8 @@ func TestDirectDuplicateIntentReplaced(t *testing.T) {
 	if got := s.py.OutstandingDemandBits(); got != 100e6*8 {
 		t.Fatalf("after duplicate = %v bits, want unchanged total", got)
 	}
-	if s.py.DuplicateIntents != 1 {
-		t.Fatalf("DuplicateIntents = %d, want 1", s.py.DuplicateIntents)
+	if s.py.DuplicateIntents() != 1 {
+		t.Fatalf("DuplicateIntents = %d, want 1", s.py.DuplicateIntents())
 	}
 	// The booking must now live on the host1 aggregate.
 	if agg := s.py.aggregates[pairKey{s.hosts[1], s.hosts[5]}]; agg == nil || agg.demandBits != 100e6*8 {
@@ -206,14 +206,14 @@ func TestExactDuplicateIntentDropped(t *testing.T) {
 	in.Attempt = 1
 	s.py.ShuffleIntent(in)
 	s.py.ShuffleIntent(in) // exact duplicate: same attempt
-	if s.py.DedupHits != 1 {
-		t.Fatalf("DedupHits = %d, want 1", s.py.DedupHits)
+	if s.py.DedupHits() != 1 {
+		t.Fatalf("DedupHits = %d, want 1", s.py.DedupHits())
 	}
-	if s.py.DuplicateIntents != 0 {
-		t.Fatalf("exact duplicate took the replace path: DuplicateIntents = %d", s.py.DuplicateIntents)
+	if s.py.DuplicateIntents() != 0 {
+		t.Fatalf("exact duplicate took the replace path: DuplicateIntents = %d", s.py.DuplicateIntents())
 	}
-	if s.py.IntentsReceived != 1 {
-		t.Fatalf("IntentsReceived = %d, want 1", s.py.IntentsReceived)
+	if s.py.IntentsReceived() != 1 {
+		t.Fatalf("IntentsReceived = %d, want 1", s.py.IntentsReceived())
 	}
 	if got := s.py.OutstandingDemandBits(); got != 100e6*8 {
 		t.Fatalf("demand after exact duplicate = %v bits, want single booking", got)
@@ -233,13 +233,13 @@ func TestBookkeepingInvariant(t *testing.T) {
 	j, _ := s.clus.Submit(spec)
 	check := func() {
 		var booked, agg, backlog float64
-		for _, b := range s.py.booked {
+		for _, b := range s.py.bookedSnapshot() {
 			booked += b.bits
 		}
 		for _, a := range s.py.aggregates {
 			agg += a.demandBits
 		}
-		for _, b := range s.py.redBacklog {
+		for _, b := range s.py.backlogSnapshot() {
 			backlog += b
 		}
 		// Local bookings (src==dst) are skipped, so booked may exceed agg

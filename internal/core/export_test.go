@@ -1,0 +1,34 @@
+package core
+
+// Shard-spanning views of the collector's partitioned per-job state, for
+// tests that predate sharding and asserted on the old global maps.
+
+func (p *Pythia) totalPending() int { return p.sumShards(func(s *shard) int { return len(s.pending) }) }
+func (p *Pythia) totalBooked() int  { return p.sumShards(func(s *shard) int { return len(s.booked) }) }
+func (p *Pythia) totalBacklog() int {
+	return p.sumShards(func(s *shard) int { return len(s.redBacklog) })
+}
+func (p *Pythia) totalReducerLoc() int {
+	return p.sumShards(func(s *shard) int { return len(s.reducerLoc) })
+}
+func (p *Pythia) totalSeen() int { return p.sumShards(func(s *shard) int { return len(s.seen) }) }
+
+func (p *Pythia) bookedSnapshot() map[flowKey]booking {
+	m := make(map[flowKey]booking)
+	for _, sh := range p.shards {
+		for fk, b := range sh.booked {
+			m[fk] = b
+		}
+	}
+	return m
+}
+
+func (p *Pythia) backlogSnapshot() map[[2]int]float64 {
+	m := make(map[[2]int]float64)
+	for _, sh := range p.shards {
+		for jr, b := range sh.redBacklog {
+			m[jr] = b
+		}
+	}
+	return m
+}

@@ -7,6 +7,24 @@
 // aggregated flows to k-shortest paths with a first-fit bin-packing
 // heuristic — assigning each aggregate to the path with the highest
 // available bandwidth — and installs the corresponding OpenFlow rules.
+//
+// # Sharded collector state
+//
+// The paper's collector is one centralized entity. To serve as a concurrent
+// online service (package serve) the collector's per-job state — deferred
+// intents, bookings, the idempotence set, reducer placements, barrier
+// backlog, activity stamps — is partitioned across Config.Shards shards
+// keyed by job ID. The placement plane (pair aggregates, the per-link
+// placement index, path cache and rule cookies) stays global: placement is
+// a bin-packing pass over shared links and is inherently serial.
+//
+// Sharding is invisible to results. Every operation touches only its own
+// job's shard, and the two places where state from several shards meets —
+// the booking-TTL sweep and ApplyBatch's placement-plane commit — merge the
+// per-shard (already sorted) streams with a deterministic min-key merge
+// that reproduces the exact single-shard order. Same-seed runs are
+// therefore bit-identical at any shard count, the same discipline the
+// sharded network allocator follows (see netsim).
 package core
 
 import (
@@ -76,6 +94,13 @@ type Config struct {
 	// releasing their path reservations. Zero disables the sweep (the
 	// legacy trust-the-messages behavior).
 	BookingTTL sim.Duration
+	// Shards partitions per-job collector state (bookings, deferred
+	// intents, dedup tables, trackers) across this many job-keyed shards.
+	// Placement decisions are merged deterministically, so any shard
+	// count produces bit-identical results; shards > 1 additionally lets
+	// ApplyBatch run the shard-local ingest phase concurrently. Zero or
+	// one means the classic single-shard collector.
+	Shards int
 }
 
 // Defaults fills unset fields.
@@ -88,6 +113,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.HorizonSec == 0 {
 		c.HorizonSec = 10
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	return c
 }
@@ -102,6 +130,17 @@ type pairKey struct {
 
 type flowKey struct {
 	job, mapID, reduce int
+}
+
+// flowKeyLess is the sweep's total order on bookings: (job, map, reduce).
+func flowKeyLess(a, b flowKey) bool {
+	if a.job != b.job {
+		return a.job < b.job
+	}
+	if a.mapID != b.mapID {
+		return a.mapID < b.mapID
+	}
+	return a.reduce < b.reduce
 }
 
 // aggregate is one scheduled host-pair (or rack-pair) entity. For rack
@@ -131,6 +170,10 @@ type pendingIntent struct {
 	intent     instrument.Intent
 	unresolved map[int]float64 // reducer ID -> predicted bytes
 	at         sim.Time        // arrival, for TTL expiry
+	// seq is the intent's global arrival ordinal. Per-shard pending lists
+	// are seq-ascending, so the TTL sweep's cross-shard expiry merge can
+	// reproduce the single-shard (arrival-order) event sequence.
+	seq uint64
 }
 
 // booking records one (job, map, reducer) demand reservation and the
@@ -141,7 +184,43 @@ type booking struct {
 	at       sim.Time // reservation instant, for TTL expiry
 }
 
-// Pythia is the controller. It implements instrument.Sink.
+// shard holds one partition of the collector's per-job state. Every key in
+// every map belongs to a job with shardOf(job) == this shard, so two shards
+// never hold state for the same job and shard-local phases of different
+// shards may run concurrently.
+type shard struct {
+	reducerLoc  map[[2]int]topology.NodeID // (job, reduce) -> host
+	pending     []*pendingIntent           // seq-ascending
+	booked      map[flowKey]booking        // predicted demand per (job,map,reduce)
+	redBacklog  map[[2]int]float64         // outstanding demand per (job, reducer)
+	seen        map[[3]int]bool            // idempotence set per (job, map, attempt)
+	jobLastSeen map[int]sim.Time           // TTL mode only
+
+	// Shard-local metrics, summed by the Pythia accessors. Kept here so
+	// ApplyBatch's concurrent shard phase mutates only its own shard.
+	intentsReceived  int
+	intentsDeferred  int
+	dedupHits        int
+	duplicateIntents int
+	expiredBookings  int
+	expiredIntents   int
+}
+
+func newShard(ttl bool) *shard {
+	s := &shard{
+		reducerLoc: make(map[[2]int]topology.NodeID),
+		booked:     make(map[flowKey]booking),
+		redBacklog: make(map[[2]int]float64),
+		seen:       make(map[[3]int]bool),
+	}
+	if ttl {
+		s.jobLastSeen = make(map[int]sim.Time)
+	}
+	return s
+}
+
+// Pythia is the controller. It implements Collector (and therefore
+// instrument.Sink and instrument.JobDoneSink).
 type Pythia struct {
 	eng *sim.Engine
 	net *netsim.Network
@@ -153,9 +232,11 @@ type Pythia struct {
 	// storm invalidates only the pairs whose paths a change can affect,
 	// instead of the full flush earlier revisions paid on every topology
 	// version bump.
-	paths      *topology.PathCache
-	reducerLoc map[[2]int]topology.NodeID // (job, reduce) -> host
-	pending    []*pendingIntent
+	paths *topology.PathCache
+
+	// shards partitions per-job state; shardOf routes a job to its home.
+	shards  []*shard
+	nextSeq uint64 // next pendingIntent arrival ordinal
 
 	aggregates map[pairKey]*aggregate
 	// placedOn indexes the placed aggregates by every link of their
@@ -169,29 +250,20 @@ type Pythia struct {
 	// scanBaseline reverts pathScore to the pre-index full-scan pass
 	// (golden-equivalence tests and benchmark baselines only).
 	scanBaseline bool
-	booked       map[flowKey]booking // predicted demand per (job,map,reduce)
-	// redBacklog is global outstanding predicted demand per (job,
-	// reducer) — the shuffle-barrier backlog that defines criticality.
-	redBacklog map[[2]int]float64
-	nextCookie uint64
-
-	// seen is the idempotence set: one entry per (job, map, attempt)
-	// intent already ingested, so a duplicated management-network message
-	// (or a restart re-scan re-emission) is dropped rather than re-booked.
-	seen map[[3]int]bool
-	// jobLastSeen timestamps each job's latest control message, letting the
-	// TTL sweep purge residual state of jobs that went silent (JobDone lost
-	// on the management network).
-	jobLastSeen map[int]sim.Time
+	nextCookie   uint64
 
 	// fl, when non-nil, receives collector-plane flight events. Recording is
 	// pure observation: it never changes an allocation decision, so enabled
 	// and disabled runs stay bit-identical.
 	fl flight.Sink
 
-	// Metrics.
-	IntentsReceived int
-	IntentsDeferred int // had at least one unknown destination
+	// onPlace, when non-nil, observes every placement decision (install or
+	// re-affirmation) in decision order. Pure observation; the serving
+	// surface uses it to fingerprint placement streams for the 1-vs-N-shard
+	// equivalence check.
+	onPlace func(src, dst topology.NodeID, path topology.Path)
+
+	// Placement-plane metrics (mutated only in the serialized commit path).
 	// AggregatesPlaced counts placements that installed (or re-installed)
 	// rules; Reaffirmations counts allocation passes that re-affirmed an
 	// aggregate on its unchanged path without touching the switches.
@@ -201,45 +273,35 @@ type Pythia struct {
 	RuleInstallErrors int
 	// FlowsRescued counts in-flight flows rerouted off failed links.
 	FlowsRescued int
-	// DuplicateIntents counts re-predictions for an already-booked
-	// (job, map, reducer) — e.g. from speculative map attempts.
-	DuplicateIntents int
 	// AggregatesDegraded counts aggregates that fell back to the default
 	// ECMP pipeline after the control plane became unreachable;
 	// Reconciliations counts degraded aggregates re-placed once
 	// connectivity returned.
 	AggregatesDegraded int
 	Reconciliations    int
-	// DedupHits counts exact duplicate intents — same (job, map, attempt)
-	// — dropped by the idempotence set.
-	DedupHits int
-	// ExpiredBookings and ExpiredIntents count reservations and deferred
-	// intents reclaimed by the booking-TTL sweep.
-	ExpiredBookings int
-	ExpiredIntents  int
 }
 
 // New wires a Pythia controller to the SDN substrate. Register it as the
 // instrumentation sink and keep the cluster's PathResolver pointed at the
 // OpenFlow controller; Pythia steers traffic purely by installing rules.
 func New(eng *sim.Engine, net *netsim.Network, ofc *openflow.Controller, cfg Config) *Pythia {
+	cfg = cfg.Defaults()
 	p := &Pythia{
 		eng:        eng,
 		net:        net,
 		ofc:        ofc,
 		g:          net.Graph(),
-		cfg:        cfg.Defaults(),
-		reducerLoc: make(map[[2]int]topology.NodeID),
+		cfg:        cfg,
+		shards:     make([]*shard, cfg.Shards),
 		aggregates: make(map[pairKey]*aggregate),
 		placedOn:   make(map[topology.LinkID][]*aggregate),
-		booked:     make(map[flowKey]booking),
-		redBacklog: make(map[[2]int]float64),
 		nextCookie: 1,
-		seen:       make(map[[3]int]bool),
+	}
+	for i := range p.shards {
+		p.shards[i] = newShard(cfg.BookingTTL > 0)
 	}
 	p.paths = topology.NewPathCache(p.g, p.cfg.K)
 	if p.cfg.BookingTTL > 0 {
-		p.jobLastSeen = make(map[int]sim.Time)
 		// Sweep at half the TTL so nothing outlives ~1.5×TTL. The ticker is
 		// a daemon: it never keeps the simulation alive on its own.
 		eng.Every(p.cfg.BookingTTL/2, p.sweepExpired)
@@ -255,12 +317,30 @@ func New(eng *sim.Engine, net *netsim.Network, ofc *openflow.Controller, cfg Con
 	return p
 }
 
-var _ instrument.Sink = (*Pythia)(nil)
-var _ instrument.JobDoneSink = (*Pythia)(nil)
+var _ Collector = (*Pythia)(nil)
+
+// shardOf routes a job ID to its home shard.
+func (p *Pythia) shardOf(job int) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	return p.shards[job%len(p.shards)]
+}
+
+// Shards reports the configured shard count.
+func (p *Pythia) Shards() int { return len(p.shards) }
 
 // SetFlightRecorder installs a flight-event sink. Pass a non-nil sink only;
 // leave the field nil to disable recording.
 func (p *Pythia) SetFlightRecorder(s flight.Sink) { p.fl = s }
+
+// SetPlacementHook registers fn to observe every placement decision (rule
+// install, re-install or re-affirmation) in decision order. Observation is
+// pure: it must not mutate collector or fabric state. The serving surface
+// uses it to maintain a running digest of the placement stream.
+func (p *Pythia) SetPlacementHook(fn func(src, dst topology.NodeID, path topology.Path)) {
+	p.onPlace = fn
+}
 
 // SetScanBaseline reverts pathScore's booked-demand pass to the pre-index
 // full-aggregate scan. The placement index is maintained either way; the
@@ -336,61 +416,101 @@ func (p *Pythia) kPaths(src, dst topology.NodeID) []topology.Path {
 // same map (speculative backup) still flows through — the per-(job, map,
 // reducer) booking replace keeps it from double-counting.
 func (p *Pythia) ShuffleIntent(in instrument.Intent) {
+	sh := p.shardOf(in.Job)
 	k := [3]int{in.Job, in.Map, in.Attempt}
-	if p.seen[k] {
-		p.DedupHits++
+	if sh.seen[k] {
+		sh.dedupHits++
 		p.recordIntent(in, flight.DispDup)
 		return
 	}
-	p.seen[k] = true
-	p.touch(in.Job)
-	p.IntentsReceived++
+	sh.seen[k] = true
+	p.touch(sh, in.Job)
+	sh.intentsReceived++
 	if in.Late {
 		p.recordIntent(in, flight.DispLate)
 	} else {
 		p.recordIntent(in, flight.DispOK)
 	}
-	pi := &pendingIntent{intent: in, unresolved: make(map[int]float64), at: p.eng.Now()}
+	pi := p.newPending(in)
+	p.resolveIntent(sh, pi)
+	if len(pi.unresolved) > 0 {
+		sh.intentsDeferred++
+		sh.pending = append(sh.pending, pi)
+	}
+	p.allocate()
+}
+
+// newPending builds the deferred-intent record and stamps its arrival
+// ordinal.
+func (p *Pythia) newPending(in instrument.Intent) *pendingIntent {
+	pi := &pendingIntent{intent: in, unresolved: make(map[int]float64), at: p.eng.Now(), seq: p.nextSeq}
+	p.nextSeq++
 	for r, bytes := range in.PredictedWireBytes {
 		if bytes <= 0 {
 			continue
 		}
 		pi.unresolved[r] = bytes
 	}
-	p.resolveIntent(pi)
-	if len(pi.unresolved) > 0 {
-		p.IntentsDeferred++
-		p.pending = append(p.pending, pi)
-	}
-	p.allocate()
+	return pi
 }
 
 // ReducerUp records a reducer's server placement and drains any deferred
-// demand now resolvable (instrument.Sink).
+// demand now resolvable (instrument.Sink). Only the job's own shard is
+// scanned: a foreign job's deferred intent can never resolve on this event,
+// because resolution needs the foreign job's own ReducerUp first.
 func (p *Pythia) ReducerUp(up instrument.ReducerUp) {
-	p.touch(up.Job)
-	p.reducerLoc[[2]int{up.Job, up.Reduce}] = up.Host
+	sh := p.shardOf(up.Job)
+	p.touch(sh, up.Job)
+	sh.reducerLoc[[2]int{up.Job, up.Reduce}] = up.Host
 	if p.fl != nil {
 		ev := flight.Ev(flight.ReducerUpSeen, flight.PlaneCollector)
 		ev.Job, ev.Reduce, ev.Dst = up.Job, up.Reduce, up.Host
 		p.fl.Record(ev)
 	}
-	remaining := p.pending[:0]
-	for _, pi := range p.pending {
-		p.resolveIntent(pi)
+	p.drainPending(sh)
+	p.allocate()
+}
+
+// drainPending re-resolves a shard's deferred intents, compacting out the
+// fully resolved ones.
+func (p *Pythia) drainPending(sh *shard) {
+	p.drainPendingWith(sh, p.fl, p.bookGlobal, p.unbookGlobal)
+}
+
+// drainPendingWith is drainPending with pluggable placement-plane sinks
+// (see resolveIntentWith).
+func (p *Pythia) drainPendingWith(sh *shard, fl flight.Sink, gBook bookFn, gUnbook unbookFn) {
+	remaining := sh.pending[:0]
+	for _, pi := range sh.pending {
+		p.resolveIntentWith(sh, pi, fl, gBook, gUnbook)
 		if len(pi.unresolved) > 0 {
 			remaining = append(remaining, pi)
 		}
 	}
-	for i := len(remaining); i < len(p.pending); i++ {
-		p.pending[i] = nil
+	for i := len(remaining); i < len(sh.pending); i++ {
+		sh.pending[i] = nil
 	}
-	p.pending = remaining
-	p.allocate()
+	sh.pending = remaining
 }
 
+// bookFn/unbookFn receive the placement-plane half of booking operations:
+// bookGlobal/unbookGlobal directly in single-op mode, delta recorders in
+// ApplyBatch's shard phase (where the global aggregates must not be touched
+// concurrently and the deltas replay later in merged order).
+type bookFn func(fk flowKey, bits float64, src, dst topology.NodeID)
+type unbookFn func(fk flowKey, b booking)
+
 // resolveIntent moves resolvable per-reducer demand into pair aggregates.
-func (p *Pythia) resolveIntent(pi *pendingIntent) {
+func (p *Pythia) resolveIntent(sh *shard, pi *pendingIntent) {
+	p.resolveIntentWith(sh, pi, p.fl, p.bookGlobal, p.unbookGlobal)
+}
+
+// resolveIntentWith is the resolver core: it mutates only the shard (booked,
+// backlog) and hands the placement-plane half of every booking to gBook /
+// gUnbook in a deterministic order. fl is the flight sink to use — nil in
+// batch mode, where the shard phase runs concurrently and collector-plane
+// events for batched operations are not recorded.
+func (p *Pythia) resolveIntentWith(sh *shard, pi *pendingIntent, fl flight.Sink, gBook bookFn, gUnbook unbookFn) {
 	in := pi.intent
 	// Resolve in reducer-ID order: map iteration order is random, and the
 	// flight recorder logs one booking per reducer — event order must be
@@ -403,54 +523,38 @@ func (p *Pythia) resolveIntent(pi *pendingIntent) {
 	var done []int
 	for _, r := range reducers {
 		bytes := pi.unresolved[r]
-		dst, ok := p.reducerLoc[[2]int{in.Job, r}]
+		dst, ok := sh.reducerLoc[[2]int{in.Job, r}]
 		if !ok {
 			continue
 		}
 		done = append(done, r)
-		if dst == in.SrcHost {
-			continue // local fetch; never touches the fabric
-		}
-		if p.cfg.Scope == ScopeRackPair && p.g.Node(dst).Rack == p.g.Node(in.SrcHost).Rack {
-			continue // intra-rack: single ToR hop, nothing to steer
+		if !p.steerable(in.SrcHost, dst) {
+			continue // local or intra-rack fetch; nothing to steer
 		}
 		bits := bytes * 8
 		fk := flowKey{in.Job, in.Map, r}
 		disp := flight.DispNew
-		if prev, dup := p.booked[fk]; dup {
+		if prev, dup := sh.booked[fk]; dup {
 			// Duplicate intent for the same (job, map, reducer) — e.g. a
 			// speculative map attempt spilled a second copy on another
 			// server. Only one attempt's output is fetched, so keep a
 			// single booking (replace, don't add).
-			p.DuplicateIntents++
-			p.unbook(fk, prev)
+			sh.duplicateIntents++
+			p.unbookLocal(sh, fk, prev)
+			gUnbook(fk, prev)
 			disp = flight.DispReplaced
 		}
-		p.booked[fk] = booking{bits: bits, src: in.SrcHost, dst: dst, at: p.eng.Now()}
-		if p.fl != nil {
+		sh.booked[fk] = booking{bits: bits, src: in.SrcHost, dst: dst, at: p.eng.Now()}
+		if fl != nil {
 			ev := flight.Ev(flight.BookingMade, flight.PlaneCollector)
 			ev.Job, ev.Map, ev.Attempt, ev.Reduce = in.Job, in.Map, in.Attempt, r
 			ev.Src, ev.Dst = in.SrcHost, dst
 			ev.Bytes = bytes
 			ev.Disposition = disp
-			p.fl.Record(ev)
+			fl.Record(ev)
 		}
-		p.redBacklog[[2]int{in.Job, r}] += bits
-		key := p.aggKey(in.SrcHost, dst)
-		agg := p.aggregates[key]
-		if agg == nil {
-			agg = &aggregate{key: key, repSrc: in.SrcHost, repDst: dst,
-				perReducer: make(map[[2]int]float64)}
-			p.aggregates[key] = agg
-		}
-		agg.demandBits += bits
-		agg.perReducer[[2]int{in.Job, r}] += bits
-		if !p.cfg.Aggregate {
-			// Ablation: every new demand forces a fresh placement
-			// decision for the pair.
-			agg.placed = false
-			p.unindexAgg(agg)
-		}
+		sh.redBacklog[[2]int{in.Job, r}] += bits
+		gBook(fk, bits, in.SrcHost, dst)
 	}
 	sort.Ints(done)
 	for _, r := range done {
@@ -458,14 +562,54 @@ func (p *Pythia) resolveIntent(pi *pendingIntent) {
 	}
 }
 
+// steerable reports whether a resolved (src, dst) transfer touches fabric
+// links Pythia can steer: same-host fetches never leave the server, and
+// under rack scope intra-rack transfers are a single ToR hop.
+func (p *Pythia) steerable(src, dst topology.NodeID) bool {
+	if dst == src {
+		return false
+	}
+	if p.cfg.Scope == ScopeRackPair && p.g.Node(dst).Rack == p.g.Node(src).Rack {
+		return false
+	}
+	return true
+}
+
+// bookGlobal applies the placement-plane half of one booking: charge the
+// pair aggregate (creating it on first demand) and, under the A2 ablation,
+// force a fresh placement decision.
+func (p *Pythia) bookGlobal(fk flowKey, bits float64, src, dst topology.NodeID) {
+	key := p.aggKey(src, dst)
+	agg := p.aggregates[key]
+	if agg == nil {
+		agg = &aggregate{key: key, repSrc: src, repDst: dst,
+			perReducer: make(map[[2]int]float64)}
+		p.aggregates[key] = agg
+	}
+	agg.demandBits += bits
+	agg.perReducer[[2]int{fk.job, fk.reduce}] += bits
+	if !p.cfg.Aggregate {
+		// Ablation: every new demand forces a fresh placement
+		// decision for the pair.
+		agg.placed = false
+		p.unindexAgg(agg)
+	}
+}
+
 // PendingUnknownDestinations reports intents still awaiting reducer
 // placement.
-func (p *Pythia) PendingUnknownDestinations() int { return len(p.pending) }
+func (p *Pythia) PendingUnknownDestinations() int {
+	n := 0
+	for _, sh := range p.shards {
+		n += len(sh.pending)
+	}
+	return n
+}
 
 // touch records job activity for the dead-job purge (TTL mode only).
-func (p *Pythia) touch(job int) {
-	if p.jobLastSeen != nil {
-		p.jobLastSeen[job] = p.eng.Now()
+func (p *Pythia) touch(sh *shard, job int) {
+	if sh.jobLastSeen != nil {
+		sh.jobLastSeen[job] = p.eng.Now()
 	}
 }
 
@@ -474,31 +618,48 @@ func (p *Pythia) touch(job int) {
 // drops deferred intents that never resolved, and purges residual per-job
 // state for jobs silent past the TTL — the backstop that keeps collector
 // state bounded when JobDone itself is lost on the management network.
-// Expiry walks keys in sorted order so runs stay bit-identical per seed.
+//
+// Expiry order must be bit-identical at any shard count: booked keys are
+// collected sorted per shard and min-key merged into the global
+// (job, map, reduce) order; expired deferred intents merge by arrival seq.
 func (p *Pythia) sweepExpired() {
 	now := p.eng.Now()
 	ttl := p.cfg.BookingTTL
 
-	var keys []flowKey
-	for fk, b := range p.booked {
-		if now.Sub(b.at) >= ttl {
-			keys = append(keys, fk)
+	// Expired bookings: per-shard sorted lists, merged globally.
+	keyLists := make([][]flowKey, len(p.shards))
+	for i, sh := range p.shards {
+		var keys []flowKey
+		for fk, b := range sh.booked {
+			if now.Sub(b.at) >= ttl {
+				keys = append(keys, fk)
+			}
 		}
+		sort.Slice(keys, func(a, b int) bool { return flowKeyLess(keys[a], keys[b]) })
+		keyLists[i] = keys
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].job != keys[j].job {
-			return keys[i].job < keys[j].job
+	heads := make([]int, len(keyLists))
+	for {
+		best := -1
+		for i, l := range keyLists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 || flowKeyLess(l[heads[i]], keyLists[best][heads[best]]) {
+				best = i
+			}
 		}
-		if keys[i].mapID != keys[j].mapID {
-			return keys[i].mapID < keys[j].mapID
+		if best < 0 {
+			break
 		}
-		return keys[i].reduce < keys[j].reduce
-	})
-	for _, fk := range keys {
-		b := p.booked[fk]
-		delete(p.booked, fk)
-		p.unbook(fk, b)
-		p.ExpiredBookings++
+		fk := keyLists[best][heads[best]]
+		heads[best]++
+		sh := p.shards[best]
+		b := sh.booked[fk]
+		delete(sh.booked, fk)
+		p.unbookLocal(sh, fk, b)
+		p.unbookGlobal(fk, b)
+		sh.expiredBookings++
 		if p.fl != nil {
 			ev := flight.Ev(flight.BookingExpired, flight.PlaneCollector)
 			ev.Job, ev.Map, ev.Reduce = fk.job, fk.mapID, fk.reduce
@@ -508,68 +669,79 @@ func (p *Pythia) sweepExpired() {
 		}
 	}
 
-	remaining := p.pending[:0]
-	for _, pi := range p.pending {
-		if now.Sub(pi.at) >= ttl {
-			p.ExpiredIntents++
-			if p.fl != nil {
-				ev := flight.Ev(flight.IntentExpired, flight.PlaneCollector)
-				ev.Job, ev.Map, ev.Attempt = pi.intent.Job, pi.intent.Map, pi.intent.Attempt
-				ev.Src = pi.intent.SrcHost
-				ev.Count = len(pi.unresolved)
-				p.fl.Record(ev)
+	// Expired deferred intents: per-shard pending lists are seq-ascending,
+	// so merging the expired ones by seq reproduces arrival order.
+	var expired []*pendingIntent
+	for _, sh := range p.shards {
+		remaining := sh.pending[:0]
+		for _, pi := range sh.pending {
+			if now.Sub(pi.at) >= ttl {
+				sh.expiredIntents++
+				expired = append(expired, pi)
+				continue
 			}
-			continue
+			remaining = append(remaining, pi)
 		}
-		remaining = append(remaining, pi)
+		for i := len(remaining); i < len(sh.pending); i++ {
+			sh.pending[i] = nil
+		}
+		sh.pending = remaining
 	}
-	for i := len(remaining); i < len(p.pending); i++ {
-		p.pending[i] = nil
+	sort.Slice(expired, func(i, j int) bool { return expired[i].seq < expired[j].seq })
+	for _, pi := range expired {
+		if p.fl != nil {
+			ev := flight.Ev(flight.IntentExpired, flight.PlaneCollector)
+			ev.Job, ev.Map, ev.Attempt = pi.intent.Job, pi.intent.Map, pi.intent.Attempt
+			ev.Src = pi.intent.SrcHost
+			ev.Count = len(pi.unresolved)
+			p.fl.Record(ev)
+		}
 	}
-	p.pending = remaining
 
 	// Dead-job purge: a job with no bookings, no pending intents, and no
 	// control message for a full TTL is gone — drop its reducer map and
 	// idempotence entries so collector memory stays bounded.
-	live := make(map[int]bool)
-	for fk := range p.booked {
-		live[fk.job] = true
-	}
-	for _, pi := range p.pending {
-		live[pi.intent.Job] = true
-	}
 	var dead []int
-	for job, last := range p.jobLastSeen {
-		if !live[job] && now.Sub(last) >= ttl {
-			dead = append(dead, job)
+	for _, sh := range p.shards {
+		live := make(map[int]bool)
+		for fk := range sh.booked {
+			live[fk.job] = true
+		}
+		for _, pi := range sh.pending {
+			live[pi.intent.Job] = true
+		}
+		for job, last := range sh.jobLastSeen {
+			if !live[job] && now.Sub(last) >= ttl {
+				dead = append(dead, job)
+			}
 		}
 	}
 	sort.Ints(dead)
 	for _, job := range dead {
-		p.purgeJob(job)
+		p.purgeJob(p.shardOf(job), job)
 	}
 }
 
 // purgeJob drops a job's residual non-booking state (reducer placements,
 // backlog, idempotence entries, activity stamp).
-func (p *Pythia) purgeJob(job int) {
-	for jr := range p.reducerLoc {
+func (p *Pythia) purgeJob(sh *shard, job int) {
+	for jr := range sh.reducerLoc {
 		if jr[0] == job {
-			delete(p.reducerLoc, jr)
+			delete(sh.reducerLoc, jr)
 		}
 	}
-	for jr := range p.redBacklog {
+	for jr := range sh.redBacklog {
 		if jr[0] == job {
-			delete(p.redBacklog, jr)
+			delete(sh.redBacklog, jr)
 		}
 	}
-	for k := range p.seen {
+	for k := range sh.seen {
 		if k[0] == job {
-			delete(p.seen, k)
+			delete(sh.seen, k)
 		}
 	}
-	if p.jobLastSeen != nil {
-		delete(p.jobLastSeen, job)
+	if sh.jobLastSeen != nil {
+		delete(sh.jobLastSeen, job)
 	}
 }
 
@@ -577,16 +749,28 @@ func (p *Pythia) purgeJob(job int) {
 // intents — the quantity that must be zero after the job is done (leak
 // detection).
 func (p *Pythia) OutstandingBookings(job int) int {
+	sh := p.shardOf(job)
 	n := 0
-	for fk := range p.booked {
+	for fk := range sh.booked {
 		if fk.job == job {
 			n++
 		}
 	}
-	for _, pi := range p.pending {
+	for _, pi := range sh.pending {
 		if pi.intent.Job == job {
 			n++
 		}
+	}
+	return n
+}
+
+// OutstandingTotal reports live reservations plus deferred intents across
+// every job — the service-level leak gauge (zero once every submitted job
+// has been retired with JobDone).
+func (p *Pythia) OutstandingTotal() int {
+	n := 0
+	for _, sh := range p.shards {
+		n += len(sh.booked) + len(sh.pending)
 	}
 	return n
 }
@@ -617,7 +801,7 @@ func (p *Pythia) allocate() {
 	crit := func(a *aggregate) float64 {
 		max := 0.0
 		for jr := range a.perReducer {
-			if b := p.redBacklog[jr]; b > max {
+			if b := p.shardOf(jr[0]).redBacklog[jr]; b > max {
 				max = b
 			}
 		}
@@ -794,6 +978,9 @@ func (p *Pythia) place(a *aggregate, path topology.Path) {
 	a.path = path
 	a.placed = true
 	p.indexAgg(a)
+	if p.onPlace != nil {
+		p.onPlace(a.key.src, a.key.dst, path)
+	}
 	if a.cookie != 0 {
 		p.Reaffirmations++
 		return
@@ -894,26 +1081,35 @@ func (p *Pythia) onFlowComplete(f *netsim.Flow) {
 	if f.Kind != netsim.Shuffle {
 		return
 	}
+	sh := p.shardOf(f.Job)
 	key := flowKey{f.Job, f.Map, f.Reduce}
-	b, ok := p.booked[key]
+	b, ok := sh.booked[key]
 	if !ok {
 		return
 	}
-	delete(p.booked, key)
-	p.unbook(key, b)
+	delete(sh.booked, key)
+	p.unbookLocal(sh, key, b)
+	p.unbookGlobal(key, b)
 }
 
-// unbook reverses one booking: drains the reducer backlog and the owning
-// aggregate, releasing the aggregate's rules when its demand empties.
-func (p *Pythia) unbook(key flowKey, b booking) {
+// unbookLocal reverses the shard-local half of one booking: draining the
+// reducer's barrier backlog. (The caller removes the booked entry itself —
+// duplicate replacement overwrites it instead.)
+func (p *Pythia) unbookLocal(sh *shard, key flowKey, b booking) {
 	jr := [2]int{key.job, key.reduce}
-	if p.redBacklog[jr] -= b.bits; p.redBacklog[jr] <= 1 {
-		delete(p.redBacklog, jr)
+	if sh.redBacklog[jr] -= b.bits; sh.redBacklog[jr] <= 1 {
+		delete(sh.redBacklog, jr)
 	}
+}
+
+// unbookGlobal reverses the placement-plane half of one booking: draining
+// the owning aggregate and releasing its rules when its demand empties.
+func (p *Pythia) unbookGlobal(key flowKey, b booking) {
 	agg := p.aggregates[p.aggKey(b.src, b.dst)]
 	if agg == nil {
 		return
 	}
+	jr := [2]int{key.job, key.reduce}
 	agg.demandBits -= b.bits
 	if agg.perReducer[jr] -= b.bits; agg.perReducer[jr] <= 1 {
 		delete(agg.perReducer, jr)
@@ -933,18 +1129,30 @@ func (p *Pythia) unbook(key flowKey, b booking) {
 // demand whose flows never ran — e.g. reducers that never started — would
 // otherwise pin aggregates, rules, and backlog entries forever.
 func (p *Pythia) JobDone(job int) {
-	remaining := p.pending[:0]
-	for _, pi := range p.pending {
+	sh := p.shardOf(job)
+	p.jobDoneLocal(sh, job, func(fk flowKey, b booking) {
+		p.unbookGlobal(fk, b)
+	})
+}
+
+// jobDoneLocal performs the shard-local half of JobDone — dropping the
+// job's deferred intents, unbooking its reservations in sorted (map,
+// reduce) order, and purging residual state — handing each released
+// booking's placement-plane half to emit (applied immediately in direct
+// mode, deferred to the batch commit in ApplyBatch).
+func (p *Pythia) jobDoneLocal(sh *shard, job int, emit func(flowKey, booking)) {
+	remaining := sh.pending[:0]
+	for _, pi := range sh.pending {
 		if pi.intent.Job != job {
 			remaining = append(remaining, pi)
 		}
 	}
-	for i := len(remaining); i < len(p.pending); i++ {
-		p.pending[i] = nil
+	for i := len(remaining); i < len(sh.pending); i++ {
+		sh.pending[i] = nil
 	}
-	p.pending = remaining
+	sh.pending = remaining
 	var keys []flowKey
-	for fk := range p.booked {
+	for fk := range sh.booked {
 		if fk.job == job {
 			keys = append(keys, fk)
 		}
@@ -956,11 +1164,12 @@ func (p *Pythia) JobDone(job int) {
 		return keys[i].reduce < keys[j].reduce
 	})
 	for _, fk := range keys {
-		b := p.booked[fk]
-		delete(p.booked, fk)
-		p.unbook(fk, b)
+		b := sh.booked[fk]
+		delete(sh.booked, fk)
+		p.unbookLocal(sh, fk, b)
+		emit(fk, b)
 	}
-	p.purgeJob(job)
+	p.purgeJob(sh, job)
 }
 
 // onTopologyChange recomputes routing, re-places every live aggregate, and

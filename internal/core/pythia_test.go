@@ -87,8 +87,8 @@ func TestIntentsReceivedAndResolved(t *testing.T) {
 	spec := uniformSpec(8, 2, 2, 5e6)
 	s.clus.Submit(spec)
 	s.eng.Run()
-	if s.py.IntentsReceived != 8 {
-		t.Fatalf("intents = %d, want 8", s.py.IntentsReceived)
+	if s.py.IntentsReceived() != 8 {
+		t.Fatalf("intents = %d, want 8", s.py.IntentsReceived())
 	}
 	if s.py.PendingUnknownDestinations() != 0 {
 		t.Fatalf("pending = %d after job end", s.py.PendingUnknownDestinations())
@@ -109,7 +109,7 @@ func TestEarlyIntentsDeferredUntilReducersUp(t *testing.T) {
 	}
 	s.clus.Submit(spec)
 	s.eng.Run()
-	if s.py.IntentsDeferred == 0 {
+	if s.py.IntentsDeferred() == 0 {
 		t.Fatal("no intents were deferred despite 90% slow-start")
 	}
 	if s.py.PendingUnknownDestinations() != 0 {

@@ -67,24 +67,24 @@ func TestJobDonePurgesDeadJobState(t *testing.T) {
 		s.py.ReducerUp(instrument.ReducerUp{Job: 3, Reduce: 0, Host: s.hosts[5]})
 	})
 	s.eng.At(2, func() {
-		if len(s.py.pending) != 1 || len(s.py.booked) != 1 || len(s.py.aggregates) != 1 {
+		if s.py.totalPending() != 1 || s.py.totalBooked() != 1 || len(s.py.aggregates) != 1 {
 			t.Fatalf("setup: pending=%d booked=%d aggregates=%d, want 1 each",
-				len(s.py.pending), len(s.py.booked), len(s.py.aggregates))
+				s.py.totalPending(), s.py.totalBooked(), len(s.py.aggregates))
 		}
 		s.py.JobDone(3)
-		if n := len(s.py.pending); n != 0 {
+		if n := s.py.totalPending(); n != 0 {
 			t.Errorf("pending intents leaked: %d", n)
 		}
-		if n := len(s.py.booked); n != 0 {
+		if n := s.py.totalBooked(); n != 0 {
 			t.Errorf("bookings leaked: %d", n)
 		}
-		if n := len(s.py.redBacklog); n != 0 {
+		if n := s.py.totalBacklog(); n != 0 {
 			t.Errorf("reducer backlog leaked: %d", n)
 		}
 		if n := len(s.py.aggregates); n != 0 {
 			t.Errorf("aggregates leaked: %d", n)
 		}
-		if n := len(s.py.reducerLoc); n != 0 {
+		if n := s.py.totalReducerLoc(); n != 0 {
 			t.Errorf("reducer locations leaked: %d", n)
 		}
 		if n := len(s.py.placedOn); n != 0 {
@@ -106,11 +106,11 @@ func TestJobDoneWiredThroughMiddleware(t *testing.T) {
 	s := newStack(Config{Aggregate: true}, hadoop.Config{})
 	s.clus.Submit(uniformSpec(8, 2, 2, 5e6))
 	s.eng.Run()
-	if len(s.py.reducerLoc) != 0 {
-		t.Fatalf("reducer locations retained after job completion: %d", len(s.py.reducerLoc))
+	if s.py.totalReducerLoc() != 0 {
+		t.Fatalf("reducer locations retained after job completion: %d", s.py.totalReducerLoc())
 	}
-	if len(s.py.pending) != 0 || len(s.py.booked) != 0 || len(s.py.redBacklog) != 0 {
+	if s.py.totalPending() != 0 || s.py.totalBooked() != 0 || s.py.totalBacklog() != 0 {
 		t.Fatalf("per-job state retained: pending=%d booked=%d backlog=%d",
-			len(s.py.pending), len(s.py.booked), len(s.py.redBacklog))
+			s.py.totalPending(), s.py.totalBooked(), s.py.totalBacklog())
 	}
 }

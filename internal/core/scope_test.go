@@ -28,8 +28,8 @@ func TestRackScopeCompletesJob(t *testing.T) {
 	if !j.Done {
 		t.Fatal("rack-scope job did not finish")
 	}
-	if s.py.IntentsReceived != 10 {
-		t.Fatalf("intents = %d", s.py.IntentsReceived)
+	if s.py.IntentsReceived() != 10 {
+		t.Fatalf("intents = %d", s.py.IntentsReceived())
 	}
 }
 

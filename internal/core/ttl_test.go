@@ -22,8 +22,8 @@ func TestBookingTTLExpiresOrphanedBooking(t *testing.T) {
 		t.Fatalf("outstanding bookings = %d, want 1", s.py.OutstandingBookings(0))
 	}
 	s.eng.RunUntil(100)
-	if s.py.ExpiredBookings != 1 {
-		t.Fatalf("ExpiredBookings = %d, want 1", s.py.ExpiredBookings)
+	if s.py.ExpiredBookings() != 1 {
+		t.Fatalf("ExpiredBookings = %d, want 1", s.py.ExpiredBookings())
 	}
 	if got := s.py.OutstandingDemandBits(); got != 0 {
 		t.Fatalf("demand after expiry = %v bits, want 0", got)
@@ -36,9 +36,9 @@ func TestBookingTTLExpiresOrphanedBooking(t *testing.T) {
 	}
 	// The dead-job purge follows once the job goes silent: reducer
 	// placements and idempotence entries are dropped too.
-	if len(s.py.seen) != 0 || len(s.py.reducerLoc) != 0 {
+	if s.py.totalSeen() != 0 || s.py.totalReducerLoc() != 0 {
 		t.Fatalf("dead-job state not purged: seen=%d reducerLoc=%d",
-			len(s.py.seen), len(s.py.reducerLoc))
+			s.py.totalSeen(), s.py.totalReducerLoc())
 	}
 }
 
@@ -53,8 +53,8 @@ func TestBookingTTLExpiresDeferredIntent(t *testing.T) {
 		t.Fatalf("pending = %d, want 1", s.py.PendingUnknownDestinations())
 	}
 	s.eng.RunUntil(100)
-	if s.py.ExpiredIntents != 1 {
-		t.Fatalf("ExpiredIntents = %d, want 1", s.py.ExpiredIntents)
+	if s.py.ExpiredIntents() != 1 {
+		t.Fatalf("ExpiredIntents = %d, want 1", s.py.ExpiredIntents())
 	}
 	if s.py.PendingUnknownDestinations() != 0 {
 		t.Fatal("deferred intent leaked past the TTL sweep")
@@ -73,7 +73,7 @@ func TestBookingTTLInertOnHealthyRun(t *testing.T) {
 		if !j.Done {
 			t.Fatal("job did not finish")
 		}
-		return j.Duration(), s.py.ExpiredBookings
+		return j.Duration(), s.py.ExpiredBookings()
 	}
 	dOff, _ := run(0)
 	dOn, expired := run(300 * sim.Second)

@@ -1,0 +1,414 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pythia/internal/core"
+	"pythia/internal/netsim"
+	"pythia/internal/openflow"
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// Config tunes the serving surface and the collector behind it.
+type Config struct {
+	// Shards is the collector shard count (core.Config.Shards); Workers
+	// bounds ApplyBatch's concurrent shard phase.
+	Shards  int
+	Workers int
+
+	// QueueCap bounds the ingest queue in requests. A full queue is the
+	// backpressure signal: new requests are rejected with 429 and a
+	// Retry-After header instead of queueing unboundedly.
+	QueueCap int
+	// BatchMax caps the operations folded into one collector batch (one
+	// placement pass); the batch loop drains at most this many ops from
+	// queued requests before committing.
+	BatchMax int
+	// MaxOpsPerRequest rejects oversized ingest requests up front.
+	MaxOpsPerRequest int
+
+	// ClockHz, when positive, drives the collector on a logical clock:
+	// each ingested operation advances virtual time by 1/ClockHz seconds,
+	// so TTL sweeps fire at operation-count-determined instants and a
+	// request sequence has one deterministic outcome regardless of wall
+	// speed (the oracle mode). Zero uses the wall clock since Start.
+	ClockHz float64
+	// BookingTTLSec garbage-collects bookings whose flows never settle
+	// (in serving mode nothing drains bookings except done_jobs and this
+	// sweep). Zero disables.
+	BookingTTLSec float64
+
+	// K is the k-shortest-paths fan-out per pair. FatTreeK/HostsPerEdge
+	// size the fat-tree fabric standing in for the datacenter network.
+	K            int
+	FatTreeK     int
+	HostsPerEdge int
+}
+
+// Defaults fills unset fields: 4 shards, 4 workers, 256-request queue,
+// 512-op batches, 4096-op requests, 30 s booking TTL, and a k=4 fat-tree
+// (16 hosts).
+func (c Config) Defaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.Shards
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 512
+	}
+	if c.MaxOpsPerRequest <= 0 {
+		c.MaxOpsPerRequest = 4096
+	}
+	if c.BookingTTLSec == 0 {
+		c.BookingTTLSec = 30
+	}
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.FatTreeK <= 0 {
+		c.FatTreeK = 4
+	}
+	if c.HostsPerEdge <= 0 {
+		c.HostsPerEdge = c.FatTreeK / 2
+	}
+	return c
+}
+
+// ingestJob is one queued request: its lowered operations, and the slot the
+// batch loop fills before signaling done.
+type ingestJob struct {
+	ops     []core.Op
+	results []core.OpResult
+	enq     time.Time
+	done    chan struct{}
+}
+
+// latRingSize bounds the server-side latency sample ring (power of two).
+const latRingSize = 1 << 14
+
+// Server is the Pythia serving process: an HTTP front end, a bounded ingest
+// queue, and a single batch loop that owns the collector and its simulated
+// SDN substrate.
+type Server struct {
+	cfg   Config
+	hosts []topology.NodeID
+
+	// colMu serializes collector + engine access between the batch loop
+	// and the stats handler.
+	colMu sync.Mutex
+	eng   *sim.Engine
+	col   core.Collector
+
+	digest     uint64 // FNV-1a over the placement stream (under colMu)
+	placements int
+	virtual    float64 // logical clock (ClockHz mode, under colMu)
+
+	queue    chan *ingestJob
+	stop     chan struct{}
+	loopDone chan struct{}
+	draining atomic.Bool
+	started  atomic.Bool
+	startAt  time.Time
+
+	requestsTotal atomic.Int64
+	rejectedTotal atomic.Int64
+
+	latMu  sync.Mutex
+	latSec [latRingSize]float64 // enqueue→commit, seconds
+	latN   int                  // total recorded (ring index = latN % size)
+
+	mux     *http.ServeMux
+	httpSrv *http.Server // set by ListenAndServe
+}
+
+// New builds a serving stack: fat-tree fabric, network simulator, OpenFlow
+// controller, and a sharded collector, all owned by the server's batch
+// loop. Call Start before serving requests.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.Defaults()
+	if cfg.FatTreeK%2 != 0 {
+		return nil, fmt.Errorf("serve: fat-tree k must be even, got %d", cfg.FatTreeK)
+	}
+	eng := sim.NewEngine()
+	g, hosts := topology.FatTree(cfg.FatTreeK, cfg.HostsPerEdge, topology.Gbps)
+	net := netsim.New(eng, g)
+	ofc := openflow.NewController(eng, net, 0)
+	py := core.New(eng, net, ofc, core.Config{
+		K:              cfg.K,
+		Aggregate:      true,
+		UseCriticality: true,
+		BookingTTL:     sim.Duration(cfg.BookingTTLSec),
+		Shards:         cfg.Shards,
+	})
+	s := &Server{
+		cfg:      cfg,
+		hosts:    hosts,
+		eng:      eng,
+		col:      py,
+		queue:    make(chan *ingestJob, cfg.QueueCap),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	py.SetPlacementHook(s.observePlacement)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// observePlacement folds one placement decision into the running digest
+// (called by the collector during ApplyBatch, i.e. under colMu).
+func (s *Server) observePlacement(src, dst topology.NodeID, path topology.Path) {
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			s.digest ^= (v >> (8 * i)) & 0xff
+			s.digest *= 1099511628211
+		}
+	}
+	mix(uint64(src))
+	mix(uint64(dst))
+	for _, l := range path.Links {
+		mix(uint64(l))
+	}
+	mix(^uint64(0)) // record separator
+	s.placements++
+}
+
+// Start launches the batch loop and anchors the wall clock. It must be
+// called exactly once, before the first request.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		panic("serve: Start called twice")
+	}
+	s.digest = 14695981039346656037 // FNV-1a offset basis
+	s.startAt = time.Now()
+	go s.loop()
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// NumHosts reports the fabric's host count — the exclusive upper bound for
+// wire host indexes.
+func (s *Server) NumHosts() int { return len(s.hosts) }
+
+// ListenAndServe starts the batch loop (if not already started) and serves
+// HTTP on addr until Shutdown. It returns http.ErrServerClosed after a
+// clean shutdown, like net/http.
+func (s *Server) ListenAndServe(addr string) error {
+	if !s.started.Load() {
+		s.Start()
+	}
+	s.httpSrv = &http.Server{Addr: addr, Handler: s.mux}
+	return s.httpSrv.ListenAndServe()
+}
+
+// Shutdown drains gracefully: new requests are refused with 503, in-flight
+// handlers finish (the batch loop keeps committing until they do), then the
+// loop drains the residual queue and exits. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	close(s.stop)
+	select {
+	case <-s.loopDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return err
+}
+
+// loop is the batch executor: it coalesces queued requests up to BatchMax
+// operations, advances the collector clock, and applies one collector batch
+// (one placement pass) per iteration.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	for {
+		select {
+		case j := <-s.queue:
+			s.runBatch(s.coalesce(j))
+		case <-s.stop:
+			// Residual drain: requests enqueued before shutdown finished
+			// still get committed and answered.
+			for {
+				select {
+				case j := <-s.queue:
+					s.runBatch(s.coalesce(j))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// coalesce greedily folds already-queued requests after j into one batch,
+// up to BatchMax operations.
+func (s *Server) coalesce(j *ingestJob) []*ingestJob {
+	batch := []*ingestJob{j}
+	n := len(j.ops)
+	for n < s.cfg.BatchMax {
+		select {
+		case j2 := <-s.queue:
+			batch = append(batch, j2)
+			n += len(j2.ops)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch concatenates the batch's operations, advances the collector
+// clock (firing any due TTL sweeps), applies the batch, and distributes
+// results and latency samples back to the waiting requests.
+func (s *Server) runBatch(batch []*ingestJob) {
+	nops := 0
+	for _, j := range batch {
+		nops += len(j.ops)
+	}
+	ops := make([]core.Op, 0, nops)
+	for _, j := range batch {
+		ops = append(ops, j.ops...)
+	}
+
+	s.colMu.Lock()
+	var target float64
+	if s.cfg.ClockHz > 0 {
+		s.virtual += float64(nops) / s.cfg.ClockHz
+		target = s.virtual
+	} else {
+		target = time.Since(s.startAt).Seconds()
+	}
+	if deadline := sim.Time(target); deadline > s.eng.Now() {
+		s.eng.RunUntil(deadline)
+	}
+	results := s.col.ApplyBatch(ops, s.cfg.Workers)
+	s.colMu.Unlock()
+
+	now := time.Now()
+	s.latMu.Lock()
+	at := 0
+	for _, j := range batch {
+		j.results = results[at : at+len(j.ops)]
+		at += len(j.ops)
+		s.latSec[s.latN%latRingSize] = now.Sub(j.enq).Seconds()
+		s.latN++
+	}
+	s.latMu.Unlock()
+	for _, j := range batch {
+		close(j.done)
+	}
+}
+
+// latencyPercentiles snapshots the ring and reports (p50, p99) in seconds.
+func (s *Server) latencyPercentiles() (p50, p99 float64) {
+	s.latMu.Lock()
+	n := s.latN
+	if n > latRingSize {
+		n = latRingSize
+	}
+	samples := make([]float64, n)
+	copy(samples, s.latSec[:n])
+	s.latMu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(samples)
+	pick := func(q float64) float64 {
+		i := int(q * float64(n-1))
+		return samples[i]
+	}
+	return pick(0.50), pick(0.99)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.requestsTotal.Add(1)
+	req, err := decodeIngest(r.Body, len(s.hosts), s.cfg.MaxOpsPerRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := &ingestJob{ops: req.ToOps(s.hosts), enq: time.Now(), done: make(chan struct{})}
+	select {
+	case s.queue <- j:
+	default:
+		// Bounded-queue backpressure: reject rather than buffer without
+		// limit, and tell the client when to come back.
+		s.rejectedTotal.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "ingest queue full (%d requests)", s.cfg.QueueCap)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client gone; the batch loop will still commit the ops (they are
+		// in the queue), there is just nobody to answer.
+		return
+	}
+	resp := IngestResponse{Results: make([]string, len(j.results)), QueueDepth: len(s.queue)}
+	for i, res := range j.results {
+		resp.Results[i] = res.String()
+		switch res {
+		case core.OpDuplicate:
+			resp.Duplicates++
+		case core.OpDeferred:
+			resp.Deferred++
+		default:
+			resp.Accepted++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.colMu.Lock()
+	st := s.col.Stats()
+	digest := s.digest
+	placements := s.placements
+	virtual := float64(s.eng.Now())
+	s.colMu.Unlock()
+	p50, p99 := s.latencyPercentiles()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		CollectorStats:   st,
+		PlacementDigest:  fmt.Sprintf("%016x", digest),
+		Placements:       placements,
+		QueueDepth:       len(s.queue),
+		NumHosts:         len(s.hosts),
+		VirtualSec:       virtual,
+		RequestsTotal:    s.requestsTotal.Load(),
+		RejectedTotal:    s.rejectedTotal.Load(),
+		LatencyP50Micros: p50 * 1e6,
+		LatencyP99Micros: p99 * 1e6,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -8,8 +8,23 @@ import (
 	"pythia/internal/trace"
 )
 
-// Fabric introspection: enough surface to target faults and read link-level
-// telemetry without importing internal packages.
+// Observability options and fabric introspection: pure observers plus
+// enough surface to target faults and read link-level telemetry without
+// importing internal packages — see the package doc's "Configuring a
+// cluster" index.
+
+// WithSequenceRecording attaches the Fig. 1a trace recorder to the first
+// submitted job; retrieve the diagram with SequenceDiagram after RunJob.
+func WithSequenceRecording() Option { return func(c *config) { c.record = true } }
+
+// WithFlightRecorder attaches the cross-plane flight recorder: every
+// prediction's lifecycle (spill → intent → booking → placement → rule
+// install → fabric flow) leaves timestamped events retrievable with
+// FlightJSONL, FlightSummary, PredictionQuality, PrometheusSnapshot and
+// MergedChromeTrace. The recorder is a pure observer — enabling it never
+// changes simulation results — and a seeded run's JSONL export is
+// byte-identical across runs.
+func WithFlightRecorder() Option { return func(c *config) { c.flight = true } }
 
 // Trunks returns the fail-candidate cables of the fabric (forward-direction
 // link IDs): the designated inter-rack trunks on the two-rack shape, or

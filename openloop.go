@@ -90,8 +90,8 @@ func (c *Cluster) TryRunUntil(horizonSec float64) ([]JobResult, error) {
 		}
 	}
 	if len(unfinished) > 0 {
-		return out, fmt.Errorf("%d of %d jobs did not complete (starved network or deadline hit): %v",
-			len(unfinished), len(c.timed), unfinished)
+		return out, fmt.Errorf("%d of %d %w (starved network or deadline hit): %v",
+			len(unfinished), len(c.timed), ErrUnfinished, unfinished)
 	}
 	return out, nil
 }

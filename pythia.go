@@ -15,9 +15,44 @@
 //	    pythia.WithOversubscription(10))
 //	res := cl.RunJob(pythia.SortJob(24*pythia.GB, 10, 1))
 //	fmt.Printf("sort finished in %.1fs\n", res.DurationSec)
+//
+// # Configuring a cluster
+//
+// New accepts functional options, grouped by the subsystem they shape (each
+// group lives in the correspondingly named source file):
+//
+//   - Topology — the fabric under test: WithTopology (two-rack, leaf-spine,
+//     fat-tree), WithHostsPerRack, WithTrunks, WithLinkRateGbps,
+//     WithOversubscription.
+//   - Engine — scheduler choice and simulator internals: WithScheduler,
+//     WithSeed, WithKShortestPaths, WithRackAggregation, WithCriticality,
+//     WithCollectorShards, WithExplicitControlPlane, WithDeadline,
+//     WithSchedulerMode, WithAllocMode, WithAllocWorkers.
+//   - Faults — failure and degradation injection: WithControlPlaneFaults,
+//     WithMgmtFaults, WithMonitorFaults, WithPredictionError,
+//     WithBookingTTL.
+//   - Observability — pure observers that never change results:
+//     WithSequenceRecording, WithFlightRecorder.
+//   - Workload — Hadoop-side behavior: WithReduceSlowstart,
+//     WithParallelCopies, WithHDFS, WithIncast.
+//
+// # Panicking and Try entry points
+//
+// The convenience runners RunJob, RunJobs and Compare panic on submission
+// errors and starved jobs — the right contract for examples and benchmarks
+// where failure is a bug. Every panicking path has a Try counterpart with
+// an error return (TryRunJob, TryRunJobs, TryCompare, TryRunUntil); runs
+// that end with unfinished jobs report errors matching ErrUnfinished.
+//
+// # Online serving
+//
+// NewServer exposes the same collector as a standalone HTTP/JSON service
+// (see ServeConfig and cmd/pythia-serve); the Cluster facade embeds the
+// collector in-process instead.
 package pythia
 
 import (
+	"errors"
 	"fmt"
 
 	"pythia/internal/core"
@@ -103,100 +138,9 @@ type config struct {
 	bookingTTLSec float64
 }
 
-// Option customizes a Cluster.
+// Option customizes a Cluster. Options are defined beside the subsystem
+// they configure — see the package doc's "Configuring a cluster" index.
 type Option func(*config)
-
-// WithScheduler selects the flow allocator (default ECMP).
-func WithScheduler(k SchedulerKind) Option { return func(c *config) { c.scheduler = k } }
-
-// WithHostsPerRack sizes the racks (default 5, the paper's testbed).
-func WithHostsPerRack(n int) Option { return func(c *config) { c.hostsPerRack = n } }
-
-// WithTrunks sets the number of parallel inter-rack links (default 2).
-func WithTrunks(n int) Option { return func(c *config) { c.trunks = n } }
-
-// WithLinkRateGbps sets every link's rate (default 1 Gbps).
-func WithLinkRateGbps(g float64) Option { return func(c *config) { c.linkBps = g * 1e9 } }
-
-// WithOversubscription loads the trunks with CBR background traffic so the
-// bandwidth left to Hadoop is rackBandwidth/n, split asymmetrically across
-// trunks as in the paper's evaluation. n <= 0 disables background traffic.
-func WithOversubscription(n int) Option { return func(c *config) { c.oversub = n } }
-
-// WithSeed fixes all randomness (ECMP hash salt, workload jitter).
-func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
-
-// WithReduceSlowstart sets the fraction of maps that must complete before
-// reducers launch (Hadoop's default 0.05).
-func WithReduceSlowstart(f float64) Option {
-	return func(c *config) { c.hadoopCfg.SlowstartFraction = f }
-}
-
-// WithParallelCopies bounds each reducer's concurrent fetches (default 5).
-func WithParallelCopies(n int) Option { return func(c *config) { c.hadoopCfg.ParallelCopies = n } }
-
-// WithKShortestPaths sets Pythia's per-pair path diversity (default 4).
-func WithKShortestPaths(k int) Option { return func(c *config) { c.pythiaCfg.K = k } }
-
-// WithRackAggregation switches Pythia to rack-pair (prefix) rules: one
-// steering rule per rack pair instead of per server pair, conserving switch
-// TCAM as §IV proposes for large-scale deployments.
-func WithRackAggregation() Option {
-	return func(c *config) { c.pythiaCfg.Scope = core.ScopeRackPair }
-}
-
-// WithCriticality enables the §VI flow-priority criterion: aggregates
-// feeding the reducer with the largest outstanding shuffle backlog are
-// placed first.
-func WithCriticality() Option {
-	return func(c *config) { c.pythiaCfg.UseCriticality = true }
-}
-
-// WithSequenceRecording attaches the Fig. 1a trace recorder to the first
-// submitted job; retrieve the diagram with SequenceDiagram after RunJob.
-func WithSequenceRecording() Option { return func(c *config) { c.record = true } }
-
-// WithFlightRecorder attaches the cross-plane flight recorder: every
-// prediction's lifecycle (spill → intent → booking → placement → rule
-// install → fabric flow) leaves timestamped events retrievable with
-// FlightJSONL, FlightSummary, PredictionQuality, PrometheusSnapshot and
-// MergedChromeTrace. The recorder is a pure observer — enabling it never
-// changes simulation results — and a seeded run's JSONL export is
-// byte-identical across runs.
-func WithFlightRecorder() Option { return func(c *config) { c.flight = true } }
-
-// WithHDFS attaches a simulated HDFS (64 MB blocks, 3-way replication,
-// default placement policy). Jobs whose specs set ReduceOutputRatio > 0
-// then write their reducer output back through the replication pipeline
-// before completing; HDFS traffic rides the default ECMP pipeline, not
-// Pythia's rules, as in the paper.
-func WithHDFS() Option { return func(c *config) { c.hdfs = true } }
-
-// WithExplicitControlPlane routes prediction notifications and OpenFlow
-// FLOW_MOD messages over a modeled out-of-band management network
-// (per-sender FIFO serialization and transmission time) instead of fixed
-// latencies — the complete §III architecture.
-func WithExplicitControlPlane() Option { return func(c *config) { c.explicitCP = true } }
-
-// WithDeadline bounds a TryRunJobs run to the given simulated seconds.
-// Without it, a run that cannot make progress — e.g. a partitioned network
-// with a reducer forever retrying an unroutable fetch — would loop in
-// virtual time; with it, TryRunJobs stops at the deadline and reports the
-// incomplete jobs as an error.
-func WithDeadline(sec float64) Option { return func(c *config) { c.deadline = sec } }
-
-// WithIncast enables the TCP many-to-one goodput-collapse model at receiver
-// edge links: beyond threshold concurrent incoming flows, capacity degrades
-// by factor per extra flow, floored at floorFrac of nominal. Models the
-// incast pathology the paper cites (Chen et al.); interacts with Hadoop's
-// ParallelCopies setting.
-func WithIncast(threshold int, factor, floorFrac float64) Option {
-	return func(c *config) {
-		c.incastThreshold = threshold
-		c.incastFactor = factor
-		c.incastFloor = floorFrac
-	}
-}
 
 // Cluster is a wired simulation stack: network + SDN controller + scheduler
 // + Hadoop + instrumentation.
@@ -427,6 +371,13 @@ type JobResult struct {
 	RulesInstalled uint64
 }
 
+// ErrUnfinished reports jobs still incomplete when a run stopped — a
+// starved network, an unroutable fetch, or a WithDeadline/TryRunUntil
+// horizon reached first. Errors from TryRunJob, TryRunJobs, TryRunUntil
+// and TryCompare match it with errors.Is; the partial results alongside
+// the error hold whatever did complete.
+var ErrUnfinished = errors.New("jobs did not complete")
+
 // RunJob submits the spec and drives the simulation until it completes. It
 // panics on submission errors and starved jobs; use TryRunJob when
 // injecting faults that may legitimately prevent completion.
@@ -491,8 +442,8 @@ func (c *Cluster) TryRunJobs(specs ...*JobSpec) ([]JobResult, error) {
 		}
 	}
 	if len(starved) > 0 {
-		return out, fmt.Errorf("%d of %d jobs did not complete (starved network or deadline hit): %v",
-			len(starved), len(jobs), starved)
+		return out, fmt.Errorf("%d of %d %w (starved network or deadline hit): %v",
+			len(starved), len(jobs), ErrUnfinished, starved)
 	}
 	return out, nil
 }
@@ -589,22 +540,40 @@ func LoadJobSpec(data []byte) (*JobSpec, error) { return workload.UnmarshalSpec(
 //
 //	ta, tb, sp := pythia.Compare(spec, pythia.SchedulerECMP, pythia.SchedulerPythia,
 //	    pythia.WithOversubscription(10), pythia.WithSeed(7))
+//
+// Compare panics if either run fails; use TryCompare when the options
+// inject faults that may legitimately prevent completion.
 func Compare(spec *JobSpec, a, b SchedulerKind, opts ...Option) (float64, float64, float64) {
-	run := func(k SchedulerKind) float64 {
-		cl := New(append(append([]Option(nil), opts...), WithScheduler(k))...)
-		return cl.RunJob(spec).DurationSec
+	ta, tb, sp, err := TryCompare(spec, a, b, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("pythia: %v", err))
 	}
-	ta, tb := run(a), run(b)
+	return ta, tb, sp
+}
+
+// TryCompare is Compare returning an error instead of panicking. The error
+// identifies which scheduler's run failed; a run that ends with unfinished
+// jobs matches ErrUnfinished.
+func TryCompare(spec *JobSpec, a, b SchedulerKind, opts ...Option) (float64, float64, float64, error) {
+	run := func(k SchedulerKind) (float64, error) {
+		cl := New(append(append([]Option(nil), opts...), WithScheduler(k))...)
+		res, err := cl.TryRunJob(spec)
+		if err != nil {
+			return 0, fmt.Errorf("%v run: %w", k, err)
+		}
+		return res.DurationSec, nil
+	}
+	ta, err := run(a)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tb, err := run(b)
+	if err != nil {
+		return ta, 0, 0, err
+	}
 	speedup := 0.0
 	if tb > 0 {
 		speedup = (ta - tb) / tb
 	}
-	return ta, tb, speedup
-}
-
-// CompareOversub is the pre-variadic Compare signature.
-//
-// Deprecated: call Compare with WithOversubscription and WithSeed options.
-func CompareOversub(spec *JobSpec, a, b SchedulerKind, oversub int, seed uint64) (float64, float64, float64) {
-	return Compare(spec, a, b, WithOversubscription(oversub), WithSeed(seed))
+	return ta, tb, speedup, nil
 }

@@ -1,0 +1,27 @@
+package pythia
+
+import "pythia/internal/serve"
+
+// Online serving facade: the sharded collector behind an HTTP/JSON service
+// instead of an in-process Cluster. See internal/serve for the wire
+// protocol and cmd/pythia-serve for the ready-made binary.
+
+// ServeConfig shapes the online serving stack: collector shard and worker
+// counts, queue/batch bounds, booking TTL, and the simulated fabric
+// standing in for the datacenter. The zero value is usable; unset fields
+// take the same defaults cmd/pythia-serve ships with.
+type ServeConfig = serve.Config
+
+// Server is the online collector service. Start it, mount Handler on any
+// http mux or call ListenAndServe, and drain with Shutdown.
+type Server = serve.Server
+
+// NewServer builds an online collector service:
+//
+//	srv, err := pythia.NewServer(pythia.ServeConfig{Shards: 4})
+//	if err != nil { ... }
+//	srv.Start()
+//	go srv.ListenAndServe(":8080")
+//	...
+//	srv.Shutdown(ctx)
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }

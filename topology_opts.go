@@ -7,6 +7,23 @@ import (
 	"pythia/internal/topology"
 )
 
+// Topology options: the fabric under test — see the package doc's
+// "Configuring a cluster" index.
+
+// WithHostsPerRack sizes the racks (default 5, the paper's testbed).
+func WithHostsPerRack(n int) Option { return func(c *config) { c.hostsPerRack = n } }
+
+// WithTrunks sets the number of parallel inter-rack links (default 2).
+func WithTrunks(n int) Option { return func(c *config) { c.trunks = n } }
+
+// WithLinkRateGbps sets every link's rate (default 1 Gbps).
+func WithLinkRateGbps(g float64) Option { return func(c *config) { c.linkBps = g * 1e9 } }
+
+// WithOversubscription loads the trunks with CBR background traffic so the
+// bandwidth left to Hadoop is rackBandwidth/n, split asymmetrically across
+// trunks as in the paper's evaluation. n <= 0 disables background traffic.
+func WithOversubscription(n int) Option { return func(c *config) { c.oversub = n } }
+
 // LinkID identifies a directed fabric link on the facade. Duplex cables are
 // two directed links; facade fault methods operate on whole cables, so
 // either direction's ID names the cable.
