@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-steady bench-serve bench-compare profile fuzz figures examples api api-check clean
+.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-steady bench-serve bench-recovery bench-compare profile fuzz figures examples api api-check clean
 
 all: build vet test
 
@@ -50,6 +50,14 @@ bench-steady:
 bench-serve:
 	$(GO) run ./cmd/pythia-serve -bench -json BENCH_serve.json
 	@echo wrote BENCH_serve.json
+
+# Crash-recovery benchmark: journal a trace, kill the batch loop, and
+# measure snapshot-load + journal-replay time at several snapshot cadences,
+# with the recovered digest checked bit-identical against the oracle. CI
+# uploads BENCH_recovery.json.
+bench-recovery:
+	$(GO) run ./cmd/pythia-serve -bench-recovery -json BENCH_recovery.json
+	@echo wrote BENCH_recovery.json
 
 # Diff the current tree's scale benchmark against a saved artifact:
 #   make bench-scale && git stash / checkout, make bench-compare OLD=path.json

@@ -7,16 +7,24 @@
 //	pythia-serve [-addr :8080] [-shards N] [-workers N]   # serve until SIGINT
 //	             [-queue N] [-batch N] [-maxops N]
 //	             [-ttl SEC] [-k N] [-fattree-k N] [-clockhz HZ]
+//	             [-wal-dir DIR] [-recover] [-fsync-every N]
+//	             [-snapshot-every N] [-segment-bytes N]
 //	pythia-serve -bench [-json BENCH_serve.json]          # throughput benchmark
 //	             [-jobs N] [-conns N] [-chunk N] [-seed N]
 //	             [-shard-counts 1,2,4,8]
+//	pythia-serve -bench-recovery [-json BENCH_recovery.json]  # crash recovery
+//	             [-jobs N] [-chunk N] [-seed N] [-fsync-every N]
+//	             [-snapshot-everys -1,8,32]
 //
 // In serve mode the process answers POST /v1/ingest, GET /v1/stats, and
 // GET /v1/healthz (see internal/serve for the wire protocol) and drains
-// gracefully on SIGINT/SIGTERM. In bench mode it drives the open-loop
+// gracefully on SIGINT/SIGTERM. With -wal-dir every batch is journaled
+// before it is acknowledged and -recover restarts from the journal (last
+// snapshot plus tail replay). In bench mode it drives the open-loop
 // workload through in-process servers at each shard count, verifies the
 // placement stream is bit-identical to the oracle, and reports intents/sec
-// plus placement-latency percentiles.
+// plus placement-latency percentiles; -bench-recovery crashes a journaled
+// server and measures recovery at several snapshot cadences.
 package main
 
 import (
@@ -47,19 +55,34 @@ func main() {
 	k := flag.Int("k", 4, "flow-placement path candidates (paper's K)")
 	fatTreeK := flag.Int("fattree-k", 4, "fat-tree arity of the simulated fabric")
 	clockHz := flag.Float64("clockhz", 0, "logical clock rate in ops/sec (0 = wall clock)")
+	walDir := flag.String("wal-dir", "", "write-ahead journal directory (empty = no journal)")
+	doRecover := flag.Bool("recover", false, "recover collector state from the journal on startup")
+	fsyncEvery := flag.Int("fsync-every", 0, "fsync the journal every N appends (0 = every append, <0 = never)")
+	snapEvery := flag.Int("snapshot-every", 0, "snapshot every N journaled batches (0 = default 1024, <0 = never)")
+	segBytes := flag.Int64("segment-bytes", 0, "journal segment rotation size (0 = default 8 MiB)")
 
-	// Bench mode.
+	// Bench modes.
 	doBench := flag.Bool("bench", false, "run the serve throughput benchmark instead of serving")
+	doBenchRecovery := flag.Bool("bench-recovery", false, "run the crash-recovery benchmark instead of serving")
 	jsonOut := flag.String("json", "", "bench: write the JSON artifact to this path")
 	jobs := flag.Int("jobs", 0, "bench: open-loop jobs in the trace (0 = default)")
 	conns := flag.Int("conns", 0, "bench: concurrent connections (0 = default)")
 	chunk := flag.Int("chunk", 0, "bench: operations per ingest request (0 = default)")
 	seed := flag.Uint64("seed", 0, "bench: trace seed (0 = default)")
 	shardCounts := flag.String("shard-counts", "", "bench: comma-separated shard counts (empty = 1,2,4,8)")
+	snapEverys := flag.String("snapshot-everys", "", "bench-recovery: comma-separated snapshot cadences (empty = -1,8,32)")
 	flag.Parse()
 
+	if *doBench && *doBenchRecovery {
+		fmt.Fprintln(os.Stderr, "pythia-serve: -bench and -bench-recovery are mutually exclusive")
+		os.Exit(2)
+	}
 	if *doBench {
 		runBench(*jobs, *conns, *chunk, *seed, *shardCounts, *jsonOut)
+		return
+	}
+	if *doBenchRecovery {
+		runBenchRecovery(*jobs, *chunk, *seed, *fsyncEvery, *snapEverys, *jsonOut)
 		return
 	}
 	runServe(serve.Config{
@@ -72,6 +95,11 @@ func main() {
 		BookingTTLSec:    *ttl,
 		K:                *k,
 		FatTreeK:         *fatTreeK,
+		WALDir:           *walDir,
+		Recover:          *doRecover,
+		FsyncEvery:       *fsyncEvery,
+		SnapshotEvery:    *snapEvery,
+		SegmentBytes:     *segBytes,
 	}, *addr)
 }
 
@@ -85,8 +113,12 @@ func runServe(cfg serve.Config, addr string) {
 	srv.Start()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(addr) }()
-	fmt.Fprintf(os.Stderr, "pythia-serve: listening on %s (%d shards, %d hosts)\n",
-		addr, cfg.Defaults().Shards, srv.NumHosts())
+	durable := "no journal"
+	if cfg.WALDir != "" {
+		durable = fmt.Sprintf("journal in %s", cfg.WALDir)
+	}
+	fmt.Fprintf(os.Stderr, "pythia-serve: listening on %s (%d shards, %d hosts, %s)\n",
+		addr, cfg.Defaults().Shards, srv.NumHosts(), durable)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -110,16 +142,7 @@ func runServe(cfg serve.Config, addr string) {
 // from the oracle or leaks bookings.
 func runBench(jobs, conns, chunk int, seed uint64, shardCounts, jsonOut string) {
 	cfg := bench.ServeConfig{Jobs: jobs, Conns: conns, ChunkOps: chunk, Seed: seed}
-	if shardCounts != "" {
-		for _, f := range strings.Split(shardCounts, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "pythia-serve: bad -shard-counts entry %q\n", f)
-				os.Exit(2)
-			}
-			cfg.ShardCounts = append(cfg.ShardCounts, n)
-		}
-	}
+	cfg.ShardCounts = parseIntList(shardCounts, "-shard-counts", 1)
 	res, err := bench.RunServeBench(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pythia-serve: bench: %v\n", err)
@@ -153,4 +176,63 @@ func runBench(jobs, conns, chunk int, seed uint64, shardCounts, jsonOut string) 
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// runBenchRecovery runs the crash-recovery benchmark, prints the table,
+// optionally writes the JSON artifact, and exits nonzero if any snapshot
+// cadence recovers a digest diverging from the oracle or leaks bookings.
+func runBenchRecovery(jobs, chunk int, seed uint64, fsyncEvery int, snapEverys, jsonOut string) {
+	cfg := bench.RecoveryConfig{Jobs: jobs, ChunkOps: chunk, Seed: seed, FsyncEvery: fsyncEvery}
+	cfg.SnapshotEverys = parseIntList(snapEverys, "-snapshot-everys", -1)
+	res, err := bench.RunRecoveryBench(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pythia-serve: bench-recovery: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res)
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonOut, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pythia-serve: write %s: %v\n", jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonOut)
+	}
+	bad := false
+	for _, row := range res.Rows {
+		if !row.DigestMatchesOracle {
+			fmt.Fprintf(os.Stderr, "FAIL: snapshot_every=%d recovered digest %s != oracle %s\n",
+				row.SnapshotEvery, row.Digest, res.OracleDigest)
+			bad = true
+		}
+		if row.LeakedBookings != 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: snapshot_every=%d leaked %d bookings\n",
+				row.SnapshotEvery, row.LeakedBookings)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// parseIntList parses a comma-separated int flag, exiting on malformed or
+// below-minimum entries. Empty input returns nil (the bench's default).
+func parseIntList(s, flagName string, min int) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < min {
+			fmt.Fprintf(os.Stderr, "pythia-serve: bad %s entry %q\n", flagName, f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
 }

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"pythia/internal/serve"
+)
+
+// This file benchmarks the durable serving plane (write-ahead journal +
+// snapshots + crash recovery): it ingests the open-loop trace into a
+// journaled server, kills the batch loop with an injected crash, and
+// measures how long a fresh process takes to recover the collector —
+// snapshot load plus journal-tail replay — at several snapshot cadences.
+// Recovery is proven correct the same way the serve bench proves sharding:
+// the recovered placement digest must be bit-identical to the in-process
+// oracle's, with zero leaked bookings.
+
+// RecoveryConfig parameterizes the recovery benchmark.
+type RecoveryConfig struct {
+	// Jobs is the number of open-loop jobs flattened into the op trace.
+	Jobs int
+	// ChunkOps is the operation count per ingest request (= one journal
+	// record, since the bench submits sequentially).
+	ChunkOps int
+	// ClockHz drives the logical clock so the trace has one deterministic
+	// outcome the oracle can reproduce.
+	ClockHz float64
+	Seed    uint64
+
+	// SnapshotEverys lists the snapshot cadences (batches between
+	// snapshots) to compare; -1 disables snapshots so recovery replays the
+	// whole journal — the worst case the cadence is bought against.
+	SnapshotEverys []int
+	// FsyncEvery is the journal sync policy under test (0 = every append).
+	FsyncEvery int
+
+	// Server shape (see serve.Config).
+	Shards       int
+	FatTreeK     int
+	HostsPerEdge int
+}
+
+// Defaults fills unset fields with the CI smoke shape.
+func (c RecoveryConfig) Defaults() RecoveryConfig {
+	if c.Jobs == 0 {
+		c.Jobs = 40
+	}
+	if c.ChunkOps == 0 {
+		c.ChunkOps = 64
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.SnapshotEverys) == 0 {
+		c.SnapshotEverys = []int{-1, 8, 32}
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.FatTreeK == 0 {
+		c.FatTreeK = 4
+	}
+	return c
+}
+
+// RecoveryRow is one snapshot cadence's benchmark row.
+type RecoveryRow struct {
+	SnapshotEvery int `json:"snapshot_every"` // -1 = snapshots disabled
+
+	// Journal shape at crash time.
+	WALRecords  int   `json:"wal_records"`
+	WALSegments int   `json:"wal_segments"`
+	WALBytes    int64 `json:"wal_bytes"`
+	Snapshots   int   `json:"snapshots"`
+
+	// Recovery cost: ReplayedRecords is the journal tail applied after the
+	// snapshot; RecoverySec is the server's own snapshot-load + replay
+	// timing; NewWallSec is the full serve.New wall time including fabric
+	// construction.
+	ReplayedRecords int     `json:"replayed_records"`
+	RecoverySec     float64 `json:"recovery_sec"`
+	NewWallSec      float64 `json:"new_wall_sec"`
+
+	// Correctness proof.
+	Digest              string `json:"placement_digest"`
+	DigestMatchesOracle bool   `json:"digest_matches_oracle"`
+	LeakedBookings      int    `json:"leaked_bookings"`
+}
+
+// RecoveryResult is the benchmark artifact (BENCH_recovery.json).
+type RecoveryResult struct {
+	Jobs         int           `json:"jobs"`
+	Ops          int           `json:"ops"`
+	Requests     int           `json:"requests"`
+	FsyncEvery   int           `json:"fsync_every"`
+	IngestSec    float64       `json:"ingest_sec"` // journaled sequential ingest, first row
+	OracleDigest string        `json:"oracle_digest"`
+	Rows         []RecoveryRow `json:"rows"`
+}
+
+// RunRecoveryBench runs one crash-and-recover cycle per snapshot cadence
+// and returns the artifact. The returned error reports infrastructure
+// failures; oracle mismatches and leaks are reported in the rows (CI
+// asserts on them).
+func RunRecoveryBench(cfg RecoveryConfig) (*RecoveryResult, error) {
+	cfg = cfg.Defaults()
+	shared := ServeConfig{
+		Jobs: cfg.Jobs, ChunkOps: cfg.ChunkOps, ClockHz: cfg.ClockHz,
+		Seed: cfg.Seed, FatTreeK: cfg.FatTreeK, HostsPerEdge: cfg.HostsPerEdge,
+	}.Defaults()
+	base := serve.Config{
+		Shards:       cfg.Shards,
+		ClockHz:      cfg.ClockHz,
+		FatTreeK:     cfg.FatTreeK,
+		HostsPerEdge: cfg.HostsPerEdge,
+		FsyncEvery:   cfg.FsyncEvery,
+	}.Defaults()
+
+	probe, err := serve.New(base)
+	if err != nil {
+		return nil, err
+	}
+	trace := serveTrace(shared, probe.NumHosts())
+	reqs := chunkRequests(trace, cfg.ChunkOps)
+	bodies := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		if bodies[i], err = json.Marshal(req); err != nil {
+			return nil, err
+		}
+	}
+	oracle, oracleLeaks := oracleDigest(shared, base, reqs)
+	if oracleLeaks != 0 {
+		return nil, fmt.Errorf("oracle replay leaked %d bookings", oracleLeaks)
+	}
+	res := &RecoveryResult{
+		Jobs:         cfg.Jobs,
+		Ops:          len(trace),
+		Requests:     len(reqs),
+		FsyncEvery:   cfg.FsyncEvery,
+		OracleDigest: fmt.Sprintf("%016x", oracle),
+	}
+
+	for _, every := range cfg.SnapshotEverys {
+		row, err := runRecoveryRow(base, bodies, every, res)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot_every=%d: %w", every, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// runRecoveryRow ingests the trace into a journaled server, crashes it,
+// and measures a fresh process recovering from the journal.
+func runRecoveryRow(base serve.Config, bodies [][]byte, every int, res *RecoveryResult) (*RecoveryRow, error) {
+	walDir, err := os.MkdirTemp("", "pythia-bench-wal-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(walDir)
+
+	// Phase 1 — journaled ingest, then an injected crash. The hook arms
+	// only for the sentinel batch at the end, and fires before its append:
+	// the journal holds exactly the real trace, abandoned unsealed the way
+	// kill -9 leaves it.
+	var armed atomic.Bool
+	cfgA := base
+	cfgA.WALDir = walDir
+	cfgA.SnapshotEvery = every
+	cfgA.CrashHook = func(p serve.CrashPoint) bool {
+		return p == serve.CrashBeforeAppend && armed.Load()
+	}
+	srv, err := serve.New(cfgA)
+	if err != nil {
+		return nil, err
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+	begin := time.Now()
+	for _, b := range bodies {
+		if err := postIngest(client, ts.URL, b); err != nil {
+			ts.Close()
+			return nil, fmt.Errorf("ingest: %w", err)
+		}
+	}
+	if res.IngestSec == 0 {
+		res.IngestSec = time.Since(begin).Seconds()
+	}
+	st, err := fetchStats(client, ts.URL)
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+	row := &RecoveryRow{
+		SnapshotEvery: every,
+		WALRecords:    st.WALRecords,
+		WALSegments:   st.WALSegments,
+		WALBytes:      st.WALBytes,
+		Snapshots:     st.Snapshots,
+	}
+	armed.Store(true)
+	// The sentinel dies at the crash point and answers 503; that is the
+	// point. Any other failure mode still leaves the journal behind.
+	_ = postIngest(client, ts.URL, []byte(`{"done_jobs":[1000000]}`))
+	ts.Close()
+
+	// Phase 2 — recovery: a fresh process opens the abandoned journal.
+	cfgB := base
+	cfgB.WALDir = walDir
+	cfgB.SnapshotEvery = every
+	cfgB.Recover = true
+	t0 := time.Now()
+	srv2, err := serve.New(cfgB)
+	if err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+	row.NewWallSec = time.Since(t0).Seconds()
+	srv2.Start()
+	ts2 := httptest.NewServer(srv2.Handler())
+	st2, err := fetchStats(ts2.Client(), ts2.URL)
+	ts2.Close()
+	if err != nil {
+		return nil, err
+	}
+	if err := srv2.Shutdown(contextWithTimeout(5 * time.Second)); err != nil {
+		return nil, err
+	}
+	row.ReplayedRecords = st2.RecoveredRecords
+	row.RecoverySec = st2.RecoverySec
+	row.Digest = st2.PlacementDigest
+	row.DigestMatchesOracle = st2.PlacementDigest == res.OracleDigest
+	row.LeakedBookings = st2.OutstandingBookings
+	return row, nil
+}
+
+// String renders the artifact as the human-readable table the binary
+// prints.
+func (r *RecoveryResult) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "recovery bench: %d jobs, %d ops in %d requests, fsync_every=%d, ingest %.2fs, oracle %s\n",
+		r.Jobs, r.Ops, r.Requests, r.FsyncEvery, r.IngestSec, r.OracleDigest)
+	fmt.Fprintf(&b, "%-10s %-8s %-9s %-10s %-6s %-9s %12s %12s %-12s %-6s\n",
+		"snap-every", "records", "segments", "bytes", "snaps", "replayed", "recover(s)", "new(s)", "digest==orc", "leaks")
+	for _, row := range r.Rows {
+		every := fmt.Sprintf("%d", row.SnapshotEvery)
+		if row.SnapshotEvery < 0 {
+			every = "never"
+		}
+		fmt.Fprintf(&b, "%-10s %-8d %-9d %-10d %-6d %-9d %12.4f %12.4f %-12v %-6d\n",
+			every, row.WALRecords, row.WALSegments, row.WALBytes, row.Snapshots,
+			row.ReplayedRecords, row.RecoverySec, row.NewWallSec,
+			row.DigestMatchesOracle, row.LeakedBookings)
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package bench
+
+import "testing"
+
+// TestRecoveryBenchSmoke runs the crash-recovery benchmark at a reduced
+// shape and asserts its hard guarantees: every snapshot cadence recovers a
+// placement digest bit-identical to the in-process oracle with zero leaked
+// bookings, snapshots bound the replayed journal tail, and the journal
+// actually held the trace.
+func TestRecoveryBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery bench smoke is not short")
+	}
+	res, err := RunRecoveryBench(RecoveryConfig{
+		Jobs:           6,
+		ChunkOps:       32,
+		SnapshotEverys: []int{-1, 4},
+		Shards:         2,
+	})
+	if err != nil {
+		t.Fatalf("RunRecoveryBench: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.DigestMatchesOracle {
+			t.Errorf("snapshot_every=%d: digest %s != oracle %s",
+				row.SnapshotEvery, row.Digest, res.OracleDigest)
+		}
+		if row.LeakedBookings != 0 {
+			t.Errorf("snapshot_every=%d: %d leaked bookings", row.SnapshotEvery, row.LeakedBookings)
+		}
+		if row.WALRecords != res.Requests {
+			t.Errorf("snapshot_every=%d: %d journal records, want %d (one per request)",
+				row.SnapshotEvery, row.WALRecords, res.Requests)
+		}
+	}
+	noSnap, withSnap := res.Rows[0], res.Rows[1]
+	if noSnap.ReplayedRecords != res.Requests {
+		t.Errorf("snapshots disabled: replayed %d records, want the full journal (%d)",
+			noSnap.ReplayedRecords, res.Requests)
+	}
+	if noSnap.Snapshots != 0 {
+		t.Errorf("snapshots disabled: wrote %d snapshots", noSnap.Snapshots)
+	}
+	if withSnap.Snapshots == 0 {
+		t.Errorf("snapshot_every=4: wrote no snapshots over %d batches", res.Requests)
+	}
+	if withSnap.ReplayedRecords >= noSnap.ReplayedRecords {
+		t.Errorf("snapshots did not shorten replay: %d >= %d",
+			withSnap.ReplayedRecords, noSnap.ReplayedRecords)
+	}
+	t.Logf("\n%s", res)
+}

@@ -218,7 +218,10 @@ func oracleDigest(cfg ServeConfig, scfg serve.Config, reqs []*serve.IngestReques
 	virtual := 0.0
 	for _, req := range reqs {
 		ops := req.ToOps(hosts)
-		virtual += float64(len(ops)) / cfg.ClockHz
+		// Duplicate-exempt logical clock, same as the server: the bench
+		// trace is dup-free so NovelOps == len(ops), but keeping the same
+		// rule means a retried trace would still replay to this oracle.
+		virtual += float64(py.NovelOps(ops)) / cfg.ClockHz
 		if deadline := sim.Time(virtual); deadline > eng.Now() {
 			eng.RunUntil(deadline)
 		}

@@ -37,6 +37,20 @@ type Collector interface {
 	PendingUnknownDestinations() int
 	// Shards reports the configured shard count.
 	Shards() int
+
+	// Snapshot captures complete collector state; Restore rebuilds it into
+	// a freshly constructed collector with the same shard count,
+	// re-programming installed rules under their original cookies. The
+	// pair is the durability surface the serving plane's write-ahead
+	// journal compacts against.
+	Snapshot() *Snapshot
+	Restore(*Snapshot) error
+
+	// NovelOps counts the ops of a batch that are new work rather than
+	// at-least-once redelivery — the logical-clock advance for the batch.
+	// Evaluated against current state, read-only, deterministic under
+	// journal replay.
+	NovelOps(ops []Op) int
 }
 
 // OpKind discriminates batch operations.
@@ -135,11 +149,15 @@ type CollectorStats struct {
 }
 
 // IntentsReceived counts unique intents ingested (dedup-dropped excluded).
-func (p *Pythia) IntentsReceived() int { return p.sumShards(func(s *shard) int { return s.intentsReceived }) }
+func (p *Pythia) IntentsReceived() int {
+	return p.sumShards(func(s *shard) int { return s.intentsReceived })
+}
 
 // IntentsDeferred counts intents that arrived with at least one unknown
 // reducer destination.
-func (p *Pythia) IntentsDeferred() int { return p.sumShards(func(s *shard) int { return s.intentsDeferred }) }
+func (p *Pythia) IntentsDeferred() int {
+	return p.sumShards(func(s *shard) int { return s.intentsDeferred })
+}
 
 // DedupHits counts exact duplicate intents — same (job, map, attempt) —
 // dropped by the idempotence set.
@@ -152,10 +170,14 @@ func (p *Pythia) DuplicateIntents() int {
 }
 
 // ExpiredBookings counts reservations reclaimed by the booking-TTL sweep.
-func (p *Pythia) ExpiredBookings() int { return p.sumShards(func(s *shard) int { return s.expiredBookings }) }
+func (p *Pythia) ExpiredBookings() int {
+	return p.sumShards(func(s *shard) int { return s.expiredBookings })
+}
 
 // ExpiredIntents counts deferred intents reclaimed by the booking-TTL sweep.
-func (p *Pythia) ExpiredIntents() int { return p.sumShards(func(s *shard) int { return s.expiredIntents }) }
+func (p *Pythia) ExpiredIntents() int {
+	return p.sumShards(func(s *shard) int { return s.expiredIntents })
+}
 
 func (p *Pythia) sumShards(f func(*shard) int) int {
 	n := 0

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"pythia/internal/instrument"
+	"pythia/internal/netsim"
+	"pythia/internal/openflow"
+	"pythia/internal/sim"
+	"pythia/internal/topology"
+)
+
+// snapStack is a collector driven the way the serving plane drives it:
+// batches applied under a NovelOps-metered logical clock, no Hadoop cluster.
+type snapStack struct {
+	eng *sim.Engine
+	py  *Pythia
+	dig *placementDigest
+
+	virtual float64
+	clockHz float64
+}
+
+func newSnapStack(t *testing.T, shards int, ttl sim.Duration, clockHz float64) *snapStack {
+	t.Helper()
+	eng := sim.NewEngine()
+	g, _, _ := topology.TwoRack(5, 2, topology.Gbps)
+	net := netsim.New(eng, g)
+	ofc := openflow.NewController(eng, net, 0)
+	py := New(eng, net, ofc, Config{Aggregate: true, UseCriticality: true,
+		Shards: shards, BookingTTL: ttl})
+	s := &snapStack{eng: eng, py: py, dig: newPlacementDigest(), clockHz: clockHz}
+	py.SetPlacementHook(s.dig.observe)
+	return s
+}
+
+// apply runs one batch exactly like the serving loop: advance the logical
+// clock by the batch's novel-op count, run the engine to the new instant
+// (firing any due TTL sweeps), then ApplyBatch.
+func (s *snapStack) apply(ops []Op) {
+	s.virtual += float64(s.py.NovelOps(ops)) / s.clockHz
+	s.eng.RunUntil(sim.Time(s.virtual))
+	s.py.ApplyBatch(ops, 2)
+}
+
+// gobRoundTrip pushes a snapshot through the codec the serving plane uses
+// for its snapshot files, so the restore test also proves the on-disk
+// representation is lossless (exact float bits, array-keyed maps and all).
+func gobRoundTrip(t *testing.T, s *Snapshot) *Snapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	out := new(Snapshot)
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	return out
+}
+
+// TestSnapshotRestoreContinuesIdentically is the core recovery proof: take a
+// snapshot mid-stream, rebuild a fresh stack from its gob round-trip, and
+// drive both the original and the restored collector through the identical
+// remainder — placement digests, stats, and leak gauges must stay
+// bit-identical, TTL sweeps included.
+func TestSnapshotRestoreContinuesIdentically(t *testing.T) {
+	_, hosts, _ := topology.TwoRack(5, 2, topology.Gbps)
+	ops := batchTrace(hosts, 9, 6, 4, 42)
+	const chunk, cutChunk = 17, 4
+	const clockHz = 1.0
+
+	oracle := newSnapStack(t, 2, 40, clockHz)
+	var snap *Snapshot
+	var snapVirtual float64
+	var snapDig placementDigest
+	for at, i := 0, 0; at < len(ops); at, i = at+chunk, i+1 {
+		end := at + chunk
+		if end > len(ops) {
+			end = len(ops)
+		}
+		oracle.apply(ops[at:end])
+		if i == cutChunk {
+			snap = gobRoundTrip(t, oracle.py.Snapshot())
+			snapVirtual = oracle.virtual
+			snapDig = *oracle.dig
+		}
+	}
+	if snap == nil {
+		t.Fatal("trace too short to reach the snapshot chunk")
+	}
+	if oracle.py.Stats().ExpiredBookings == 0 {
+		t.Fatal("trace never exercised the TTL sweep; the test is too weak")
+	}
+
+	restored := newSnapStack(t, 2, 40, clockHz)
+	if err := restored.py.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	restored.virtual = snapVirtual
+	*restored.dig = snapDig
+	// Catch-up: run the fresh engine to the snapshot instant. Every TTL
+	// sweep fired on the way is a no-op against restored state (anything it
+	// could expire was expired by the same sweep before the snapshot).
+	preCatchUp := restored.py.Stats()
+	restored.eng.RunUntil(sim.Time(snapVirtual))
+	if st := restored.py.Stats(); st != preCatchUp {
+		t.Fatalf("catch-up sweeps mutated state:\n got %+v\nwant %+v", st, preCatchUp)
+	}
+	for at := (cutChunk + 1) * chunk; at < len(ops); at += chunk {
+		end := at + chunk
+		if end > len(ops) {
+			end = len(ops)
+		}
+		restored.apply(ops[at:end])
+	}
+
+	if restored.dig.h != oracle.dig.h || restored.dig.n != oracle.dig.n {
+		t.Errorf("placement digest diverged after restore: %x/%d vs %x/%d",
+			restored.dig.h, restored.dig.n, oracle.dig.h, oracle.dig.n)
+	}
+	if got, want := restored.py.Stats(), oracle.py.Stats(); got != want {
+		t.Errorf("stats diverged after restore:\n got %+v\nwant %+v", got, want)
+	}
+	if restored.virtual != oracle.virtual {
+		t.Errorf("logical clock diverged: %v vs %v", restored.virtual, oracle.virtual)
+	}
+	if n := restored.py.OutstandingTotal(); n != oracle.py.OutstandingTotal() {
+		t.Errorf("leak gauge diverged: %d vs %d", n, oracle.py.OutstandingTotal())
+	}
+}
+
+// TestSnapshotGobLossless proves the snapshot of a collector with live state
+// survives the gob codec structurally intact.
+func TestSnapshotGobLossless(t *testing.T) {
+	_, hosts, _ := topology.TwoRack(5, 2, topology.Gbps)
+	s := newSnapStack(t, 2, 40, 4)
+	ops := batchTrace(hosts, 5, 4, 4, 7)
+	s.apply(ops[:len(ops)/2]) // stop mid-stream so pending/booked state is live
+	snap := s.py.Snapshot()
+	if len(snap.Aggregates) == 0 {
+		t.Fatal("snapshot captured no aggregates; the test is too weak")
+	}
+	got := gobRoundTrip(t, snap)
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatalf("gob round trip not lossless:\n got %+v\nwant %+v", got, snap)
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	a := newSnapStack(t, 2, 40, 4)
+	snap := a.py.Snapshot()
+
+	wrongShards := newSnapStack(t, 4, 40, 4)
+	if err := wrongShards.py.Restore(snap); err == nil {
+		t.Error("restore with mismatched shard count succeeded")
+	}
+
+	_, hosts, _ := topology.TwoRack(5, 2, topology.Gbps)
+	dirty := newSnapStack(t, 2, 40, 4)
+	dirty.apply([]Op{{Kind: OpIntent, Intent: instrument.Intent{Job: 1, Map: 0,
+		SrcHost: hosts[0], PredictedWireBytes: []float64{1e6}}}})
+	if err := dirty.py.Restore(snap); err == nil {
+		t.Error("restore onto a non-fresh collector succeeded")
+	}
+}
+
+// TestNovelOps pins the duplicate-exemption rules of the logical clock: a
+// redelivered batch must meter zero, and intra-batch ordering must be
+// respected so replay re-derives the exact advance the original run used.
+func TestNovelOps(t *testing.T) {
+	_, hosts, _ := topology.TwoRack(5, 2, topology.Gbps)
+	s := newSnapStack(t, 2, 40, 4)
+	in := instrument.Intent{Job: 1, Map: 0, Attempt: 0, SrcHost: hosts[0],
+		PredictedWireBytes: []float64{5e6, 5e6}}
+	batch := []Op{
+		{Kind: OpIntent, Intent: in},
+		{Kind: OpIntent, Intent: in}, // intra-batch dup: not novel
+		{Kind: OpReducerUp, Reducer: instrument.ReducerUp{Job: 1, Reduce: 0, Host: hosts[5]}},
+		{Kind: OpReducerUp, Reducer: instrument.ReducerUp{Job: 1, Reduce: 0, Host: hosts[5]}}, // same host: not novel
+		{Kind: OpJobDone, Job: 99}, // unknown job: not novel
+	}
+	if n := s.py.NovelOps(batch); n != 2 {
+		t.Errorf("NovelOps(first delivery) = %d, want 2", n)
+	}
+	s.apply(batch) // commit intent + reducer placement, keep job 1 live
+	if n := s.py.NovelOps(batch); n != 0 {
+		t.Errorf("NovelOps(redelivery) = %d, want 0", n)
+	}
+	// Moving a reducer to a new host is real work, metered.
+	if n := s.py.NovelOps([]Op{{Kind: OpReducerUp,
+		Reducer: instrument.ReducerUp{Job: 1, Reduce: 0, Host: hosts[6]}}}); n != 1 {
+		t.Errorf("NovelOps(reducer moved) = %d, want 1", n)
+	}
+	// JobDone for a live job meters 1; after it retires the job the same
+	// batch sees the job as gone.
+	if n := s.py.NovelOps([]Op{{Kind: OpJobDone, Job: 1}, {Kind: OpJobDone, Job: 1}}); n != 1 {
+		t.Errorf("NovelOps(done,done) = %d, want 1", n)
+	}
+	s.apply([]Op{{Kind: OpJobDone, Job: 1}})
+	if n := s.py.NovelOps([]Op{{Kind: OpJobDone, Job: 1}}); n != 0 {
+		t.Errorf("NovelOps(done after retire) = %d, want 0", n)
+	}
+
+	// Without TTL bookkeeping there is no liveness table; JobDone always
+	// meters (documented conservative fallback).
+	noTTL := newSnapStack(t, 1, 0, 4)
+	if n := noTTL.py.NovelOps([]Op{{Kind: OpJobDone, Job: 5}}); n != 1 {
+		t.Errorf("NovelOps(JobDone, no TTL) = %d, want 1", n)
+	}
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pythia/internal/stats"
+)
+
+// ClientConfig tunes the retrying client. The zero value is usable.
+type ClientConfig struct {
+	// AttemptTimeout bounds each HTTP attempt (default 10 s). The caller's
+	// context bounds the whole call including backoff sleeps.
+	AttemptTimeout time.Duration
+	// MaxAttempts caps attempts per call; 0 retries until the context
+	// expires.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff (default 50 ms); MaxBackoff
+	// caps it (default 5 s). Sleeps use full jitter — uniform in
+	// (0, min(MaxBackoff, BaseBackoff<<attempt)] — except when the server's
+	// Retry-After asks for longer.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed makes the jitter sequence deterministic (tests); 0 seeds from
+	// the clock.
+	Seed uint64
+	// HTTP overrides the transport (default http.DefaultTransport with the
+	// per-attempt timeout applied via context).
+	HTTP *http.Client
+}
+
+// Client is a resilient client for the serving API: per-attempt timeouts,
+// exponential backoff with full jitter, Retry-After honored on 429/503, and
+// context propagation. Safe for concurrent use.
+//
+// Retrying an ingest request is safe by protocol construction: intents
+// deduplicate on (job, map, attempt), reducer placements are idempotent
+// last-write-wins, and done_jobs for retired jobs are no-ops — so a request
+// resubmitted across a server crash and restart is applied exactly once.
+type Client struct {
+	base string
+	cfg  ClientConfig
+
+	mu  sync.Mutex
+	rng *stats.RNG
+}
+
+// NewClient builds a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL string, cfg ClientConfig) *Client {
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 10 * time.Second
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	return &Client{base: baseURL, cfg: cfg, rng: stats.NewRNG(seed)}
+}
+
+// PermanentError wraps a server rejection that retrying cannot fix (4xx
+// other than 429): the request itself is wrong.
+type PermanentError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *PermanentError) Error() string {
+	return fmt.Sprintf("server rejected request (%d): %s", e.StatusCode, e.Message)
+}
+
+// Ingest submits one batch of operations, retrying transport errors and
+// retryable statuses (429, 500, 502, 503, 504) with backoff until the
+// context expires or MaxAttempts is reached. The returned error wraps the
+// last attempt's failure.
+func (c *Client) Ingest(ctx context.Context, req *IngestRequest) (*IngestResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding request: %w", err)
+	}
+	resp := new(IngestResponse)
+	if err := c.do(ctx, http.MethodPost, "/v1/ingest", body, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Stats fetches the server's stats snapshot with the same retry policy.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	resp := new(StatsResponse)
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// do runs the retry loop around one logical call.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; c.cfg.MaxAttempts <= 0 || attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt, lastErr); err != nil {
+				return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+			}
+			return err
+		}
+		retryable, err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("serve: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// retryAfterError carries the server's Retry-After hint to the backoff.
+type retryAfterError struct {
+	status     int
+	message    string
+	retryAfter time.Duration // 0 when the server sent no hint
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("server busy (%d): %s", e.status, e.message)
+}
+
+// attempt runs one HTTP round trip. It reports whether a failure is worth
+// retrying.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retryable bool, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return false, fmt.Errorf("serve: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		// Transport errors (connection refused mid-restart, attempt
+		// timeout) are the retrying client's reason to exist.
+		return true, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(out); err != nil {
+			return true, fmt.Errorf("serve: decoding response: %w", err)
+		}
+		return false, nil
+	}
+	var msg ErrorResponse
+	_ = json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&msg)
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusInternalServerError, http.StatusBadGateway, http.StatusGatewayTimeout:
+		var after time.Duration
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, perr := strconv.Atoi(v); perr == nil && secs > 0 {
+				after = time.Duration(secs) * time.Second
+			}
+		}
+		return true, &retryAfterError{status: resp.StatusCode, message: msg.Error, retryAfter: after}
+	default:
+		return false, &PermanentError{StatusCode: resp.StatusCode, Message: msg.Error}
+	}
+}
+
+// sleep blocks for the attempt's backoff: full jitter over the exponential
+// envelope, stretched to the server's Retry-After when that asks for more.
+func (c *Client) sleep(ctx context.Context, attempt int, lastErr error) error {
+	envelope := c.cfg.MaxBackoff
+	if shift := attempt - 1; shift < 30 {
+		if d := c.cfg.BaseBackoff << shift; d < envelope {
+			envelope = d
+		}
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Float64() * float64(envelope))
+	c.mu.Unlock()
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	if rae, ok := lastErr.(*retryAfterError); ok && rae.retryAfter > d {
+		d = rae.retryAfter
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

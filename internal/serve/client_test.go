@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler fails the first n requests with status (plus an optional
+// Retry-After header), then delegates to ok.
+func flakyHandler(n int, status int, retryAfter string, ok http.Handler) (http.Handler, *atomic.Int32) {
+	var calls atomic.Int32
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if int(calls.Add(1)) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			writeError(w, status, "induced failure")
+			return
+		}
+		ok.ServeHTTP(w, r)
+	}), &calls
+}
+
+func clientConfig() ClientConfig {
+	return ClientConfig{
+		AttemptTimeout: time.Second,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     5 * time.Millisecond,
+		Seed:           3,
+	}
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	srv, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Shutdown(context.Background())
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusInternalServerError} {
+		h, calls := flakyHandler(2, status, "", srv.Handler())
+		ts := httptest.NewServer(h)
+		cl := NewClient(ts.URL, clientConfig())
+		resp, err := cl.Ingest(context.Background(), &IngestRequest{DoneJobs: []int{1}})
+		if err != nil {
+			t.Errorf("status %d: ingest after retries: %v", status, err)
+		} else if len(resp.Results) != 1 {
+			t.Errorf("status %d: results %v", status, resp.Results)
+		}
+		if got := calls.Load(); got != 3 {
+			t.Errorf("status %d: %d attempts, want 3", status, got)
+		}
+		ts.Close()
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	srv, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Shutdown(context.Background())
+	h, _ := flakyHandler(1, http.StatusTooManyRequests, "1", srv.Handler())
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cl := NewClient(ts.URL, clientConfig()) // jitter envelope is 5 ms; Retry-After asks for 1 s
+	start := time.Now()
+	if _, err := cl.Ingest(context.Background(), &IngestRequest{DoneJobs: []int{2}}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if d := time.Since(start); d < time.Second {
+		t.Errorf("retried after %v; Retry-After asked for >= 1s", d)
+	}
+}
+
+func TestClientPermanentErrorNoRetry(t *testing.T) {
+	srv, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Shutdown(context.Background())
+	var calls atomic.Int32
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(counted)
+	defer ts.Close()
+	cl := NewClient(ts.URL, clientConfig())
+	_, err = cl.Ingest(context.Background(), &IngestRequest{Intents: []WireIntent{{
+		Job: 0, Map: 0, SrcHost: 9999, PredictedWireBytes: []float64{1}}}})
+	var perm *PermanentError
+	if !errors.As(err, &perm) || perm.StatusCode != http.StatusBadRequest {
+		t.Fatalf("want PermanentError(400), got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("%d attempts for a permanent error, want 1", got)
+	}
+}
+
+func TestClientContextCancelsBackoff(t *testing.T) {
+	always := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusServiceUnavailable, "down forever")
+	})
+	ts := httptest.NewServer(always)
+	defer ts.Close()
+	cfg := clientConfig()
+	cfg.BaseBackoff = 50 * time.Millisecond
+	cfg.MaxBackoff = time.Second
+	cl := NewClient(ts.URL, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := cl.Ingest(ctx, &IngestRequest{DoneJobs: []int{1}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestClientMaxAttempts(t *testing.T) {
+	var calls atomic.Int32
+	always := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusInternalServerError, "broken")
+	})
+	ts := httptest.NewServer(always)
+	defer ts.Close()
+	cfg := clientConfig()
+	cfg.MaxAttempts = 3
+	cl := NewClient(ts.URL, cfg)
+	if _, err := cl.Ingest(context.Background(), &IngestRequest{DoneJobs: []int{1}}); err == nil {
+		t.Fatal("ingest against a broken server succeeded")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("%d attempts, want 3", got)
+	}
+}
+
+func TestClientStats(t *testing.T) {
+	srv, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL, clientConfig())
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.NumHosts == 0 {
+		t.Errorf("stats reported zero hosts: %+v", st)
+	}
+}

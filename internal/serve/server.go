@@ -2,9 +2,12 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +17,7 @@ import (
 	"pythia/internal/openflow"
 	"pythia/internal/sim"
 	"pythia/internal/topology"
+	"pythia/internal/wal"
 )
 
 // Config tunes the serving surface and the collector behind it.
@@ -50,6 +54,31 @@ type Config struct {
 	K            int
 	FatTreeK     int
 	HostsPerEdge int
+
+	// WALDir, when set, enables the write-ahead journal: every batch is
+	// appended (and synced per FsyncEvery) before it commits, and commits
+	// before clients are answered, so an acked operation survives a crash.
+	WALDir string
+	// Recover replays WALDir's snapshot + journal tail through the normal
+	// ApplyBatch path during New. Without it, a non-empty journal is an
+	// error — silently ignoring history would leak every booking it holds.
+	Recover bool
+	// FsyncEvery is the journal sync cadence: 0 syncs every append (the
+	// durable default), N > 1 every Nth, negative never (page-cache-only
+	// durability — survives process kills, not power loss).
+	FsyncEvery int
+	// SnapshotEvery cuts a snapshot and compacts the journal every this
+	// many committed batches, bounding restart cost. 0 defaults to 1024;
+	// negative disables periodic snapshots (graceful shutdown still cuts a
+	// final one).
+	SnapshotEvery int
+	// SegmentBytes caps journal segment size (0 defaults to 8 MiB).
+	SegmentBytes int64
+
+	// CrashHook, when non-nil, is consulted at each CrashPoint in the
+	// batch loop; returning true simulates a process kill there (chaos
+	// tests). Production servers leave it nil.
+	CrashHook func(CrashPoint) bool
 }
 
 // Defaults fills unset fields: 4 shards, 4 workers, 256-request queue,
@@ -83,6 +112,12 @@ func (c Config) Defaults() Config {
 	if c.HostsPerEdge <= 0 {
 		c.HostsPerEdge = c.FatTreeK / 2
 	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 1024
+	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 8 << 20
+	}
 	return c
 }
 
@@ -102,8 +137,9 @@ const latRingSize = 1 << 14
 // queue, and a single batch loop that owns the collector and its simulated
 // SDN substrate.
 type Server struct {
-	cfg   Config
-	hosts []topology.NodeID
+	cfg     Config
+	hosts   []topology.NodeID
+	hostIdx map[topology.NodeID]int // reverse host table for journal encoding
 
 	// colMu serializes collector + engine access between the batch loop
 	// and the stats handler.
@@ -115,22 +151,45 @@ type Server struct {
 	placements int
 	virtual    float64 // logical clock (ClockHz mode, under colMu)
 
+	// Durability state (under colMu; the batch loop is the only appender).
+	wal        *wal.Log
+	appliedSeq uint64 // last journal seq committed into the collector
+	snapSeq    uint64 // journal seq the latest snapshot covers through
+	snapshots  int
+
+	// Recovery report (written once in New, read-only after).
+	recovered        bool
+	recoveredRecords int
+	recoverySec      float64
+
 	queue    chan *ingestJob
 	stop     chan struct{}
+	stopOnce sync.Once
 	loopDone chan struct{}
 	draining atomic.Bool
 	started  atomic.Bool
 	startAt  time.Time
 
+	// crashedC closes when an injected crash point fires; every waiting
+	// handler wakes and answers 503 so clients retry against the restarted
+	// process.
+	crashedC  chan struct{}
+	crashOnce sync.Once
+
 	requestsTotal atomic.Int64
 	rejectedTotal atomic.Int64
 
-	latMu  sync.Mutex
-	latSec [latRingSize]float64 // enqueue→commit, seconds
-	latN   int                  // total recorded (ring index = latN % size)
+	latMu      sync.Mutex
+	latSec     [latRingSize]float64 // enqueue→commit, seconds
+	latN       int                  // total recorded (ring index = latN % size)
+	lastCommit time.Time            // last batch commit (under latMu)
+	reqPerSec  float64              // EWMA of request commit rate (under latMu)
 
-	mux     *http.ServeMux
-	httpSrv *http.Server // set by ListenAndServe
+	mux    *http.ServeMux
+	httpMu sync.Mutex
+	// httpSrv is set by ListenAndServe and read by Shutdown (under httpMu
+	// — the two race otherwise).
+	httpSrv *http.Server
 }
 
 // New builds a serving stack: fat-tree fabric, network simulator, OpenFlow
@@ -155,13 +214,42 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		hosts:    hosts,
+		hostIdx:  make(map[topology.NodeID]int, len(hosts)),
 		eng:      eng,
 		col:      py,
 		queue:    make(chan *ingestJob, cfg.QueueCap),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
+		crashedC: make(chan struct{}),
 	}
+	for i, h := range hosts {
+		s.hostIdx[h] = i
+	}
+	s.digest = 14695981039346656037 // FNV-1a offset basis
 	py.SetPlacementHook(s.observePlacement)
+
+	if cfg.WALDir != "" {
+		l, err := wal.Open(cfg.WALDir, wal.Options{
+			SegmentBytes: cfg.SegmentBytes,
+			SyncEvery:    cfg.FsyncEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening journal: %w", err)
+		}
+		s.wal = l
+		_, _, hasSnap, snapErr := l.LatestSnapshot()
+		switch {
+		case cfg.Recover:
+			if err := s.recover(); err != nil {
+				l.Abort()
+				return nil, err
+			}
+		case l.Records() > 0 || (snapErr == nil && hasSnap):
+			l.Abort()
+			return nil, fmt.Errorf("serve: journal %s holds history; set Recover to replay it or point WALDir at a fresh directory", cfg.WALDir)
+		}
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -188,13 +276,15 @@ func (s *Server) observePlacement(src, dst topology.NodeID, path topology.Path) 
 }
 
 // Start launches the batch loop and anchors the wall clock. It must be
-// called exactly once, before the first request.
+// called exactly once, before the first request. (The placement digest is
+// seeded in New — recovery accumulates into it before Start.)
 func (s *Server) Start() {
 	if !s.started.CompareAndSwap(false, true) {
 		panic("serve: Start called twice")
 	}
-	s.digest = 14695981039346656037 // FNV-1a offset basis
-	s.startAt = time.Now()
+	// In wall-clock mode a recovered process re-anchors so elapsed time
+	// continues from the recovered virtual instant instead of rewinding.
+	s.startAt = time.Now().Add(-time.Duration(s.virtual * float64(time.Second)))
 	go s.loop()
 }
 
@@ -205,6 +295,19 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // wire host indexes.
 func (s *Server) NumHosts() int { return len(s.hosts) }
 
+// httpServer builds the hardened HTTP front end: header-read and idle
+// timeouts bound slowloris-style connection hoarding. (Whole-request
+// timeouts stay unset — ingest handlers legitimately block on the batch
+// loop under load.)
+func (s *Server) httpServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}
+
 // ListenAndServe starts the batch loop (if not already started) and serves
 // HTTP on addr until Shutdown. It returns http.ErrServerClosed after a
 // clean shutdown, like net/http.
@@ -212,24 +315,47 @@ func (s *Server) ListenAndServe(addr string) error {
 	if !s.started.Load() {
 		s.Start()
 	}
-	s.httpSrv = &http.Server{Addr: addr, Handler: s.mux}
-	return s.httpSrv.ListenAndServe()
+	srv := s.httpServer(addr)
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	return srv.ListenAndServe()
 }
 
 // Shutdown drains gracefully: new requests are refused with 503, in-flight
 // handlers finish (the batch loop keeps committing until they do), then the
-// loop drains the residual queue and exits. Safe to call once.
+// loop drains the residual queue and exits; with a journal enabled, a final
+// snapshot is cut so the next start restores instead of replaying. Safe to
+// call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	var err error
-	if s.httpSrv != nil {
-		err = s.httpSrv.Shutdown(ctx)
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv != nil {
+		err = srv.Shutdown(ctx)
 	}
-	close(s.stop)
-	select {
-	case <-s.loopDone:
-	case <-ctx.Done():
-		return ctx.Err()
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.started.Load() {
+		select {
+		case <-s.loopDone:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	// After a crash the journal handle is already abandoned; a clean drain
+	// seals it with a final snapshot (idempotent: a second Shutdown finds
+	// appliedSeq == snapSeq and Close a no-op).
+	if s.wal != nil && !s.crashed() {
+		s.colMu.Lock()
+		if s.appliedSeq > s.snapSeq {
+			s.snapshotLocked()
+		}
+		s.colMu.Unlock()
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }
@@ -242,14 +368,18 @@ func (s *Server) loop() {
 	for {
 		select {
 		case j := <-s.queue:
-			s.runBatch(s.coalesce(j))
+			if !s.runBatch(s.coalesce(j)) {
+				return // injected crash: die without draining or answering
+			}
 		case <-s.stop:
 			// Residual drain: requests enqueued before shutdown finished
 			// still get committed and answered.
 			for {
 				select {
 				case j := <-s.queue:
-					s.runBatch(s.coalesce(j))
+					if !s.runBatch(s.coalesce(j)) {
+						return
+					}
 				default:
 					return
 				}
@@ -276,9 +406,12 @@ func (s *Server) coalesce(j *ingestJob) []*ingestJob {
 }
 
 // runBatch concatenates the batch's operations, advances the collector
-// clock (firing any due TTL sweeps), applies the batch, and distributes
-// results and latency samples back to the waiting requests.
-func (s *Server) runBatch(batch []*ingestJob) {
+// clock (firing any due TTL sweeps), journals the batch, applies it, and
+// distributes results and latency samples back to the waiting requests —
+// strictly in that order, so nothing is acked that a restart cannot
+// reconstruct. Returns false when an injected crash point fired (the loop
+// dies without answering).
+func (s *Server) runBatch(batch []*ingestJob) bool {
 	nops := 0
 	for _, j := range batch {
 		nops += len(j.ops)
@@ -291,16 +424,51 @@ func (s *Server) runBatch(batch []*ingestJob) {
 	s.colMu.Lock()
 	var target float64
 	if s.cfg.ClockHz > 0 {
-		s.virtual += float64(nops) / s.cfg.ClockHz
+		// Meter only novel work: an already-applied redelivery (a client
+		// retry across a crash) advances virtual time by zero, keeping TTL
+		// sweep instants identical to an uninterrupted run's.
+		s.virtual += float64(s.col.NovelOps(ops)) / s.cfg.ClockHz
 		target = s.virtual
 	} else {
 		target = time.Since(s.startAt).Seconds()
+		if target < s.virtual {
+			target = s.virtual
+		}
+		s.virtual = target
+	}
+	if s.crashAt(CrashBeforeAppend) {
+		s.colMu.Unlock()
+		return false
+	}
+	if s.wal != nil {
+		payload, err := encodeBatch(&WireBatch{VirtualSec: target, Ops: opsToWire(ops, s.hostIdx)})
+		if err == nil {
+			_, err = s.wal.Append(payload)
+		}
+		if err != nil {
+			// Fail-stop: a durable server that cannot journal must not ack.
+			s.colMu.Unlock()
+			panic(fmt.Sprintf("serve: journal append failed, refusing to ack unjournaled batches: %v", err))
+		}
+	}
+	if s.crashAt(CrashAfterAppend) {
+		s.colMu.Unlock()
+		return false
 	}
 	if deadline := sim.Time(target); deadline > s.eng.Now() {
 		s.eng.RunUntil(deadline)
 	}
 	results := s.col.ApplyBatch(ops, s.cfg.Workers)
+	if s.wal != nil {
+		s.appliedSeq = s.wal.NextSeq() - 1
+		if s.cfg.SnapshotEvery > 0 && s.appliedSeq-s.snapSeq >= uint64(s.cfg.SnapshotEvery) {
+			s.snapshotLocked()
+		}
+	}
 	s.colMu.Unlock()
+	if s.crashAt(CrashAfterCommit) {
+		return false
+	}
 
 	now := time.Now()
 	s.latMu.Lock()
@@ -311,10 +479,49 @@ func (s *Server) runBatch(batch []*ingestJob) {
 		s.latSec[s.latN%latRingSize] = now.Sub(j.enq).Seconds()
 		s.latN++
 	}
+	// Feed the Retry-After estimate: EWMA of committed requests per second.
+	if !s.lastCommit.IsZero() {
+		if dt := now.Sub(s.lastCommit).Seconds(); dt > 0 {
+			inst := float64(len(batch)) / dt
+			if s.reqPerSec == 0 {
+				s.reqPerSec = inst
+			} else {
+				s.reqPerSec = 0.8*s.reqPerSec + 0.2*inst
+			}
+		}
+	}
+	s.lastCommit = now
 	s.latMu.Unlock()
 	for _, j := range batch {
 		close(j.done)
 	}
+	return true
+}
+
+// retryAfterSecs derives the 429 Retry-After hint from the current queue
+// depth and the recent commit rate: roughly how long until the backlog
+// drains, clamped to [1, 30] seconds. With no rate estimate yet (cold
+// server) it stays at the floor.
+func retryAfterSecs(depth int, ratePerSec float64) int {
+	if ratePerSec <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(depth) / ratePerSec))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// retryAfter snapshots the live inputs for retryAfterSecs.
+func (s *Server) retryAfter() int {
+	s.latMu.Lock()
+	rate := s.reqPerSec
+	s.latMu.Unlock()
+	return retryAfterSecs(len(s.queue), rate)
 }
 
 // latencyPercentiles snapshots the ring and reports (p50, p99) in seconds.
@@ -343,9 +550,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	if s.crashed() {
+		writeError(w, http.StatusServiceUnavailable, "server crashed; retry against the restarted process")
+		return
+	}
 	s.requestsTotal.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	req, err := decodeIngest(r.Body, len(s.hosts), s.cfg.MaxOpsPerRequest)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -354,14 +571,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- j:
 	default:
 		// Bounded-queue backpressure: reject rather than buffer without
-		// limit, and tell the client when to come back.
+		// limit, and tell the client when the backlog should have drained.
 		s.rejectedTotal.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		writeError(w, http.StatusTooManyRequests, "ingest queue full (%d requests)", s.cfg.QueueCap)
 		return
 	}
 	select {
 	case <-j.done:
+	case <-s.crashedC:
+		// The batch loop died mid-flight; this request may or may not have
+		// committed. 503 sends the client back to retry against the
+		// restarted process, where dedup makes the resubmission safe.
+		writeError(w, http.StatusServiceUnavailable, "server crashed mid-batch; retry")
+		return
 	case <-r.Context().Done():
 		// Client gone; the batch loop will still commit the ops (they are
 		// in the queue), there is just nobody to answer.
@@ -388,6 +611,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	digest := s.digest
 	placements := s.placements
 	virtual := float64(s.eng.Now())
+	var walRecords, walSegments int
+	var walBytes int64
+	snapshots, snapSeq := s.snapshots, s.snapSeq
+	if s.wal != nil {
+		walRecords = s.wal.Records()
+		walSegments = s.wal.Segments()
+		walBytes = s.wal.Size()
+	}
 	s.colMu.Unlock()
 	p50, p99 := s.latencyPercentiles()
 	writeJSON(w, http.StatusOK, StatsResponse{
@@ -401,12 +632,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RejectedTotal:    s.rejectedTotal.Load(),
 		LatencyP50Micros: p50 * 1e6,
 		LatencyP99Micros: p99 * 1e6,
+
+		WALRecords:       walRecords,
+		WALSegments:      walSegments,
+		WALBytes:         walBytes,
+		Snapshots:        snapshots,
+		SnapshotSeq:      snapSeq,
+		Recovered:        s.recovered,
+		RecoveredRecords: s.recoveredRecords,
+		RecoverySec:      s.recoverySec,
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.crashed() {
+		writeError(w, http.StatusServiceUnavailable, "crashed")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -86,6 +86,21 @@ type StatsResponse struct {
 	RejectedTotal    int64   `json:"rejected_total"`
 	LatencyP50Micros float64 `json:"latency_p50_micros"`
 	LatencyP99Micros float64 `json:"latency_p99_micros"`
+
+	// Durability gauges (zero when the write-ahead journal is disabled).
+	WALRecords  int   `json:"wal_records,omitempty"`
+	WALSegments int   `json:"wal_segments,omitempty"`
+	WALBytes    int64 `json:"wal_bytes,omitempty"`
+	// Snapshots counts snapshots cut this process lifetime; SnapshotSeq is
+	// the journal sequence the latest one covers through.
+	Snapshots   int    `json:"snapshots,omitempty"`
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+	// Recovered reports that this process rebuilt state from the journal at
+	// startup: RecoveredRecords batches replayed in RecoverySec wall
+	// seconds (on top of the snapshot, if one existed).
+	Recovered        bool    `json:"recovered,omitempty"`
+	RecoveredRecords int     `json:"recovered_records,omitempty"`
+	RecoverySec      float64 `json:"recovery_sec,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx reply.
@@ -93,13 +108,116 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// WireOp is one collector operation in journal encoding. Exactly one of the
+// payload fields is set, selected by Kind ("intent", "reducer_up",
+// "job_done"). The journal reuses the ingest wire types so a record is
+// readable with the same tooling as the protocol itself.
+type WireOp struct {
+	Kind    string         `json:"kind"`
+	Intent  *WireIntent    `json:"intent,omitempty"`
+	Reducer *WireReducerUp `json:"reducer,omitempty"`
+	Job     int            `json:"job,omitempty"`
+}
+
+// WireBatch is one committed batch as journaled by the write-ahead log: the
+// engine instant the batch committed at (the logical-clock target, so replay
+// never re-derives clock advances) and the batch's operations in their exact
+// commit order — order is semantic, because reducer placements resolve
+// deferred intents positionally.
+type WireBatch struct {
+	VirtualSec float64  `json:"virtual_sec"`
+	Ops        []WireOp `json:"ops"`
+}
+
+const (
+	wireKindIntent    = "intent"
+	wireKindReducerUp = "reducer_up"
+	wireKindJobDone   = "job_done"
+)
+
+// opsToWire raises lowered collector operations back to wire form for
+// journaling, mapping concrete hosts through the reverse host table.
+func opsToWire(ops []core.Op, hostIdx map[topology.NodeID]int) []WireOp {
+	out := make([]WireOp, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case core.OpIntent:
+			out[i] = WireOp{Kind: wireKindIntent, Intent: &WireIntent{
+				Job: op.Intent.Job, Map: op.Intent.Map, Attempt: op.Intent.Attempt,
+				SrcHost:            hostIdx[op.Intent.SrcHost],
+				PredictedWireBytes: op.Intent.PredictedWireBytes,
+			}}
+		case core.OpReducerUp:
+			out[i] = WireOp{Kind: wireKindReducerUp, Reducer: &WireReducerUp{
+				Job: op.Reducer.Job, Reduce: op.Reducer.Reduce,
+				Host: hostIdx[op.Reducer.Host],
+			}}
+		case core.OpJobDone:
+			out[i] = WireOp{Kind: wireKindJobDone, Job: op.Job}
+		}
+	}
+	return out
+}
+
+// ToOps lowers a journaled batch back into collector operations, preserving
+// commit order. Host indexes outside the fabric's table (a journal from a
+// different topology) fail loudly rather than replaying garbage.
+func (b *WireBatch) ToOps(hosts []topology.NodeID) ([]core.Op, error) {
+	ops := make([]core.Op, len(b.Ops))
+	for i, w := range b.Ops {
+		switch w.Kind {
+		case wireKindIntent:
+			if w.Intent == nil {
+				return nil, fmt.Errorf("op %d: intent record without payload", i)
+			}
+			if w.Intent.SrcHost < 0 || w.Intent.SrcHost >= len(hosts) {
+				return nil, fmt.Errorf("op %d: src_host %d outside [0,%d) — journal from a different fabric?",
+					i, w.Intent.SrcHost, len(hosts))
+			}
+			ops[i] = core.Op{Kind: core.OpIntent, Intent: instrument.Intent{
+				Job: w.Intent.Job, Map: w.Intent.Map, Attempt: w.Intent.Attempt,
+				SrcHost: hosts[w.Intent.SrcHost], PredictedWireBytes: w.Intent.PredictedWireBytes}}
+		case wireKindReducerUp:
+			if w.Reducer == nil {
+				return nil, fmt.Errorf("op %d: reducer_up record without payload", i)
+			}
+			if w.Reducer.Host < 0 || w.Reducer.Host >= len(hosts) {
+				return nil, fmt.Errorf("op %d: host %d outside [0,%d) — journal from a different fabric?",
+					i, w.Reducer.Host, len(hosts))
+			}
+			ops[i] = core.Op{Kind: core.OpReducerUp, Reducer: instrument.ReducerUp{
+				Job: w.Reducer.Job, Reduce: w.Reducer.Reduce, Host: hosts[w.Reducer.Host]}}
+		case wireKindJobDone:
+			ops[i] = core.Op{Kind: core.OpJobDone, Job: w.Job}
+		default:
+			return nil, fmt.Errorf("op %d: unknown kind %q", i, w.Kind)
+		}
+	}
+	return ops, nil
+}
+
+// encodeBatch/decodeBatch are the journal payload codec. JSON round-trips
+// float64 exactly (shortest representation), so VirtualSec survives with the
+// bit pattern the original commit used — a requirement for digest-exact
+// replay.
+func encodeBatch(b *WireBatch) ([]byte, error) { return json.Marshal(b) }
+func decodeBatch(p []byte) (*WireBatch, error) {
+	b := new(WireBatch)
+	if err := json.Unmarshal(p, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
 // maxBodyBytes bounds request bodies before decoding.
 const maxBodyBytes = 8 << 20
 
 // decodeIngest parses and validates an ingest request body against the
-// server's host table and per-request op budget.
+// server's host table and per-request op budget. Body size is bounded by the
+// caller (the HTTP handler wraps bodies in http.MaxBytesReader so oversized
+// requests surface as 413, not a truncated-JSON 400).
 func decodeIngest(r io.Reader, numHosts, maxOps int) (*IngestRequest, error) {
-	dec := json.NewDecoder(io.LimitReader(r, maxBodyBytes))
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var req IngestRequest
 	if err := dec.Decode(&req); err != nil {

@@ -1,0 +1,327 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// collect replays the whole journal into memory.
+func collect(t *testing.T, l *Log, from uint64) map[uint64]string {
+	t.Helper()
+	out := make(map[uint64]string)
+	if err := l.Replay(from, func(seq uint64, p []byte) error {
+		out[seq] = string(p)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		seq, err := l.Append([]byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	got := collect(t, l, 1)
+	if len(got) != 10 || got[1] != "rec-1" || got[10] != "rec-10" {
+		t.Fatalf("replay: %v", got)
+	}
+	if got := collect(t, l, 7); len(got) != 4 || got[7] != "rec-7" {
+		t.Fatalf("replay from 7: %v", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen continues the sequence.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextSeq() != 11 {
+		t.Fatalf("NextSeq after reopen = %d, want 11", l2.NextSeq())
+	}
+	if seq, _ := l2.Append([]byte("rec-11")); seq != 11 {
+		t.Fatalf("append after reopen: seq %d", seq)
+	}
+	if got := collect(t, l2, 1); len(got) != 11 {
+		t.Fatalf("replay after reopen: %d records", len(got))
+	}
+}
+
+func TestSegmentRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 20) // 28 bytes framed: 2 per segment
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 4 {
+		t.Fatalf("expected rotation, got %d segments", l.Segments())
+	}
+	if got := collect(t, l, 1); len(got) != 10 {
+		t.Fatalf("replay across segments: %d records", len(got))
+	}
+
+	// Snapshot through seq 7, then compact: segments entirely below 8 go.
+	if err := l.WriteSnapshot(7, []byte("snap7")); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := l.Compact(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("compaction removed nothing")
+	}
+	got := collect(t, l, 8)
+	if len(got) != 3 || got[8] == "" {
+		t.Fatalf("post-compaction replay: %v", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen after compaction: seq numbering must survive the missing head.
+	l2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextSeq() != 11 {
+		t.Fatalf("NextSeq after compacted reopen = %d, want 11", l2.NextSeq())
+	}
+	if seq, p, ok, err := l2.LatestSnapshot(); err != nil || !ok || seq != 7 || string(p) != "snap7" {
+		t.Fatalf("snapshot after reopen: seq=%d ok=%v err=%v", seq, ok, err)
+	}
+}
+
+// openAfterCompactionFails guards the missing-middle-segment check: a hole
+// in the sequence (not a compacted prefix) must fail loudly.
+func TestOpenMissingMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 20)
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("want >=3 segments, got %d", l.Segments())
+	}
+	middle := l.segs[1].name()
+	l.Close()
+	if err := os.Remove(filepath.Join(dir, middle)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SegmentBytes: 64}); err == nil {
+		t.Fatal("open with a missing middle segment succeeded")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int{1, 5, 9} { // inside header, inside payload, just shy of full
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.Append([]byte("whole")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.Append([]byte("torn!!")); err != nil {
+				t.Fatal(err)
+			}
+			name := l.segs[0].name()
+			l.Abort()
+
+			// Simulate the torn write: keep the first record whole, cut the
+			// second mid-frame.
+			path := filepath.Join(dir, name)
+			whole := int64(frameHeader + len("whole"))
+			if err := os.Truncate(path, whole+int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("open with torn tail: %v", err)
+			}
+			defer l2.Close()
+			got := collect(t, l2, 1)
+			if len(got) != 1 || got[1] != "whole" {
+				t.Fatalf("after repair: %v", got)
+			}
+			if l2.NextSeq() != 2 {
+				t.Fatalf("NextSeq after repair = %d, want 2", l2.NextSeq())
+			}
+			// The journal must accept appends at the repaired boundary.
+			if seq, err := l2.Append([]byte("again")); err != nil || seq != 2 {
+				t.Fatalf("append after repair: seq=%d err=%v", seq, err)
+			}
+			if got := collect(t, l2, 1); got[2] != "again" {
+				t.Fatalf("replay after repair append: %v", got)
+			}
+		})
+	}
+}
+
+// TestCorruptMiddleSegmentFails: CRC damage in a non-final segment is not a
+// torn tail and must not be silently truncated.
+func TestCorruptMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("y"), 20)
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := l.segs[0].name()
+	l.Close()
+
+	path := filepath.Join(dir, first)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[frameHeader+3] ^= 0xff // flip a payload bit in record 1
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SegmentBytes: 64}); err == nil {
+		t.Fatal("open with corrupt non-final segment succeeded")
+	}
+}
+
+func TestSnapshotCorruptFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.WriteSnapshot(3, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(9, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	// WriteSnapshot removes superseded snapshots; re-create the older one to
+	// model the window where both exist, then corrupt the newer.
+	if err := l.WriteSnapshot(3, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	newPath := filepath.Join(dir, "snap-0000000000000009.snap")
+	b, err := os.ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(newPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, p, ok, err := l.LatestSnapshot()
+	if err != nil || !ok || seq != 3 || string(p) != "old" {
+		t.Fatalf("fallback snapshot: seq=%d p=%q ok=%v err=%v", seq, p, ok, err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, every := range []int{0, 3, -1} {
+		t.Run(fmt.Sprintf("every=%d", every), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{SyncEvery: every})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 7; i++ {
+				if _, err := l.Append([]byte("p")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l2, err := Open(dir, Options{SyncEvery: every})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if got := collect(t, l2, 1); len(got) != 7 {
+				t.Fatalf("replay: %d records", len(got))
+			}
+		})
+	}
+}
+
+func TestAbortThenReopenSeesAllRecords(t *testing.T) {
+	// A process crash (Abort: no final fsync) must not lose page-cache
+	// writes on a same-machine restart — the property the serving plane's
+	// kill-and-restart recovery depends on.
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Abort()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2, 1); len(got) != 5 || got[5] != "r4" {
+		t.Fatalf("after abort/reopen: %v", got)
+	}
+}
+
+func TestEmptyJournal(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.NextSeq() != 1 || l.Records() != 0 {
+		t.Fatalf("fresh journal: next=%d records=%d", l.NextSeq(), l.Records())
+	}
+	if _, _, ok, err := l.LatestSnapshot(); ok || err != nil {
+		t.Fatalf("fresh journal has a snapshot? ok=%v err=%v", ok, err)
+	}
+	if got := collect(t, l, 1); len(got) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(got))
+	}
+}
