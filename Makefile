@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-steady bench-serve bench-recovery bench-compare profile fuzz figures examples api api-check clean
+.PHONY: all build vet test test-short cover bench bench-paper bench-scale bench-steady bench-serve bench-recovery bench-compare profile fuzz figures examples api api-check scrape-smoke clean
 
 all: build vet test
 
@@ -96,6 +96,12 @@ examples:
 	$(GO) run ./examples/faulttolerance
 	$(GO) run ./examples/multijob
 	$(GO) run ./examples/observability
+
+# Operations-plane smoke: boot an instrumented server, drive real ingest,
+# lint the /metrics exposition, and write the scrape. CI uploads
+# METRICS_serve.prom.
+scrape-smoke:
+	$(GO) run ./cmd/pythia-serve -scrape-smoke -prom-out METRICS_serve.prom
 
 # Regenerate the committed facade API-surface report (review the diff!).
 api:

@@ -9,22 +9,32 @@
 //	             [-ttl SEC] [-k N] [-fattree-k N] [-clockhz HZ]
 //	             [-wal-dir DIR] [-recover] [-fsync-every N]
 //	             [-snapshot-every N] [-segment-bytes N]
+//	             [-metrics] [-pprof] [-log-level LEVEL] [-flight-events N]
 //	pythia-serve -bench [-json BENCH_serve.json]          # throughput benchmark
 //	             [-jobs N] [-conns N] [-chunk N] [-seed N]
 //	             [-shard-counts 1,2,4,8]
 //	pythia-serve -bench-recovery [-json BENCH_recovery.json]  # crash recovery
 //	             [-jobs N] [-chunk N] [-seed N] [-fsync-every N]
 //	             [-snapshot-everys -1,8,32]
+//	pythia-serve -scrape-smoke [-prom-out METRICS_serve.prom] # metrics smoke
+//	             [-jobs N] [-seed N]
 //
-// In serve mode the process answers POST /v1/ingest, GET /v1/stats, and
-// GET /v1/healthz (see internal/serve for the wire protocol) and drains
-// gracefully on SIGINT/SIGTERM. With -wal-dir every batch is journaled
-// before it is acknowledged and -recover restarts from the journal (last
-// snapshot plus tail replay). In bench mode it drives the open-loop
-// workload through in-process servers at each shard count, verifies the
-// placement stream is bit-identical to the oracle, and reports intents/sec
-// plus placement-latency percentiles; -bench-recovery crashes a journaled
-// server and measures recovery at several snapshot cadences.
+// In serve mode the process answers POST /v1/ingest, GET /v1/stats,
+// GET /v1/healthz (liveness), and GET /v1/readyz (readiness — 503 with the
+// reason while recovering or draining), and drains gracefully on
+// SIGINT/SIGTERM. -metrics (default on) serves the Prometheus exposition at
+// GET /metrics; -pprof mounts /debug/pprof; -log-level enables structured
+// JSON request logs on stderr; -flight-events keeps a bounded in-memory
+// flight recorder of the batch lifecycle. With -wal-dir every batch is
+// journaled before it is acknowledged and -recover restarts from the
+// journal (last snapshot plus tail replay). In bench mode it drives the
+// open-loop workload through in-process servers at each shard count,
+// verifies the placement stream is bit-identical to the oracle, and reports
+// intents/sec plus placement-latency percentiles; -bench-recovery crashes a
+// journaled server and measures recovery at several snapshot cadences.
+// -scrape-smoke boots an instrumented in-process server, drives real
+// ingest, lints the /metrics exposition, asserts the key series, and writes
+// the scrape to -prom-out — the CI gate for the operations plane.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -60,6 +71,10 @@ func main() {
 	fsyncEvery := flag.Int("fsync-every", 0, "fsync the journal every N appends (0 = every append, <0 = never)")
 	snapEvery := flag.Int("snapshot-every", 0, "snapshot every N journaled batches (0 = default 1024, <0 = never)")
 	segBytes := flag.Int64("segment-bytes", 0, "journal segment rotation size (0 = default 8 MiB)")
+	metrics := flag.Bool("metrics", true, "serve the Prometheus exposition at GET /metrics")
+	doPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "", "structured JSON request logs on stderr at this level (debug|info|warn|error; empty = off)")
+	flightEvents := flag.Int("flight-events", 0, "keep the newest N serve-plane flight events in memory (0 = off)")
 
 	// Bench modes.
 	doBench := flag.Bool("bench", false, "run the serve throughput benchmark instead of serving")
@@ -71,10 +86,18 @@ func main() {
 	seed := flag.Uint64("seed", 0, "bench: trace seed (0 = default)")
 	shardCounts := flag.String("shard-counts", "", "bench: comma-separated shard counts (empty = 1,2,4,8)")
 	snapEverys := flag.String("snapshot-everys", "", "bench-recovery: comma-separated snapshot cadences (empty = -1,8,32)")
+	doScrapeSmoke := flag.Bool("scrape-smoke", false, "run the metrics scrape smoke test instead of serving")
+	promOut := flag.String("prom-out", "", "scrape-smoke: write the /metrics exposition to this path")
 	flag.Parse()
 
-	if *doBench && *doBenchRecovery {
-		fmt.Fprintln(os.Stderr, "pythia-serve: -bench and -bench-recovery are mutually exclusive")
+	modes := 0
+	for _, m := range []bool{*doBench, *doBenchRecovery, *doScrapeSmoke} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "pythia-serve: -bench, -bench-recovery, and -scrape-smoke are mutually exclusive")
 		os.Exit(2)
 	}
 	if *doBench {
@@ -83,6 +106,10 @@ func main() {
 	}
 	if *doBenchRecovery {
 		runBenchRecovery(*jobs, *chunk, *seed, *fsyncEvery, *snapEverys, *jsonOut)
+		return
+	}
+	if *doScrapeSmoke {
+		runScrapeSmoke(*jobs, *seed, *promOut)
 		return
 	}
 	runServe(serve.Config{
@@ -100,7 +127,34 @@ func main() {
 		FsyncEvery:       *fsyncEvery,
 		SnapshotEvery:    *snapEvery,
 		SegmentBytes:     *segBytes,
+		Metrics:          *metrics,
+		Pprof:            *doPprof,
+		Logger:           buildLogger(*logLevel),
+		FlightEvents:     *flightEvents,
 	}, *addr)
+}
+
+// buildLogger maps -log-level onto a JSON slog logger on stderr; empty
+// disables logging entirely (nil logger = zero-cost request path).
+func buildLogger(level string) *slog.Logger {
+	if level == "" {
+		return nil
+	}
+	var l slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		l = slog.LevelDebug
+	case "info":
+		l = slog.LevelInfo
+	case "warn":
+		l = slog.LevelWarn
+	case "error":
+		l = slog.LevelError
+	default:
+		fmt.Fprintf(os.Stderr, "pythia-serve: bad -log-level %q (want debug|info|warn|error)\n", level)
+		os.Exit(2)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: l}))
 }
 
 // runServe listens on addr until SIGINT/SIGTERM, then drains gracefully.

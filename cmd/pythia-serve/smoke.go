@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"pythia/internal/flight"
+	"pythia/internal/serve"
+)
+
+// runScrapeSmoke is the operations-plane smoke test CI runs: boot a fully
+// instrumented in-process server (metrics, journal, flight recorder), drive
+// real ingest through the retrying client, scrape GET /metrics, lint the
+// exposition with the package's own conformance linter, assert the key
+// series across the serve/WAL/collector planes, and write the scrape to
+// promOut as the build artifact. Exits nonzero on any failure.
+func runScrapeSmoke(jobs int, seed uint64, promOut string) {
+	if jobs <= 0 {
+		jobs = 8
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	walDir, err := os.MkdirTemp("", "pythia-smoke-wal-")
+	if err != nil {
+		fatal("scrape-smoke: %v", err)
+	}
+	defer os.RemoveAll(walDir)
+	srv, err := serve.New(serve.Config{
+		Shards:       2,
+		ClockHz:      200,
+		WALDir:       walDir,
+		Metrics:      true,
+		FlightEvents: 1024,
+	})
+	if err != nil {
+		fatal("scrape-smoke: %v", err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := serve.NewClient(ts.URL, serve.ClientConfig{HTTP: ts.Client(), Seed: seed})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// A small deterministic trace: per job one reducer pair, three intents
+	// (one duplicated to tick dedup), then retirement.
+	ops := 0
+	for j := 0; j < jobs; j++ {
+		reqs := []*serve.IngestRequest{
+			{Reducers: []serve.WireReducerUp{
+				{Job: j, Reduce: 0, Host: (j * 2) % srv.NumHosts()},
+				{Job: j, Reduce: 1, Host: (j*2 + 1) % srv.NumHosts()},
+			}},
+		}
+		for m := 0; m < 3; m++ {
+			in := serve.WireIntent{Job: j, Map: m, SrcHost: (j + m) % srv.NumHosts(),
+				PredictedWireBytes: []float64{2e6, 3e6}}
+			intents := []serve.WireIntent{in}
+			if m == 0 {
+				intents = append(intents, in) // duplicate: dedup must tick
+			}
+			reqs = append(reqs, &serve.IngestRequest{Intents: intents})
+		}
+		reqs = append(reqs, &serve.IngestRequest{DoneJobs: []int{j}})
+		for _, r := range reqs {
+			if _, err := cl.Ingest(ctx, r); err != nil {
+				fatal("scrape-smoke: ingest: %v", err)
+			}
+			ops += len(r.Intents) + len(r.Reducers) + len(r.DoneJobs)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		fatal("scrape-smoke: GET /metrics: %v", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		fatal("scrape-smoke: GET /metrics: HTTP %d (%v)", resp.StatusCode, err)
+	}
+	if err := flight.LintExposition(string(raw)); err != nil {
+		fatal("scrape-smoke: exposition fails lint: %v", err)
+	}
+	exp, err := flight.ParseExposition(string(raw))
+	if err != nil {
+		fatal("scrape-smoke: exposition fails parse: %v", err)
+	}
+
+	assertAtLeast := func(name string, min float64, kv ...string) {
+		s := exp.Sample(name, kv...)
+		if s == nil {
+			fatal("scrape-smoke: series %s%v missing", name, kv)
+		}
+		if s.Value < min {
+			fatal("scrape-smoke: %s%v = %v, want >= %v", name, kv, s.Value, min)
+		}
+	}
+	assertAtLeast("pythia_serve_requests_total", float64(jobs*5), "route", "/v1/ingest", "code", "200")
+	assertAtLeast("pythia_serve_request_seconds_count", float64(jobs*5), "route", "/v1/ingest")
+	assertAtLeast("pythia_serve_batches_total", 1)
+	assertAtLeast("pythia_serve_ops_total", float64(ops))
+	assertAtLeast("pythia_serve_commit_seconds_count", 1)
+	assertAtLeast("pythia_serve_ready", 1)
+	assertAtLeast("pythia_wal_appends_total", 1)
+	assertAtLeast("pythia_wal_fsync_seconds_count", 1)
+	assertAtLeast("pythia_collector_intents_received_total", float64(jobs*3))
+	assertAtLeast("pythia_collector_dedup_hits_total", float64(jobs))
+	assertAtLeast("pythia_collector_shard_dedup_hits_total", 0, "shard", "0")
+	assertAtLeast("pythia_serve_placements_total", 1)
+
+	// The flight recorder captured the batch lifecycle.
+	kinds := map[flight.Kind]int{}
+	for _, ev := range srv.FlightEvents() {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []flight.Kind{flight.BatchIngested, flight.BatchJournaled, flight.BatchCommitted} {
+		if kinds[k] == 0 {
+			fatal("scrape-smoke: flight recorder missing %s events", k)
+		}
+	}
+	if _, err := srv.ChromeTrace(); err != nil {
+		fatal("scrape-smoke: chrome trace: %v", err)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		fatal("scrape-smoke: shutdown: %v", err)
+	}
+	if promOut != "" {
+		if err := os.WriteFile(promOut, raw, 0o644); err != nil {
+			fatal("scrape-smoke: write %s: %v", promOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", promOut)
+	}
+	fmt.Printf("scrape-smoke: OK — %d jobs, %d ops, %d bytes of exposition, %d flight events\n",
+		jobs, ops, len(raw), len(srv.FlightEvents()))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -219,13 +219,18 @@ func runRecoveryRow(base serve.Config, bodies [][]byte, every int, res *Recovery
 	cfgB.WALDir = walDir
 	cfgB.SnapshotEvery = every
 	cfgB.Recover = true
+	// Recovery runs asynchronously in Start behind the readiness gate, so
+	// the measured window is New through AwaitReady.
 	t0 := time.Now()
 	srv2, err := serve.New(cfgB)
 	if err != nil {
 		return nil, fmt.Errorf("recover: %w", err)
 	}
-	row.NewWallSec = time.Since(t0).Seconds()
 	srv2.Start()
+	if err := srv2.AwaitReady(contextWithTimeout(60 * time.Second)); err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+	row.NewWallSec = time.Since(t0).Seconds()
 	ts2 := httptest.NewServer(srv2.Handler())
 	st2, err := fetchStats(ts2.Client(), ts2.URL)
 	ts2.Close()

@@ -25,6 +25,10 @@ type Collector interface {
 	// Stats snapshots every collector counter and gauge.
 	Stats() CollectorStats
 
+	// ShardStats snapshots each shard's live gauges and counters, indexed
+	// by shard ordinal — the serving plane's per-shard metrics surface.
+	ShardStats() []ShardStat
+
 	// OutstandingBookings reports one job's live reservations plus
 	// deferred intents; OutstandingTotal sums that over all jobs (the
 	// service-level leak gauge).
@@ -185,6 +189,38 @@ func (p *Pythia) sumShards(f func(*shard) int) int {
 		n += f(sh)
 	}
 	return n
+}
+
+// ShardStat is a point-in-time view of one collector shard: the live
+// pending/booking gauges plus the shard-local ingest counters.
+type ShardStat struct {
+	PendingIntents   int `json:"pending_intents"`
+	BookedFlows      int `json:"booked_flows"`
+	IntentsReceived  int `json:"intents_received"`
+	IntentsDeferred  int `json:"intents_deferred"`
+	DedupHits        int `json:"dedup_hits"`
+	DuplicateIntents int `json:"duplicate_intents"`
+	ExpiredBookings  int `json:"expired_bookings"`
+	ExpiredIntents   int `json:"expired_intents"`
+}
+
+// ShardStats snapshots each shard's gauges and counters, indexed by shard
+// ordinal (Collector).
+func (p *Pythia) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = ShardStat{
+			PendingIntents:   len(sh.pending),
+			BookedFlows:      len(sh.booked),
+			IntentsReceived:  sh.intentsReceived,
+			IntentsDeferred:  sh.intentsDeferred,
+			DedupHits:        sh.dedupHits,
+			DuplicateIntents: sh.duplicateIntents,
+			ExpiredBookings:  sh.expiredBookings,
+			ExpiredIntents:   sh.expiredIntents,
+		}
+	}
+	return out
 }
 
 // Stats snapshots every collector counter and gauge (Collector).

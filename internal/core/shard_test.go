@@ -239,3 +239,62 @@ func TestApplyBatchDispositions(t *testing.T) {
 		t.Errorf("pending intents survived JobDone")
 	}
 }
+
+// TestShardStats: the per-shard snapshot's counters sum to the aggregate
+// stats and its gauges reflect live shard state.
+func TestShardStats(t *testing.T) {
+	eng := sim.NewEngine()
+	g, hosts, _ := topology.TwoRack(5, 2, topology.Gbps)
+	net := netsim.New(eng, g)
+	ofc := openflow.NewController(eng, net, 0)
+	py := New(eng, net, ofc, Config{Aggregate: true, Shards: 4})
+	in := instrument.Intent{Job: 1, Map: 0, SrcHost: hosts[0],
+		PredictedWireBytes: []float64{5e6, 5e6}}
+	py.ApplyBatch([]Op{
+		{Kind: OpIntent, Intent: in},
+		{Kind: OpIntent, Intent: in}, // dedup hit
+		{Kind: OpReducerUp, Reducer: instrument.ReducerUp{Job: 1, Reduce: 0, Host: hosts[5]}},
+		{Kind: OpIntent, Intent: instrument.Intent{Job: 2, Map: 0, SrcHost: hosts[1],
+			PredictedWireBytes: []float64{3e6}}}, // stays pending: reducer unknown
+	}, 2)
+	per := py.ShardStats()
+	if len(per) != 4 {
+		t.Fatalf("ShardStats returned %d shards, want 4", len(per))
+	}
+	agg := py.Stats()
+	var sum ShardStat
+	var pending, booked int
+	for _, s := range per {
+		sum.IntentsReceived += s.IntentsReceived
+		sum.IntentsDeferred += s.IntentsDeferred
+		sum.DedupHits += s.DedupHits
+		sum.DuplicateIntents += s.DuplicateIntents
+		sum.ExpiredBookings += s.ExpiredBookings
+		sum.ExpiredIntents += s.ExpiredIntents
+		pending += s.PendingIntents
+		booked += s.BookedFlows
+	}
+	if sum.IntentsReceived != agg.IntentsReceived || sum.DedupHits != agg.DedupHits ||
+		sum.IntentsDeferred != agg.IntentsDeferred {
+		t.Fatalf("shard sums %+v disagree with aggregate %+v", sum, agg)
+	}
+	if sum.DedupHits == 0 {
+		t.Fatal("trace should have produced a dedup hit")
+	}
+	if pending == 0 {
+		t.Fatal("job 2's intent should be pending on some shard")
+	}
+	if booked == 0 {
+		t.Fatal("job 1's resolved demand should be booked on some shard")
+	}
+	// Jobs land on different shards (job % shards).
+	if per[1%4].IntentsReceived == 0 || per[2%4].PendingIntents == 0 {
+		t.Fatalf("per-shard attribution wrong: %+v", per)
+	}
+	py.ApplyBatch([]Op{{Kind: OpJobDone, Job: 1}, {Kind: OpJobDone, Job: 2}}, 2)
+	for i, s := range py.ShardStats() {
+		if s.PendingIntents != 0 || s.BookedFlows != 0 {
+			t.Fatalf("shard %d retains state after JobDone: %+v", i, s)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package flight
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusTextFamilyGrouping: families whose names share a prefix must
+// not interleave. A raw sort of full series names would order `h2` between
+// `h` and `h{a="1"}` (because '2' < '{'), splitting family h in two — the
+// exposition format requires every family's series contiguous under one
+// HELP/TYPE header. Golden output locks the grouped rendering.
+func TestPrometheusTextFamilyGrouping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`h{a="1"}`, "family h").Inc()
+	r.Counter("h2", "family h2").Add(2)
+	r.Counter("h", "family h").Add(3)
+	want := `# HELP h family h
+# TYPE h counter
+h 3
+h{a="1"} 1
+# HELP h2 family h2
+# TYPE h2 counter
+h2 2
+`
+	got := r.PrometheusText()
+	if got != want {
+		t.Fatalf("grouped rendering mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if err := LintExposition(got); err != nil {
+		t.Fatalf("own output fails lint: %v", err)
+	}
+}
+
+// TestPrometheusTextEscaping: label values built via SeriesName escape
+// backslash, quote, and newline; HELP escapes backslash and newline.
+func TestPrometheusTextEscaping(t *testing.T) {
+	r := NewRegistry()
+	name := SeriesName("paths", "route", "/v1/ingest", "note", "a\\b\"c\nd")
+	r.Counter(name, "routes with \\ and\nnewline").Inc()
+	want := `# HELP paths routes with \\ and\nnewline
+# TYPE paths counter
+paths{route="/v1/ingest",note="a\\b\"c\nd"} 1
+`
+	got := r.PrometheusText()
+	if got != want {
+		t.Fatalf("escaped rendering mismatch:\n got:\n%q\nwant:\n%q", got, want)
+	}
+	exp, err := ParseExposition(got)
+	if err != nil {
+		t.Fatalf("own output fails parse: %v", err)
+	}
+	s := exp.Sample("paths", "route", "/v1/ingest")
+	if s == nil {
+		t.Fatal("escaped sample not found by parser")
+	}
+	if s.Labels["note"] != "a\\b\"c\nd" {
+		t.Fatalf("escape round-trip: got %q", s.Labels["note"])
+	}
+}
+
+// TestConformanceGolden is the full conformance golden: counters, gauges,
+// and a labeled histogram render grouped, escaped, with cumulative buckets
+// ending in +Inf and _count equal to the terminal bucket — and the output
+// passes the package's own exposition lint.
+func TestConformanceGolden(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`req_seconds{route="/v1/ingest"}`, "request latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3)
+	r.Histogram(`req_seconds{route="/v1/stats"}`, "request latency", []float64{0.001, 0.01, 0.1}).Observe(0.002)
+	r.Counter("req_seconds_total_ops", "op count").Add(4) // prefix family, must not interleave
+	r.Gauge("queue_depth", "jobs queued").Set(7)
+	got := r.PrometheusText()
+	want := `# HELP queue_depth jobs queued
+# TYPE queue_depth gauge
+queue_depth 7
+# HELP req_seconds request latency
+# TYPE req_seconds histogram
+req_seconds_bucket{route="/v1/ingest",le="0.001"} 1
+req_seconds_bucket{route="/v1/ingest",le="0.01"} 1
+req_seconds_bucket{route="/v1/ingest",le="0.1"} 2
+req_seconds_bucket{route="/v1/ingest",le="+Inf"} 3
+req_seconds_sum{route="/v1/ingest"} 3.0505
+req_seconds_count{route="/v1/ingest"} 3
+req_seconds_bucket{route="/v1/stats",le="0.001"} 0
+req_seconds_bucket{route="/v1/stats",le="0.01"} 1
+req_seconds_bucket{route="/v1/stats",le="0.1"} 1
+req_seconds_bucket{route="/v1/stats",le="+Inf"} 1
+req_seconds_sum{route="/v1/stats"} 0.002
+req_seconds_count{route="/v1/stats"} 1
+# HELP req_seconds_total_ops op count
+# TYPE req_seconds_total_ops counter
+req_seconds_total_ops 4
+`
+	if got != want {
+		t.Fatalf("conformance golden mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if err := LintExposition(got); err != nil {
+		t.Fatalf("golden output fails lint: %v", err)
+	}
+}
+
+// TestLintExpositionCatchesViolations: the linter rejects the defects it
+// exists to catch.
+func TestLintExpositionCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"non-cumulative buckets", `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`, "not cumulative"},
+		{"missing +Inf", `# TYPE h histogram
+h_bucket{le="1"} 5
+h_sum 1
+h_count 5
+`, `missing le="+Inf"`},
+		{"count mismatch", `# TYPE h histogram
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 4
+`, "_count 4 != +Inf bucket 5"},
+		{"interleaved family", `# TYPE a counter
+a 1
+# TYPE b counter
+b 1
+a{x="1"} 2
+`, "interleaved"},
+		{"negative counter", `# TYPE c counter
+c -1
+`, "negative"},
+		{"bad label escape", `c{x="a\q"} 1
+`, "bad escape"},
+		{"bad value", `c one
+`, "bad value"},
+	}
+	for _, tc := range cases {
+		err := LintExposition(tc.text)
+		if err == nil {
+			t.Errorf("%s: lint accepted bad exposition", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+	if err := LintExposition(`# HELP ok fine
+# TYPE ok counter
+ok 1
+ok{a="b"} 2
+`); err != nil {
+		t.Errorf("lint rejected good exposition: %v", err)
+	}
+}
+
+// TestLiveRegistryParallel hammers every live metric type from many
+// goroutines (run under -race) and checks the merged totals are exact.
+func TestLiveRegistryParallel(t *testing.T) {
+	r := NewLiveRegistry()
+	c := r.Counter("ops_total", "ops")
+	g := r.Gauge("depth", "depth")
+	h := r.Histogram("lat_seconds", "latency", []float64{0.5, 1.5, 2.5})
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 4)) // buckets 0..3: one value beyond the last edge
+				// Concurrent registration of an existing name must be safe
+				// and return the same handle.
+				if r.Counter("ops_total", "ops") != c {
+					panic("duplicate live counter")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	const total = workers * perWorker
+	if got := c.Value(); got != total {
+		t.Fatalf("counter %v, want %d", got, total)
+	}
+	if got := g.Value(); got != total {
+		t.Fatalf("gauge %v, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram count %d, want %d", got, total)
+	}
+	snap := r.Snapshot()
+	sh := snap.Histogram("lat_seconds", "latency", []float64{0.5, 1.5, 2.5})
+	if sh.Count() != total {
+		t.Fatalf("snapshot histogram count %d, want %d", sh.Count(), total)
+	}
+	_, counts := sh.Buckets()
+	wantPer := uint64(total / 4)
+	for i, n := range counts {
+		if n != wantPer {
+			t.Fatalf("bucket %d: %d observations, want %d", i, n, wantPer)
+		}
+	}
+	if sum := sh.Sum(); sum != float64(total/4*(0+1+2+3)) {
+		t.Fatalf("snapshot sum %v", sum)
+	}
+	if err := LintExposition(snap.PrometheusText()); err != nil {
+		t.Fatalf("live snapshot fails lint: %v", err)
+	}
+}
+
+// TestLiveObservationsAllocationFree: the hot-path observation methods must
+// not allocate — the serving plane calls them per request.
+func TestLiveObservationsAllocationFree(t *testing.T) {
+	r := NewLiveRegistry()
+	c := r.Counter("c", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h", "h", []float64{1, 2, 4, 8})
+	if n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(3)
+		g.Add(-1)
+		h.Observe(3.5)
+	}); n != 0 {
+		t.Fatalf("live observations allocate %v/op, want 0", n)
+	}
+}
+
+// TestMergeCombinesRegistries: Merge sums counters/histograms and overwrites
+// gauges, letting a cumulative snapshot absorb scrape-time polled series.
+func TestMergeCombinesRegistries(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("c", "c").Add(2)
+	dst.Gauge("g", "g").Set(1)
+	dst.Histogram("h", "h", []float64{1}).Observe(0.5)
+	src := NewRegistry()
+	src.Counter("c", "c").Add(3)
+	src.Gauge("g", "g").Set(9)
+	src.Histogram("h", "h", []float64{1}).Observe(5)
+	src.Counter("new", "new").Inc()
+	Merge(dst, src)
+	if v := dst.Counter("c", "c").Value(); v != 5 {
+		t.Fatalf("merged counter %v, want 5", v)
+	}
+	if v := dst.Gauge("g", "g").Value(); v != 9 {
+		t.Fatalf("merged gauge %v, want 9 (overwrite)", v)
+	}
+	h := dst.Histogram("h", "h", []float64{1})
+	if h.Count() != 2 || h.Sum() != 5.5 {
+		t.Fatalf("merged histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if dst.Counter("new", "new").Value() != 1 {
+		t.Fatal("merge did not copy new series")
+	}
+	if err := LintExposition(dst.PrometheusText()); err != nil {
+		t.Fatalf("merged registry fails lint: %v", err)
+	}
+}
+
+// TestLiveRecorderRing: the bounded recorder retains the newest events,
+// reports evictions, and returns them oldest-first.
+func TestLiveRecorderRing(t *testing.T) {
+	r := NewLiveRecorder(3, nil)
+	for i := 1; i <= 5; i++ {
+		ev := Ev(BatchIngested, PlaneServe)
+		ev.T = 1
+		ev.Count = i
+		r.Record(ev)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring holds %d, want 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped %d, want 2", r.Dropped())
+	}
+	evs := r.Events()
+	for i, want := range []int{3, 4, 5} {
+		if evs[i].Count != want {
+			t.Fatalf("event %d has Count %d, want %d", i, evs[i].Count, want)
+		}
+	}
+	var nilRec *LiveRecorder
+	nilRec.Record(Ev(BatchIngested, PlaneServe)) // nil-safe like Recorder
+	if nilRec.Len() != 0 || nilRec.Events() != nil || nilRec.Dropped() != 0 {
+		t.Fatal("nil LiveRecorder must be inert")
+	}
+}
+
+// TestParseExpositionValues: +Inf/-Inf/NaN literals and le lookup.
+func TestParseExpositionValues(t *testing.T) {
+	exp, err := ParseExposition(`up +Inf
+down -Inf
+odd NaN
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := exp.Sample("up"); s == nil || !math.IsInf(s.Value, +1) {
+		t.Fatal("+Inf not parsed")
+	}
+	if s := exp.Sample("down"); s == nil || !math.IsInf(s.Value, -1) {
+		t.Fatal("-Inf not parsed")
+	}
+	if s := exp.Sample("odd"); s == nil || !math.IsNaN(s.Value) {
+		t.Fatal("NaN not parsed")
+	}
+}

@@ -64,6 +64,15 @@ const (
 	// Fabric plane (internal/netsim).
 	FlowAdmitted  Kind = "flow-admitted"  // shuffle flow started on the fabric; Bytes = actual wire bytes
 	FlowCompleted Kind = "flow-completed" // shuffle flow finished; Bytes = actual, DelaySec = duration
+
+	// Serving plane (internal/serve): the live ingest→journal→commit path.
+	// T carries the service's virtual clock; DelaySec carries wall-clock
+	// stage durations.
+	BatchIngested  Kind = "batch-ingested"  // a coalesced batch left the queue; Count = ops
+	BatchJournaled Kind = "batch-journaled" // batch appended to the WAL; Bytes = frame payload, DelaySec = append+fsync
+	BatchCommitted Kind = "batch-committed" // batch applied to the collector; Count = ops, DelaySec = apply wall time
+	SnapshotTaken  Kind = "snapshot-taken"  // durable snapshot written; Bytes = snapshot size
+	RecoveryReplay Kind = "recovery-replay" // startup replay finished; Count = records, DelaySec = wall time
 )
 
 // Plane names which simulator layer emitted an event.
@@ -76,6 +85,7 @@ const (
 	PlaneCollector Plane = "collector"
 	PlaneControl   Plane = "control"
 	PlaneFabric    Plane = "fabric"
+	PlaneServe     Plane = "serve"
 )
 
 // Dispositions qualify how an event resolved.

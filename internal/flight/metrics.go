@@ -151,6 +151,75 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text per the exposition format: backslash and
+// newline (double quotes are legal in HELP).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// SeriesName builds a registry series name "base{k1="v1",k2="v2"}" from
+// alternating key/value pairs, escaping label values. Use it whenever a
+// label value is not a known-safe literal. With no pairs it returns base
+// unchanged.
+func SeriesName(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("flight: SeriesName(%q): odd key/value list", base))
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // splitLabels splits "name{a="b"}" into ("name", `a="b"`).
 func splitLabels(name string) (string, string) {
 	i := strings.IndexByte(name, '{')
@@ -161,30 +230,38 @@ func splitLabels(name string) (string, string) {
 }
 
 // PrometheusText renders every metric in the Prometheus text exposition
-// format, sorted by series name so the snapshot is deterministic.
+// format. Output is conformant and deterministic: series are grouped into
+// metric families (one HELP/TYPE header per family, all of the family's
+// series contiguous under it — never interleaved with another family, even
+// when a family's name is a prefix of another's), families are ordered by
+// name, series within a family by label set, histogram buckets are
+// cumulative and end at le="+Inf" with _count equal to the +Inf bucket.
 func (r *Registry) PrometheusText() string {
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	// Group series by family (base name) first: sorting raw series names
+	// would interleave families whose names share a prefix (`h{a="1"}` >
+	// `h2`, because '{' sorts after digits), which the exposition format
+	// forbids.
+	families := map[string][]string{}
+	collect := func(name string) {
+		base, _ := splitLabels(name)
+		families[base] = append(families[base], name)
+	}
 	for n := range r.counters {
-		names = append(names, n)
+		collect(n)
 	}
 	for n := range r.gauges {
-		names = append(names, n)
+		collect(n)
 	}
 	for n := range r.histograms {
-		names = append(names, n)
+		collect(n)
 	}
-	sort.Strings(names)
+	bases := make([]string, 0, len(families))
+	for base := range families {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
 
 	var b strings.Builder
-	seenHeader := map[string]bool{}
-	header := func(base string) {
-		if seenHeader[base] {
-			return
-		}
-		seenHeader[base] = true
-		fmt.Fprintf(&b, "# HELP %s %s\n", base, r.help[base])
-		fmt.Fprintf(&b, "# TYPE %s %s\n", base, r.typ[base])
-	}
 	series := func(base, labels, suffix, extra, value string) {
 		b.WriteString(base)
 		b.WriteString(suffix)
@@ -204,27 +281,32 @@ func (r *Registry) PrometheusText() string {
 		b.WriteString(value)
 		b.WriteString("\n")
 	}
-	for _, name := range names {
-		base, labels := splitLabels(name)
-		header(base)
-		if c, ok := r.counters[name]; ok {
-			series(base, labels, "", "", formatFloat(c.v))
-			continue
+	for _, base := range bases {
+		fmt.Fprintf(&b, "# HELP %s %s\n", base, escapeHelp(r.help[base]))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", base, r.typ[base])
+		names := families[base]
+		sort.Strings(names)
+		for _, name := range names {
+			_, labels := splitLabels(name)
+			if c, ok := r.counters[name]; ok {
+				series(base, labels, "", "", formatFloat(c.v))
+				continue
+			}
+			if g, ok := r.gauges[name]; ok {
+				series(base, labels, "", "", formatFloat(g.v))
+				continue
+			}
+			h := r.histograms[name]
+			var cum uint64
+			for i, edge := range h.edges {
+				cum += h.counts[i]
+				series(base, labels, "_bucket", `le="`+formatFloat(edge)+`"`, strconv.FormatUint(cum, 10))
+			}
+			cum += h.counts[len(h.edges)]
+			series(base, labels, "_bucket", `le="+Inf"`, strconv.FormatUint(cum, 10))
+			series(base, labels, "_sum", "", formatFloat(h.sum))
+			series(base, labels, "_count", "", strconv.FormatUint(h.count, 10))
 		}
-		if g, ok := r.gauges[name]; ok {
-			series(base, labels, "", "", formatFloat(g.v))
-			continue
-		}
-		h := r.histograms[name]
-		var cum uint64
-		for i, edge := range h.edges {
-			cum += h.counts[i]
-			series(base, labels, "_bucket", `le="`+formatFloat(edge)+`"`, strconv.FormatUint(cum, 10))
-		}
-		cum += h.counts[len(h.edges)]
-		series(base, labels, "_bucket", `le="+Inf"`, strconv.FormatUint(cum, 10))
-		series(base, labels, "_sum", "", formatFloat(h.sum))
-		series(base, labels, "_count", "", strconv.FormatUint(h.count, 10))
 	}
 	return b.String()
 }

@@ -50,6 +50,27 @@ type Client struct {
 
 	mu  sync.Mutex
 	rng *stats.RNG
+	st  ClientStats // local retry counters (under mu)
+}
+
+// ClientStats counts the client's own retry behavior — the client-side view
+// of server health. All fields are cumulative since construction.
+type ClientStats struct {
+	// Attempts counts HTTP round trips started (includes the first try of
+	// every call).
+	Attempts int64 `json:"attempts"`
+	// Retries counts attempts after the first for any call.
+	Retries int64 `json:"retries"`
+	// RetryAfterHonored counts backoff sleeps stretched to a server
+	// Retry-After hint.
+	RetryAfterHonored int64 `json:"retry_after_honored"`
+	// TransportErrors counts attempts that failed before an HTTP status
+	// (connection refused, attempt timeout).
+	TransportErrors int64 `json:"transport_errors"`
+	// PermanentErrors counts non-retryable server rejections.
+	PermanentErrors int64 `json:"permanent_errors"`
+	// BackoffSeconds sums time spent sleeping between attempts.
+	BackoffSeconds float64 `json:"backoff_seconds"`
 }
 
 // NewClient builds a client for the server at baseURL (e.g.
@@ -101,8 +122,9 @@ func (c *Client) Ingest(ctx context.Context, req *IngestRequest) (*IngestRespons
 	return resp, nil
 }
 
-// Stats fetches the server's stats snapshot with the same retry policy.
-func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+// ServerStats fetches the server's stats snapshot with the same retry
+// policy.
+func (c *Client) ServerStats(ctx context.Context) (*StatsResponse, error) {
 	resp := new(StatsResponse)
 	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, resp); err != nil {
 		return nil, err
@@ -110,11 +132,19 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	return resp, nil
 }
 
+// Stats returns a copy of the client's own retry counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st
+}
+
 // do runs the retry loop around one logical call.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
 	var lastErr error
 	for attempt := 0; c.cfg.MaxAttempts <= 0 || attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			c.count(func(st *ClientStats) { st.Retries++ })
 			if err := c.sleep(ctx, attempt, lastErr); err != nil {
 				return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
 			}
@@ -148,9 +178,17 @@ func (e *retryAfterError) Error() string {
 	return fmt.Sprintf("server busy (%d): %s", e.status, e.message)
 }
 
+// count applies one mutation to the client's retry counters under mu.
+func (c *Client) count(f func(*ClientStats)) {
+	c.mu.Lock()
+	f(&c.st)
+	c.mu.Unlock()
+}
+
 // attempt runs one HTTP round trip. It reports whether a failure is worth
 // retrying.
 func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retryable bool, err error) {
+	c.count(func(st *ClientStats) { st.Attempts++ })
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -168,6 +206,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if err != nil {
 		// Transport errors (connection refused mid-restart, attempt
 		// timeout) are the retrying client's reason to exist.
+		c.count(func(st *ClientStats) { st.TransportErrors++ })
 		return true, err
 	}
 	defer resp.Body.Close()
@@ -190,6 +229,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		}
 		return true, &retryAfterError{status: resp.StatusCode, message: msg.Error, retryAfter: after}
 	default:
+		c.count(func(st *ClientStats) { st.PermanentErrors++ })
 		return false, &PermanentError{StatusCode: resp.StatusCode, Message: msg.Error}
 	}
 }
@@ -211,7 +251,9 @@ func (c *Client) sleep(ctx context.Context, attempt int, lastErr error) error {
 	}
 	if rae, ok := lastErr.(*retryAfterError); ok && rae.retryAfter > d {
 		d = rae.retryAfter
+		c.count(func(st *ClientStats) { st.RetryAfterHonored++ })
 	}
+	c.count(func(st *ClientStats) { st.BackoffSeconds += d.Seconds() })
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

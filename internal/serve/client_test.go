@@ -153,7 +153,7 @@ func TestClientStats(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	cl := NewClient(ts.URL, clientConfig())
-	st, err := cl.Stats(context.Background())
+	st, err := cl.ServerStats(context.Background())
 	if err != nil {
 		t.Fatalf("stats: %v", err)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pythia/internal/core"
+	"pythia/internal/flight"
 	"pythia/internal/sim"
 )
 
@@ -144,14 +145,25 @@ func (s *Server) snapshotLocked() {
 	_, _ = s.wal.Compact(s.appliedSeq + 1)
 	s.snapSeq = s.appliedSeq
 	s.snapshots++
+	if s.fr != nil {
+		ev := flight.Ev(flight.SnapshotTaken, flight.PlaneServe)
+		ev.T = sim.Time(s.virtual)
+		ev.Bytes = float64(len(payload))
+		s.fr.Record(ev)
+	}
+	if s.log != nil {
+		s.log.Debug("snapshot written", "seq", s.appliedSeq, "bytes", len(payload))
+	}
 }
 
 // recover rebuilds collector and serving state from the journal directory:
 // restore the latest snapshot (if any), run the engine to the snapshot
 // instant — catch-up TTL sweeps are no-ops against restored state — then
 // replay the journal tail through the normal ApplyBatch path, each record at
-// its journaled engine instant. Called from New, before the batch loop
-// exists, so no locking.
+// its journaled engine instant. Runs in Start's goroutine behind the
+// readiness gate, concurrent with stats and metrics scrapes, so it holds
+// colMu around the restore and around each replayed record — a scrape
+// interleaving mid-replay sees a consistent prefix of the recovered state.
 func (s *Server) recover() error {
 	t0 := time.Now()
 	seq, payload, ok, err := s.wal.LatestSnapshot()
@@ -164,7 +176,9 @@ func (s *Server) recover() error {
 		if err != nil {
 			return fmt.Errorf("serve: decoding snapshot %d: %w", seq, err)
 		}
+		s.colMu.Lock()
 		if err := s.col.Restore(snap.Core); err != nil {
+			s.colMu.Unlock()
 			return fmt.Errorf("serve: restoring snapshot %d: %w", seq, err)
 		}
 		s.virtual = snap.VirtualSec
@@ -176,6 +190,7 @@ func (s *Server) recover() error {
 		if t := sim.Time(s.virtual); t > s.eng.Now() {
 			s.eng.RunUntil(t)
 		}
+		s.colMu.Unlock()
 	}
 	n := 0
 	err = s.wal.Replay(from, func(recSeq uint64, p []byte) error {
@@ -187,20 +202,37 @@ func (s *Server) recover() error {
 		if err != nil {
 			return fmt.Errorf("serve: journal record %d: %w", recSeq, err)
 		}
+		s.colMu.Lock()
 		if t := sim.Time(b.VirtualSec); t > s.eng.Now() {
 			s.eng.RunUntil(t)
 		}
 		s.col.ApplyBatch(ops, s.cfg.Workers)
 		s.virtual = b.VirtualSec
 		s.appliedSeq = recSeq
+		s.colMu.Unlock()
 		n++
 		return nil
 	})
 	if err != nil {
 		return err
 	}
+	sec := time.Since(t0).Seconds()
+	s.colMu.Lock()
 	s.recovered = true
 	s.recoveredRecords = n
-	s.recoverySec = time.Since(t0).Seconds()
+	s.recoverySec = sec
+	virtual := s.virtual
+	s.colMu.Unlock()
+	if s.fr != nil {
+		ev := flight.Ev(flight.RecoveryReplay, flight.PlaneServe)
+		ev.T = sim.Time(virtual)
+		ev.Count = n
+		ev.DelaySec = sec
+		s.fr.Record(ev)
+	}
+	if s.log != nil {
+		s.log.Info("recovery complete",
+			"replayed_records", n, "virtual_sec", virtual, "wall_sec", sec)
+	}
 	return nil
 }

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+
+	"pythia/internal/flight"
+	"pythia/internal/wal"
+)
+
+// This file is the serving plane's metric set: a flight.LiveRegistry behind
+// typed observation methods. A nil *serveMetrics means instrumentation is
+// disabled — every method nil-checks its receiver, so the disabled hot path
+// costs one pointer compare and zero allocations (guarded by
+// BenchmarkMetricsDisabled). The /metrics endpoint merges this registry's
+// cumulative snapshot with scrape-time polled series (queue depth, collector
+// and WAL gauges) before one exposition render.
+
+// Histogram bucket edges, chosen for the serving plane's ranges.
+var (
+	// latencyEdges spans sub-millisecond in-process handling through
+	// multi-second saturation backlogs.
+	latencyEdges = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	// bodyEdges spans one-op requests through the 8 MiB body cap.
+	bodyEdges = []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
+	// batchEdges spans singleton batches through BatchMax-scale coalescing.
+	batchEdges = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	// fsyncEdges spans page-cache syncs through slow-disk stalls.
+	fsyncEdges = []float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+		0.005, 0.01, 0.025, 0.05, 0.1, 0.25}
+)
+
+// Rejection reasons for pythia_serve_rejected_total.
+const (
+	rejectQueueFull  = "queue_full"
+	rejectTooLarge   = "body_too_large"
+	rejectBadRequest = "bad_request"
+	rejectDraining   = "draining"
+	rejectCrashed    = "crashed"
+	rejectRecovering = "recovering"
+)
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+// serveMetrics owns the live registry and the pre-registered handles the
+// request path and batch loop observe through.
+type serveMetrics struct {
+	reg *flight.LiveRegistry
+
+	bodyBytes     *flight.LiveHistogram
+	batchOps      *flight.LiveHistogram
+	commitSeconds *flight.LiveHistogram
+	batchesTotal  *flight.LiveCounter
+	opsTotal      *flight.LiveCounter
+
+	walAppends     *flight.LiveCounter
+	walAppendBytes *flight.LiveCounter
+	walFsync       *flight.LiveHistogram
+	walRotations   *flight.LiveCounter
+	walSnapshots   *flight.LiveCounter
+	walSnapBytes   *flight.LiveCounter
+	walCompacted   *flight.LiveCounter
+
+	// Label-fanned families, materialized on first use under mu. The hot
+	// path is one mutex and a struct-keyed map lookup — no allocation.
+	mu        sync.Mutex
+	requests  map[routeCode]*flight.LiveCounter
+	latencies map[string]*flight.LiveHistogram
+	rejects   map[string]*flight.LiveCounter
+}
+
+func newServeMetrics() *serveMetrics {
+	reg := flight.NewLiveRegistry()
+	return &serveMetrics{
+		reg: reg,
+		bodyBytes: reg.Histogram("pythia_serve_request_body_bytes",
+			"Ingest request body sizes in bytes.", bodyEdges),
+		batchOps: reg.Histogram("pythia_serve_batch_ops",
+			"Operations per committed collector batch.", batchEdges),
+		commitSeconds: reg.Histogram("pythia_serve_commit_seconds",
+			"Wall seconds per batch commit (journal append through collector apply).", latencyEdges),
+		batchesTotal: reg.Counter("pythia_serve_batches_total",
+			"Collector batches committed."),
+		opsTotal: reg.Counter("pythia_serve_ops_total",
+			"Collector operations committed."),
+		walAppends: reg.Counter("pythia_wal_appends_total",
+			"Journal records appended."),
+		walAppendBytes: reg.Counter("pythia_wal_appended_bytes_total",
+			"Journal payload bytes appended."),
+		walFsync: reg.Histogram("pythia_wal_fsync_seconds",
+			"Journal fsync wall time in seconds.", fsyncEdges),
+		walRotations: reg.Counter("pythia_wal_rotations_total",
+			"Journal segment rotations (including the first segment)."),
+		walSnapshots: reg.Counter("pythia_wal_snapshots_total",
+			"Durable snapshots written."),
+		walSnapBytes: reg.Counter("pythia_wal_snapshot_bytes_total",
+			"Snapshot payload bytes written."),
+		walCompacted: reg.Counter("pythia_wal_compacted_segments_total",
+			"Journal segments removed by compaction."),
+		requests:  map[routeCode]*flight.LiveCounter{},
+		latencies: map[string]*flight.LiveHistogram{},
+		rejects:   map[string]*flight.LiveCounter{},
+	}
+}
+
+// request records one completed HTTP request: the per-route/per-code counter
+// and the per-route latency histogram.
+func (m *serveMetrics) request(route string, code int, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	c, ok := m.requests[routeCode{route, code}]
+	if !ok {
+		c = m.reg.Counter(
+			flight.SeriesName("pythia_serve_requests_total", "route", route, "code", strconv.Itoa(code)),
+			"HTTP requests served, by route and status code.")
+		m.requests[routeCode{route, code}] = c
+	}
+	h, ok := m.latencies[route]
+	if !ok {
+		h = m.reg.Histogram(
+			flight.SeriesName("pythia_serve_request_seconds", "route", route),
+			"HTTP request latency in seconds, by route.", latencyEdges)
+		m.latencies[route] = h
+	}
+	m.mu.Unlock()
+	c.Inc()
+	h.Observe(seconds)
+}
+
+// rejected counts one refused request by reason (429 queue_full, 413
+// body_too_large, 400 bad_request, 503 draining/crashed/recovering).
+func (m *serveMetrics) rejected(reason string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	c, ok := m.rejects[reason]
+	if !ok {
+		c = m.reg.Counter(
+			flight.SeriesName("pythia_serve_rejected_total", "reason", reason),
+			"Requests refused, by reason.")
+		m.rejects[reason] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
+}
+
+// body records an ingest request's body size.
+func (m *serveMetrics) body(bytes int64) {
+	if m == nil || bytes < 0 {
+		return
+	}
+	m.bodyBytes.Observe(float64(bytes))
+}
+
+// batch records one committed batch: size, commit wall time, op throughput.
+func (m *serveMetrics) batch(ops int, commitSeconds float64) {
+	if m == nil {
+		return
+	}
+	m.batchesTotal.Inc()
+	m.opsTotal.Add(float64(ops))
+	m.batchOps.Observe(float64(ops))
+	m.commitSeconds.Observe(commitSeconds)
+}
+
+// walObserver bridges the journal's lifecycle hooks into the registry.
+// Returns nil when metrics are disabled, preserving the journal's nil-check
+// fast path.
+func (m *serveMetrics) walObserver() *wal.Observer {
+	if m == nil {
+		return nil
+	}
+	return &wal.Observer{
+		Append: func(bytes int) {
+			m.walAppends.Inc()
+			m.walAppendBytes.Add(float64(bytes))
+		},
+		Fsync:    func(sec float64) { m.walFsync.Observe(sec) },
+		Rotate:   func() { m.walRotations.Inc() },
+		Snapshot: func(bytes int) { m.walSnapshots.Inc(); m.walSnapBytes.Add(float64(bytes)) },
+		Compact:  func(segments int) { m.walCompacted.Add(float64(segments)) },
+	}
+}
+
+// normalizeRoute maps a request path onto the bounded route-label set, so
+// arbitrary client paths cannot mint unbounded series.
+func normalizeRoute(path string) string {
+	switch path {
+	case "/v1/ingest", "/v1/stats", "/v1/healthz", "/v1/readyz", "/metrics":
+		return path
+	}
+	if len(path) >= len("/debug/pprof") && path[:len("/debug/pprof")] == "/debug/pprof" {
+		return "/debug/pprof"
+	}
+	return "other"
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pythia/internal/flight"
+	"pythia/internal/trace"
+)
+
+// This file is the serving plane's read side of the operations plane: the
+// observability middleware (request metrics, request-ID stamping, structured
+// request logs), the GET /metrics Prometheus exposition handler, and the
+// live flight-recorder accessors.
+
+// statusWriter captures the status code the handler wrote, for the request
+// metrics and logs. WriteHeader-less handlers count as 200, like net/http.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps the mux with the observability middleware: every request
+// gets an X-Request-ID, a per-route/per-code counter and latency observation
+// (when metrics are on), and a structured log line (when logging is on).
+// Installed only when at least one of the two is enabled, so a bare server's
+// request path is untouched.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqSeq.Add(1)
+		w.Header().Set("X-Request-ID", strconv.FormatUint(id, 10))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(t0)
+		route := normalizeRoute(r.URL.Path)
+		s.met.request(route, sw.code, dur.Seconds())
+		if s.log != nil {
+			s.log.Info("request",
+				"request_id", id,
+				"method", r.Method,
+				"route", route,
+				"path", r.URL.Path,
+				"status", sw.code,
+				"duration_ms", float64(dur.Microseconds())/1000,
+				"bytes", sw.bytes)
+		}
+	})
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// handleMetrics renders the Prometheus exposition: a snapshot of the live
+// (event-driven) registry merged with scrape-time polled series — queue
+// depth, collector gauges and counters (aggregate and per-shard), journal
+// sizes, and the recovery report — so one scrape is one consistent view.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.met.reg.Snapshot()
+	poll := flight.NewRegistry()
+	poll.Gauge("pythia_serve_queue_depth",
+		"Requests waiting in the ingest queue.").Set(float64(len(s.queue)))
+	poll.Gauge("pythia_serve_draining",
+		"1 while the server refuses new work for shutdown.").Set(b2f(s.draining.Load()))
+	poll.Gauge("pythia_serve_ready",
+		"1 once the readiness gate is open (recovery complete).").Set(b2f(s.ready()))
+
+	sn := s.statsSnapshot()
+	poll.Gauge("pythia_serve_latency_p50_seconds",
+		"Median enqueue-to-commit latency over the sample ring.").Set(sn.p50)
+	poll.Gauge("pythia_serve_latency_p99_seconds",
+		"99th-percentile enqueue-to-commit latency over the sample ring.").Set(sn.p99)
+
+	s.colMu.Lock()
+	st := s.col.Stats()
+	shards := s.col.ShardStats()
+	virtual := float64(s.eng.Now())
+	placements := s.placements
+	var walRecords, walSegments int
+	var walBytes int64
+	if s.wal != nil {
+		walRecords = s.wal.Records()
+		walSegments = s.wal.Segments()
+		walBytes = s.wal.Size()
+	}
+	recovered, recoveredRecords, recoverySec := s.recovered, s.recoveredRecords, s.recoverySec
+	s.colMu.Unlock()
+
+	poll.Gauge("pythia_serve_virtual_seconds",
+		"The collector's virtual clock.").Set(virtual)
+	poll.Counter("pythia_serve_placements_total",
+		"Placement decisions folded into the digest.").Add(float64(placements))
+
+	counters := []struct {
+		name, help string
+		v          int
+	}{
+		{"pythia_collector_intents_received_total", "Unique intents ingested.", st.IntentsReceived},
+		{"pythia_collector_intents_deferred_total", "Intents parked awaiting reducer placement.", st.IntentsDeferred},
+		{"pythia_collector_dedup_hits_total", "Exact duplicate intents dropped by the idempotence set.", st.DedupHits},
+		{"pythia_collector_duplicate_intents_total", "Re-predictions for an already-booked flow.", st.DuplicateIntents},
+		{"pythia_collector_expired_bookings_total", "Reservations reclaimed by the booking-TTL sweep.", st.ExpiredBookings},
+		{"pythia_collector_expired_intents_total", "Deferred intents reclaimed by the booking-TTL sweep.", st.ExpiredIntents},
+		{"pythia_collector_aggregates_placed_total", "Aggregated flow groups placed.", st.AggregatesPlaced},
+		{"pythia_collector_reaffirmations_total", "Placements re-affirmed on re-prediction.", st.Reaffirmations},
+		{"pythia_collector_reallocations_total", "Placements moved on re-prediction.", st.Reallocations},
+		{"pythia_collector_rule_install_errors_total", "Rule installs rejected by the controller.", st.RuleInstallErrors},
+		{"pythia_collector_flows_rescued_total", "Flows rescued from failed links.", st.FlowsRescued},
+		{"pythia_collector_aggregates_degraded_total", "Aggregates degraded to shortest path.", st.AggregatesDegraded},
+		{"pythia_collector_reconciliations_total", "Reconciliation passes run.", st.Reconciliations},
+	}
+	for _, c := range counters {
+		poll.Counter(c.name, c.help).Add(float64(c.v))
+	}
+	poll.Gauge("pythia_collector_pending_intents",
+		"Intents awaiting reducer placement.").Set(float64(st.PendingIntents))
+	poll.Gauge("pythia_collector_outstanding_bookings",
+		"Live reservations plus deferred intents, all jobs.").Set(float64(st.OutstandingBookings))
+	poll.Gauge("pythia_collector_outstanding_demand_bits",
+		"Booked-but-undelivered predicted demand.").Set(st.OutstandingDemandBits)
+	for i, sh := range shards {
+		l := strconv.Itoa(i)
+		poll.Gauge(flight.SeriesName("pythia_collector_shard_pending_intents", "shard", l),
+			"Pending intents, by shard.").Set(float64(sh.PendingIntents))
+		poll.Gauge(flight.SeriesName("pythia_collector_shard_booked_flows", "shard", l),
+			"Booked flows, by shard.").Set(float64(sh.BookedFlows))
+		poll.Counter(flight.SeriesName("pythia_collector_shard_dedup_hits_total", "shard", l),
+			"Duplicate intents dropped, by shard.").Add(float64(sh.DedupHits))
+		poll.Counter(flight.SeriesName("pythia_collector_shard_expired_bookings_total", "shard", l),
+			"TTL-reclaimed reservations, by shard.").Add(float64(sh.ExpiredBookings))
+		poll.Counter(flight.SeriesName("pythia_collector_shard_expired_intents_total", "shard", l),
+			"TTL-reclaimed deferred intents, by shard.").Add(float64(sh.ExpiredIntents))
+	}
+
+	if s.wal != nil {
+		poll.Gauge("pythia_wal_records",
+			"Records in the live journal.").Set(float64(walRecords))
+		poll.Gauge("pythia_wal_segments",
+			"Segments in the live journal.").Set(float64(walSegments))
+		poll.Gauge("pythia_wal_size_bytes",
+			"On-disk journal size.").Set(float64(walBytes))
+	}
+	poll.Gauge("pythia_recovery_recovered",
+		"1 if this process restored state from a journal at startup.").Set(b2f(recovered))
+	poll.Gauge("pythia_recovery_replayed_records",
+		"Journal records replayed during startup recovery.").Set(float64(recoveredRecords))
+	poll.Gauge("pythia_recovery_seconds",
+		"Wall time startup recovery took.").Set(recoverySec)
+
+	flight.Merge(snap, poll)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, snap.PrometheusText())
+}
+
+// FlightEvents returns a copy of the live flight-recorder ring, oldest
+// first (nil when Config.FlightEvents is 0).
+func (s *Server) FlightEvents() []flight.Event { return s.fr.Events() }
+
+// FlightJSONL renders the live flight-recorder ring as JSON Lines.
+func (s *Server) FlightJSONL() []byte { return s.fr.JSONL() }
+
+// ChromeTrace renders the live flight-recorder ring as a Chrome
+// chrome://tracing JSON document: serve-plane batch spans next to the
+// collector's control-plane lanes, on the virtual-time axis.
+func (s *Server) ChromeTrace() ([]byte, error) {
+	if s.fr == nil {
+		return nil, fmt.Errorf("serve: flight recorder disabled (Config.FlightEvents is 0)")
+	}
+	return trace.MergedChrome(nil, s.fr.Events())
+}

@@ -150,7 +150,7 @@ func runStorm(t *testing.T, base Config, walDir string, schedule []crashPlan, tr
 	}
 
 	final := front.cur.Load()
-	st, err := cl.Stats(ctx)
+	st, err := cl.ServerStats(ctx)
 	if err != nil {
 		t.Fatalf("final stats: %v", err)
 	}
@@ -323,6 +323,9 @@ func TestGracefulRestartFromSnapshot(t *testing.T) {
 		t.Fatalf("recovering: %v", err)
 	}
 	srv2.Start()
+	if err := srv2.AwaitReady(context.Background()); err != nil {
+		t.Fatalf("awaiting recovery: %v", err)
+	}
 	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
 	after := getStats(t, ts2.Client(), ts2.URL)

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"pythia/internal/core"
+	"pythia/internal/flight"
 	"pythia/internal/netsim"
 	"pythia/internal/openflow"
 	"pythia/internal/sim"
@@ -79,6 +82,24 @@ type Config struct {
 	// batch loop; returning true simulates a process kill there (chaos
 	// tests). Production servers leave it nil.
 	CrashHook func(CrashPoint) bool
+
+	// Metrics enables the live metrics registry and the GET /metrics
+	// Prometheus exposition endpoint. Disabled, the request and batch hot
+	// paths carry zero instrumentation cost (no allocations — guarded by
+	// BenchmarkMetricsDisabled).
+	Metrics bool
+	// Pprof mounts net/http/pprof under /debug/pprof/ (opt-in: profiling
+	// endpoints leak internals and should not face untrusted clients).
+	Pprof bool
+	// Logger, when non-nil, enables structured request and batch logging
+	// through it. Level filtering is the logger's: request logs emit at
+	// Info, per-batch logs at Debug.
+	Logger *slog.Logger
+	// FlightEvents, when positive, enables a bounded in-memory flight
+	// recorder holding the newest FlightEvents serve-plane events
+	// (ingest → journal → commit → placement), exported via
+	// Server.FlightEvents / Server.ChromeTrace.
+	FlightEvents int
 }
 
 // Defaults fills unset fields: 4 shards, 4 workers, 256-request queue,
@@ -157,10 +178,23 @@ type Server struct {
 	snapSeq    uint64 // journal seq the latest snapshot covers through
 	snapshots  int
 
-	// Recovery report (written once in New, read-only after).
+	// Recovery report (written by the recovery goroutine under colMu
+	// before readyC closes; read under colMu).
 	recovered        bool
 	recoveredRecords int
 	recoverySec      float64
+
+	// Readiness gate. readyC closes once the server can ingest (for a
+	// Recover server, after replay completes inside Start's goroutine;
+	// otherwise in New). failedC closes instead when recovery fails;
+	// recoverErr is written before failedC closes and read-only after.
+	// recoverGate, when non-nil, holds recovery until it closes (tests
+	// observe the "recovering" readiness state through it).
+	needsRecover bool
+	readyC       chan struct{}
+	failedC      chan struct{}
+	recoverErr   error
+	recoverGate  chan struct{}
 
 	queue    chan *ingestJob
 	stop     chan struct{}
@@ -176,17 +210,26 @@ type Server struct {
 	crashedC  chan struct{}
 	crashOnce sync.Once
 
-	requestsTotal atomic.Int64
-	rejectedTotal atomic.Int64
+	// statsMu guards the serving counters and the latency ring as one
+	// snapshot domain: /v1/stats reads them in a single critical section,
+	// so its queue depth, totals, and percentiles are mutually consistent.
+	statsMu       sync.Mutex
+	requestsTotal int64
+	rejectedTotal int64
+	latSec        [latRingSize]float64 // enqueue→commit, seconds
+	latN          int                  // total recorded (ring index = latN % size)
+	lastCommit    time.Time            // last batch commit (under statsMu)
+	reqPerSec     float64              // EWMA of request commit rate (under statsMu)
 
-	latMu      sync.Mutex
-	latSec     [latRingSize]float64 // enqueue→commit, seconds
-	latN       int                  // total recorded (ring index = latN % size)
-	lastCommit time.Time            // last batch commit (under latMu)
-	reqPerSec  float64              // EWMA of request commit rate (under latMu)
+	// Observability plane (nil when disabled; every use nil-checks).
+	met    *serveMetrics
+	fr     *flight.LiveRecorder
+	log    *slog.Logger
+	reqSeq atomic.Uint64 // request-ID sequence for the logging middleware
 
-	mux    *http.ServeMux
-	httpMu sync.Mutex
+	mux     *http.ServeMux
+	handler http.Handler // mux, possibly wrapped in the observability middleware
+	httpMu  sync.Mutex
 	// httpSrv is set by ListenAndServe and read by Shutdown (under httpMu
 	// — the two race otherwise).
 	httpSrv *http.Server
@@ -221,17 +264,28 @@ func New(cfg Config) (*Server, error) {
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 		crashedC: make(chan struct{}),
+		readyC:   make(chan struct{}),
+		failedC:  make(chan struct{}),
+		log:      cfg.Logger,
 	}
 	for i, h := range hosts {
 		s.hostIdx[h] = i
 	}
 	s.digest = 14695981039346656037 // FNV-1a offset basis
 	py.SetPlacementHook(s.observePlacement)
+	if cfg.Metrics {
+		s.met = newServeMetrics()
+	}
+	if cfg.FlightEvents > 0 {
+		s.fr = flight.NewLiveRecorder(cfg.FlightEvents, nil)
+		py.SetFlightRecorder(s.fr)
+	}
 
 	if cfg.WALDir != "" {
 		l, err := wal.Open(cfg.WALDir, wal.Options{
 			SegmentBytes: cfg.SegmentBytes,
 			SyncEvery:    cfg.FsyncEvery,
+			Observer:     s.met.walObserver(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("serve: opening journal: %w", err)
@@ -240,20 +294,39 @@ func New(cfg Config) (*Server, error) {
 		_, _, hasSnap, snapErr := l.LatestSnapshot()
 		switch {
 		case cfg.Recover:
-			if err := s.recover(); err != nil {
-				l.Abort()
-				return nil, err
-			}
+			// Replay runs asynchronously in Start, behind the readiness
+			// gate, so liveness probes and scrapes answer during a long
+			// recovery. The history check below stays synchronous: an
+			// un-replayable journal must fail construction loudly.
+			s.needsRecover = true
 		case l.Records() > 0 || (snapErr == nil && hasSnap):
 			l.Abort()
 			return nil, fmt.Errorf("serve: journal %s holds history; set Recover to replay it or point WALDir at a fresh directory", cfg.WALDir)
 		}
+	}
+	if !s.needsRecover {
+		close(s.readyC) // nothing to replay: ready from construction
 	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	if cfg.Metrics {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if cfg.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = http.Handler(s.mux)
+	if s.met != nil || s.log != nil {
+		s.handler = s.instrument(s.mux)
+	}
 	return s, nil
 }
 
@@ -276,20 +349,79 @@ func (s *Server) observePlacement(src, dst topology.NodeID, path topology.Path) 
 }
 
 // Start launches the batch loop and anchors the wall clock. It must be
-// called exactly once, before the first request. (The placement digest is
-// seeded in New — recovery accumulates into it before Start.)
+// called exactly once, before the first request. For a Recover server,
+// journal replay runs first, asynchronously, behind the readiness gate:
+// ingest answers 503 "recovering" (retryable) and /v1/readyz reports the
+// state until replay completes — use AwaitReady to block on it.
 func (s *Server) Start() {
 	if !s.started.CompareAndSwap(false, true) {
 		panic("serve: Start called twice")
 	}
-	// In wall-clock mode a recovered process re-anchors so elapsed time
-	// continues from the recovered virtual instant instead of rewinding.
-	s.startAt = time.Now().Add(-time.Duration(s.virtual * float64(time.Second)))
-	go s.loop()
+	go func() {
+		if s.needsRecover {
+			if s.recoverGate != nil {
+				<-s.recoverGate // test hook: hold the server in "recovering"
+			}
+			if err := s.recover(); err != nil {
+				s.recoverErr = err
+				s.wal.Abort()
+				if s.log != nil {
+					s.log.Error("recovery failed", "error", err)
+				}
+				close(s.failedC)
+				close(s.loopDone) // Shutdown must not wait on a loop that never ran
+				return
+			}
+			close(s.readyC)
+		}
+		// In wall-clock mode a recovered process re-anchors so elapsed
+		// time continues from the recovered virtual instant instead of
+		// rewinding.
+		s.colMu.Lock()
+		v := s.virtual
+		s.colMu.Unlock()
+		s.startAt = time.Now().Add(-time.Duration(v * float64(time.Second)))
+		s.loop()
+	}()
 }
 
-// Handler returns the server's HTTP handler (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// AwaitReady blocks until the server can ingest: immediately for a fresh
+// server, after journal replay for a Recover server. It returns the
+// recovery error if replay failed, or ctx's error if it expires first.
+func (s *Server) AwaitReady(ctx context.Context) error {
+	select {
+	case <-s.readyC:
+		return nil
+	case <-s.failedC:
+		return s.recoverErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ready reports whether the server is past its readiness gate.
+func (s *Server) ready() bool {
+	select {
+	case <-s.readyC:
+		return true
+	default:
+		return false
+	}
+}
+
+// recoveryFailed reports whether asynchronous journal replay failed.
+func (s *Server) recoveryFailed() bool {
+	select {
+	case <-s.failedC:
+		return true
+	default:
+		return false
+	}
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding). With
+// metrics or logging enabled it includes the observability middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // NumHosts reports the fabric's host count — the exclusive upper bound for
 // wire host indexes.
@@ -302,7 +434,7 @@ func (s *Server) NumHosts() int { return len(s.hosts) }
 func (s *Server) httpServer(addr string) *http.Server {
 	return &http.Server{
 		Addr:              addr,
-		Handler:           s.mux,
+		Handler:           s.handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
@@ -344,10 +476,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			return ctx.Err()
 		}
 	}
-	// After a crash the journal handle is already abandoned; a clean drain
-	// seals it with a final snapshot (idempotent: a second Shutdown finds
-	// appliedSeq == snapSeq and Close a no-op).
-	if s.wal != nil && !s.crashed() {
+	// After a crash or a failed recovery the journal handle is already
+	// abandoned; a clean drain seals it with a final snapshot (idempotent:
+	// a second Shutdown finds appliedSeq == snapSeq and Close a no-op).
+	if s.wal != nil && !s.crashed() && !s.recoveryFailed() {
 		s.colMu.Lock()
 		if s.appliedSeq > s.snapSeq {
 			s.snapshotLocked()
@@ -440,6 +572,17 @@ func (s *Server) runBatch(batch []*ingestJob) bool {
 		s.colMu.Unlock()
 		return false
 	}
+	instrumented := s.met != nil || s.fr != nil
+	if s.fr != nil {
+		ev := flight.Ev(flight.BatchIngested, flight.PlaneServe)
+		ev.T = sim.Time(target)
+		ev.Count = nops
+		s.fr.Record(ev)
+	}
+	var commitT0 time.Time
+	if instrumented {
+		commitT0 = time.Now()
+	}
 	if s.wal != nil {
 		payload, err := encodeBatch(&WireBatch{VirtualSec: target, Ops: opsToWire(ops, s.hostIdx)})
 		if err == nil {
@@ -450,6 +593,13 @@ func (s *Server) runBatch(batch []*ingestJob) bool {
 			s.colMu.Unlock()
 			panic(fmt.Sprintf("serve: journal append failed, refusing to ack unjournaled batches: %v", err))
 		}
+		if s.fr != nil {
+			ev := flight.Ev(flight.BatchJournaled, flight.PlaneServe)
+			ev.T = sim.Time(target)
+			ev.Bytes = float64(len(payload))
+			ev.DelaySec = time.Since(commitT0).Seconds()
+			s.fr.Record(ev)
+		}
 	}
 	if s.crashAt(CrashAfterAppend) {
 		s.colMu.Unlock()
@@ -459,6 +609,17 @@ func (s *Server) runBatch(batch []*ingestJob) bool {
 		s.eng.RunUntil(deadline)
 	}
 	results := s.col.ApplyBatch(ops, s.cfg.Workers)
+	if instrumented {
+		commitSec := time.Since(commitT0).Seconds()
+		s.met.batch(nops, commitSec)
+		if s.fr != nil {
+			ev := flight.Ev(flight.BatchCommitted, flight.PlaneServe)
+			ev.T = sim.Time(target)
+			ev.Count = nops
+			ev.DelaySec = commitSec
+			s.fr.Record(ev)
+		}
+	}
 	if s.wal != nil {
 		s.appliedSeq = s.wal.NextSeq() - 1
 		if s.cfg.SnapshotEvery > 0 && s.appliedSeq-s.snapSeq >= uint64(s.cfg.SnapshotEvery) {
@@ -466,12 +627,16 @@ func (s *Server) runBatch(batch []*ingestJob) bool {
 		}
 	}
 	s.colMu.Unlock()
+	if s.log != nil {
+		s.log.Debug("batch committed",
+			"ops", nops, "requests", len(batch), "virtual_sec", target)
+	}
 	if s.crashAt(CrashAfterCommit) {
 		return false
 	}
 
 	now := time.Now()
-	s.latMu.Lock()
+	s.statsMu.Lock()
 	at := 0
 	for _, j := range batch {
 		j.results = results[at : at+len(j.ops)]
@@ -491,7 +656,7 @@ func (s *Server) runBatch(batch []*ingestJob) bool {
 		}
 	}
 	s.lastCommit = now
-	s.latMu.Unlock()
+	s.statsMu.Unlock()
 	for _, j := range batch {
 		close(j.done)
 	}
@@ -518,25 +683,49 @@ func retryAfterSecs(depth int, ratePerSec float64) int {
 
 // retryAfter snapshots the live inputs for retryAfterSecs.
 func (s *Server) retryAfter() int {
-	s.latMu.Lock()
+	s.statsMu.Lock()
 	rate := s.reqPerSec
-	s.latMu.Unlock()
+	s.statsMu.Unlock()
 	return retryAfterSecs(len(s.queue), rate)
 }
 
-// latencyPercentiles snapshots the ring and reports (p50, p99) in seconds.
-func (s *Server) latencyPercentiles() (p50, p99 float64) {
-	s.latMu.Lock()
+// statsSnap is one mutually consistent view of the serving counters: every
+// field is read in a single statsMu critical section, so a scrape cannot see
+// a request total from after a latency ring it read from before.
+type statsSnap struct {
+	p50, p99   float64 // seconds
+	requests   int64
+	rejected   int64
+	queueDepth int
+}
+
+// statsSnapshot captures the serving counters and latency percentiles under
+// one statsMu hold.
+func (s *Server) statsSnapshot() statsSnap {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	p50, p99 := s.percentilesLocked()
+	return statsSnap{
+		p50:        p50,
+		p99:        p99,
+		requests:   s.requestsTotal,
+		rejected:   s.rejectedTotal,
+		queueDepth: len(s.queue),
+	}
+}
+
+// percentilesLocked computes (p50, p99) from the latency ring. Caller holds
+// statsMu.
+func (s *Server) percentilesLocked() (p50, p99 float64) {
 	n := s.latN
 	if n > latRingSize {
 		n = latRingSize
 	}
-	samples := make([]float64, n)
-	copy(samples, s.latSec[:n])
-	s.latMu.Unlock()
 	if n == 0 {
 		return 0, 0
 	}
+	samples := make([]float64, n)
+	copy(samples, s.latSec[:n])
 	sort.Float64s(samples)
 	pick := func(q float64) float64 {
 		i := int(q * float64(n-1))
@@ -545,24 +734,63 @@ func (s *Server) latencyPercentiles() (p50, p99 float64) {
 	return pick(0.50), pick(0.99)
 }
 
+// latencyPercentiles snapshots the ring and reports (p50, p99) in seconds.
+func (s *Server) latencyPercentiles() (p50, p99 float64) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.percentilesLocked()
+}
+
+// countRequest and countRejected bump the serving totals under statsMu.
+func (s *Server) countRequest() {
+	s.statsMu.Lock()
+	s.requestsTotal++
+	s.statsMu.Unlock()
+}
+
+func (s *Server) countRejected() {
+	s.statsMu.Lock()
+	s.rejectedTotal++
+	s.statsMu.Unlock()
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		s.met.rejected(rejectDraining)
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	if s.crashed() {
+		s.met.rejected(rejectCrashed)
 		writeError(w, http.StatusServiceUnavailable, "server crashed; retry against the restarted process")
 		return
 	}
-	s.requestsTotal.Add(1)
+	if !s.ready() {
+		if s.recoveryFailed() {
+			s.met.rejected(rejectCrashed)
+			writeError(w, http.StatusServiceUnavailable, "recovery failed: %v", s.recoverErr)
+			return
+		}
+		// Replaying the journal: retryable, like any transient outage.
+		s.met.rejected(rejectRecovering)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "server is recovering; retry")
+		return
+	}
+	s.countRequest()
+	if cl := r.ContentLength; cl >= 0 {
+		s.met.body(cl)
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	req, err := decodeIngest(r.Body, len(s.hosts), s.cfg.MaxOpsPerRequest)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
+			s.met.rejected(rejectTooLarge)
 			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
 			return
 		}
+		s.met.rejected(rejectBadRequest)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -572,7 +800,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	default:
 		// Bounded-queue backpressure: reject rather than buffer without
 		// limit, and tell the client when the backlog should have drained.
-		s.rejectedTotal.Add(1)
+		s.countRejected()
+		s.met.rejected(rejectQueueFull)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		writeError(w, http.StatusTooManyRequests, "ingest queue full (%d requests)", s.cfg.QueueCap)
 		return
@@ -619,28 +848,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		walSegments = s.wal.Segments()
 		walBytes = s.wal.Size()
 	}
+	recovered, recoveredRecords, recoverySec := s.recovered, s.recoveredRecords, s.recoverySec
 	s.colMu.Unlock()
-	p50, p99 := s.latencyPercentiles()
+	sn := s.statsSnapshot()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		CollectorStats:   st,
 		PlacementDigest:  fmt.Sprintf("%016x", digest),
 		Placements:       placements,
-		QueueDepth:       len(s.queue),
+		QueueDepth:       sn.queueDepth,
 		NumHosts:         len(s.hosts),
 		VirtualSec:       virtual,
-		RequestsTotal:    s.requestsTotal.Load(),
-		RejectedTotal:    s.rejectedTotal.Load(),
-		LatencyP50Micros: p50 * 1e6,
-		LatencyP99Micros: p99 * 1e6,
+		RequestsTotal:    sn.requests,
+		RejectedTotal:    sn.rejected,
+		LatencyP50Micros: sn.p50 * 1e6,
+		LatencyP99Micros: sn.p99 * 1e6,
 
 		WALRecords:       walRecords,
 		WALSegments:      walSegments,
 		WALBytes:         walBytes,
 		Snapshots:        snapshots,
 		SnapshotSeq:      snapSeq,
-		Recovered:        s.recovered,
-		RecoveredRecords: s.recoveredRecords,
-		RecoverySec:      s.recoverySec,
+		Recovered:        recovered,
+		RecoveredRecords: recoveredRecords,
+		RecoverySec:      recoverySec,
 	})
 }
 
@@ -655,4 +885,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: unlike /v1/healthz (liveness — is the
+// process up and not wedged), it answers 503 whenever the server should not
+// receive traffic, with the reason as the plain-text body: "recovering"
+// during journal replay, "draining" during shutdown, "crashed" after an
+// injected crash, and the recovery error if replay failed.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.crashed():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "crashed")
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case s.recoveryFailed():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "recovery failed: %v\n", s.recoverErr)
+	case !s.ready():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "recovering")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
 }

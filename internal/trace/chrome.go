@@ -107,6 +107,7 @@ var planeLanes = map[flight.Plane]int{
 	flight.PlaneCollector: 3,
 	flight.PlaneControl:   4,
 	flight.PlaneFabric:    5,
+	flight.PlaneServe:     6,
 }
 
 // MergedChrome exports one Chrome/Perfetto trace holding both the fabric
@@ -141,7 +142,8 @@ func MergedChrome(r *Recorder, events []flight.Event) ([]byte, error) {
 			chromeEvent{Name: "process_name", Phase: "M", PID: 1,
 				Args: map[string]any{"name": "control plane"}})
 		for _, pl := range []flight.Plane{flight.PlaneMonitor, flight.PlaneMgmt,
-			flight.PlaneCollector, flight.PlaneControl, flight.PlaneFabric} {
+			flight.PlaneCollector, flight.PlaneControl, flight.PlaneFabric,
+			flight.PlaneServe} {
 			out = append(out, chromeEvent{Name: "thread_name", Phase: "M",
 				PID: 1, TID: planeLanes[pl], Args: map[string]any{"name": string(pl)}})
 		}
@@ -164,7 +166,10 @@ func controlChromeEvent(ev *flight.Event, t0 sim.Time) chromeEvent {
 		PID:   1,
 		TID:   planeLanes[ev.Plane],
 	}
-	if (ev.Kind == flight.InstallDone || ev.Kind == flight.FlowCompleted) && ev.DelaySec > 0 {
+	spanKind := ev.Kind == flight.InstallDone || ev.Kind == flight.FlowCompleted ||
+		ev.Kind == flight.BatchJournaled || ev.Kind == flight.BatchCommitted ||
+		ev.Kind == flight.RecoveryReplay
+	if spanKind && ev.DelaySec > 0 {
 		ce.Phase = "X"
 		ce.TsUs -= ev.DelaySec * 1e6
 		ce.DurUs = ev.DelaySec * 1e6

@@ -1,0 +1,81 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestObserverHooks: every journal lifecycle event fires its hook with the
+// right payload, and nil hooks are skipped without incident.
+func TestObserverHooks(t *testing.T) {
+	var (
+		appends     int
+		appendBytes int
+		fsyncs      int
+		rotations   int
+		snapshots   int
+		snapBytes   int
+		compactions int
+	)
+	obs := &Observer{
+		Append:   func(n int) { appends++; appendBytes += n },
+		Fsync:    func(sec float64) { fsyncs++; _ = sec },
+		Rotate:   func() { rotations++ },
+		Snapshot: func(n int) { snapshots++; snapBytes += n },
+		Compact:  func(n int) { compactions += n },
+	}
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64, SyncEvery: 1, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rotations != 1 {
+		t.Fatalf("opening an empty journal should rotate once, got %d", rotations)
+	}
+	rec := bytes.Repeat([]byte("x"), 40)
+	for i := 0; i < 3; i++ { // 40+8 byte frames against a 64-byte segment: every append rotates
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if appends != 3 || appendBytes != 120 {
+		t.Fatalf("appends=%d bytes=%d, want 3/120", appends, appendBytes)
+	}
+	if fsyncs == 0 {
+		t.Fatal("SyncEvery=1 must fire the fsync hook")
+	}
+	if rotations < 3 {
+		t.Fatalf("rotations=%d, want >= 3 with 48-byte frames in 64-byte segments", rotations)
+	}
+	if err := l.WriteSnapshot(3, []byte("snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	if snapshots != 1 || snapBytes != len("snapshot") {
+		t.Fatalf("snapshots=%d bytes=%d, want 1/%d", snapshots, snapBytes, len("snapshot"))
+	}
+	if _, err := l.Compact(4); err != nil {
+		t.Fatal(err)
+	}
+	if compactions == 0 {
+		t.Fatal("compaction removed segments but the hook did not fire")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A partially populated observer (and absent hooks) must be harmless.
+	dir2 := t.TempDir()
+	l2, err := Open(dir2, Options{Observer: &Observer{Append: func(int) {}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.WriteSnapshot(1, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,7 +38,27 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
+
+// Observer receives journal lifecycle callbacks for the serving plane's
+// metrics. Every field is optional (nil = not observed) and every hook is
+// invoked synchronously from the journal's single append owner, so
+// implementations must be fast and must not call back into the log. A nil
+// *Observer disables observation entirely at the cost of one pointer check.
+type Observer struct {
+	// Append fires after each successful Append with the payload size.
+	Append func(bytes int)
+	// Fsync fires after each explicit fsync of the append segment with its
+	// wall-clock duration in seconds.
+	Fsync func(seconds float64)
+	// Rotate fires when a new segment is opened (including the first).
+	Rotate func()
+	// Snapshot fires after each durable snapshot write with the payload size.
+	Snapshot func(bytes int)
+	// Compact fires when Compact removes segments, with the count removed.
+	Compact func(segments int)
+}
 
 // Options tunes the journal.
 type Options struct {
@@ -52,6 +72,8 @@ type Options struct {
 	// OS (a process crash still loses nothing; a machine crash may lose the
 	// unsynced tail, which Open then truncates away).
 	SyncEvery int
+	// Observer, when non-nil, receives lifecycle callbacks for metrics.
+	Observer *Observer
 }
 
 func (o Options) defaults() Options {
@@ -244,8 +266,8 @@ func appendFrame(w io.Writer, payload []byte) (int, error) {
 // name carries the next record's sequence number.
 func (l *Log) rotate() error {
 	if l.cur != nil {
-		if err := l.cur.Sync(); err != nil {
-			return fmt.Errorf("wal: %w", err)
+		if err := l.fsyncCur(); err != nil {
+			return err
 		}
 		if err := l.cur.Close(); err != nil {
 			return fmt.Errorf("wal: %w", err)
@@ -261,6 +283,26 @@ func (l *Log) rotate() error {
 	l.cur = f
 	l.segs = append(l.segs, seg)
 	l.syncDir()
+	if obs := l.opts.Observer; obs != nil && obs.Rotate != nil {
+		obs.Rotate()
+	}
+	return nil
+}
+
+// fsyncCur syncs the append segment, timing the fsync for the observer.
+func (l *Log) fsyncCur() error {
+	obs := l.opts.Observer
+	timed := obs != nil && obs.Fsync != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	if err := l.cur.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if timed {
+		obs.Fsync(time.Since(t0).Seconds())
+	}
 	return nil
 }
 
@@ -290,6 +332,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	tail.records++
 	seq := l.nextSeq
 	l.nextSeq++
+	if obs := l.opts.Observer; obs != nil && obs.Append != nil {
+		obs.Append(len(payload))
+	}
 	if l.opts.SyncEvery > 0 {
 		l.unsynced++
 		if l.unsynced >= l.opts.SyncEvery {
@@ -306,8 +351,8 @@ func (l *Log) Sync() error {
 	if l.cur == nil {
 		return nil
 	}
-	if err := l.cur.Sync(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+	if err := l.fsyncCur(); err != nil {
+		return err
 	}
 	l.unsynced = 0
 	return nil
@@ -399,6 +444,9 @@ func (l *Log) WriteSnapshot(seq uint64, payload []byte) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.syncDir()
+	if obs := l.opts.Observer; obs != nil && obs.Snapshot != nil {
+		obs.Snapshot(len(payload))
+	}
 	// Drop superseded snapshots.
 	names, err := l.list(snapPrefix, snapSuffix)
 	if err != nil {
@@ -455,6 +503,9 @@ func (l *Log) Compact(keepFrom uint64) (removed int, err error) {
 	}
 	if removed > 0 {
 		l.syncDir()
+		if obs := l.opts.Observer; obs != nil && obs.Compact != nil {
+			obs.Compact(removed)
+		}
 	}
 	return removed, nil
 }
@@ -471,9 +522,9 @@ func (l *Log) Close() error {
 	if l.cur == nil {
 		return nil
 	}
-	if err := l.cur.Sync(); err != nil {
+	if err := l.fsyncCur(); err != nil {
 		l.cur.Close()
-		return fmt.Errorf("wal: %w", err)
+		return err
 	}
 	err := l.cur.Close()
 	l.cur = nil

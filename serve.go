@@ -7,9 +7,11 @@ import "pythia/internal/serve"
 // protocol and cmd/pythia-serve for the ready-made binary.
 
 // ServeConfig shapes the online serving stack: collector shard and worker
-// counts, queue/batch bounds, booking TTL, and the simulated fabric
-// standing in for the datacenter. The zero value is usable; unset fields
-// take the same defaults cmd/pythia-serve ships with.
+// counts, queue/batch bounds, booking TTL, the simulated fabric standing in
+// for the datacenter, and the operations plane (Metrics for GET /metrics,
+// Pprof, Logger for structured request logs, FlightEvents for the live
+// flight recorder). The zero value is usable; unset fields take the same
+// defaults cmd/pythia-serve ships with.
 type ServeConfig = serve.Config
 
 // Server is the online collector service. Start it, mount Handler on any
@@ -35,6 +37,11 @@ type Client = serve.Client
 
 // ClientConfig tunes Client retry behavior; the zero value is usable.
 type ClientConfig = serve.ClientConfig
+
+// ClientStats counts a Client's own retry behavior (attempts, retries,
+// Retry-After sleeps, transport and permanent errors) — the client-side view
+// of server health, via Client.Stats.
+type ClientStats = serve.ClientStats
 
 // CrashPoint identifies a batch-loop crash-injection site for
 // ServeConfig.CrashHook (chaos testing of the durable serving plane).
